@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: all build test race bench check fmt vet experiments report clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/influence/ ./internal/experiment/ .
+
+bench:
+	$(GO) test -bench=. -benchmem -benchtime 1x .
+
+check: fmt vet test
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+experiments:
+	$(GO) run ./cmd/experiments
+
+report:
+	$(GO) run ./cmd/experiments -md report.md -csv csv-out
+
+clean:
+	rm -rf csv-out report.md test_output.txt bench_output.txt

@@ -1,0 +1,426 @@
+// Benchmarks regenerating every table and figure of the paper (run with
+// `go test -bench=. -benchmem`), plus ablation benches for the design
+// choices called out in DESIGN.md §4. Each figure bench reports the key
+// reproduced quantity as a custom metric (e.g. RID's F1) so a bench run
+// doubles as a compact reproduction report; cmd/experiments prints the
+// full rows.
+package repro_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/arbor"
+	"repro/internal/cascade"
+	"repro/internal/core"
+	"repro/internal/diffusion"
+	"repro/internal/experiment"
+	"repro/internal/gen"
+	"repro/internal/isomit"
+	"repro/internal/metrics"
+	"repro/internal/sgraph"
+	"repro/internal/xrand"
+)
+
+// benchWorkload is the small-scale default workload used by the figure
+// benches (~1% of Table II size; pass -timeout and edit Scale for larger).
+func benchWorkload(ds string) experiment.Workload {
+	return experiment.Workload{Dataset: ds, Scale: 0.01, Trials: 1, BaseSeed: 99}
+}
+
+func BenchmarkTableII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.TableII(0.01, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 2 {
+			b.Fatal("wrong row count")
+		}
+	}
+}
+
+func benchFigure4(b *testing.B, ds string) {
+	b.Helper()
+	var f1 float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Figure4(benchWorkload(ds))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if row.Method == "RID(0.1)" {
+				f1 = row.F1.Mean
+			}
+		}
+	}
+	b.ReportMetric(f1, "RID(0.1)-F1")
+}
+
+func BenchmarkFigure4Epinions(b *testing.B) { benchFigure4(b, "Epinions") }
+func BenchmarkFigure4Slashdot(b *testing.B) { benchFigure4(b, "Slashdot") }
+
+func benchFigure5(b *testing.B, ds string) {
+	b.Helper()
+	betas := []float64{0, 0.25, 0.5, 0.75, 1.0}
+	var bestF1 float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Figure5(benchWorkload(ds), betas)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bestF1 = 0
+		for _, row := range res.Rows {
+			if row.F1.Mean > bestF1 {
+				bestF1 = row.F1.Mean
+			}
+		}
+	}
+	b.ReportMetric(bestF1, "best-F1")
+}
+
+func BenchmarkFigure5Epinions(b *testing.B) { benchFigure5(b, "Epinions") }
+func BenchmarkFigure5Slashdot(b *testing.B) { benchFigure5(b, "Slashdot") }
+
+func benchFigure6(b *testing.B, ds string) {
+	b.Helper()
+	betas := []float64{0, 0.5, 1.0}
+	var accAtOne float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Figure6(benchWorkload(ds), betas)
+		if err != nil {
+			b.Fatal(err)
+		}
+		accAtOne = res.Rows[len(res.Rows)-1].Accuracy.Mean
+	}
+	b.ReportMetric(accAtOne, "state-acc@beta=1")
+}
+
+func BenchmarkFigure6Epinions(b *testing.B) { benchFigure6(b, "Epinions") }
+func BenchmarkFigure6Slashdot(b *testing.B) { benchFigure6(b, "Slashdot") }
+
+func BenchmarkDiffusionAnalysis(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.DiffusionAnalysis(benchWorkload("Epinions"), []float64{1, 3}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.IC.Infected.Mean > 0 {
+			ratio = res.MFC[1].Infected.Mean / res.IC.Infected.Mean
+		}
+	}
+	b.ReportMetric(ratio, "MFC/IC-spread")
+}
+
+// --- Ablation benches (DESIGN.md §4) ---
+
+// benchTrees extracts a forest from a simulated cascade for the DP
+// ablations.
+func benchTrees(b *testing.B) []*cascade.Tree {
+	b.Helper()
+	in, err := benchWorkload("Epinions").Run(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	forest, err := cascade.Extract(in.Snap, cascade.Config{Alpha: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return forest.Trees
+}
+
+func BenchmarkDPPenalizedVsBudget(b *testing.B) {
+	trees := benchTrees(b)
+	b.Run("penalized", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, tr := range trees {
+				if _, err := isomit.SolvePenalized(tr, isomit.PenaltyConfig{Beta: 0.5}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("budget-auto", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, tr := range trees {
+				if tr.Len() > 64 {
+					continue // the budget DP is quadratic in k; cap as RID does
+				}
+				if _, err := isomit.SolveAuto(tr.Binarize(), 0.5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+func BenchmarkBudgetPlainVsStates(b *testing.B) {
+	trees := benchTrees(b)
+	run := func(b *testing.B, solve func(*cascade.Tree, float64) (*isomit.Result, error)) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			for _, tr := range trees {
+				if tr.Len() > 64 {
+					continue
+				}
+				if _, err := solve(tr.Binarize(), 0.5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("collapsed", func(b *testing.B) { run(b, isomit.SolveAuto) })
+	b.Run("state-branched", func(b *testing.B) { run(b, isomit.SolveAutoStates) })
+}
+
+func BenchmarkBinaryTransformVsDirect(b *testing.B) {
+	trees := benchTrees(b)
+	b.Run("direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, tr := range trees {
+				if _, err := isomit.SolvePenalized(tr, isomit.PenaltyConfig{Beta: 0.5}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("binarized", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, tr := range trees {
+				if _, err := isomit.SolvePenalized(tr.Binarize(), isomit.PenaltyConfig{Beta: 0.5}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+func BenchmarkObjectiveLocalVsPartition(b *testing.B) {
+	in, err := benchWorkload("Epinions").Run(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		obj  core.Objective
+		beta float64
+	}{
+		{"local-beta0.3", core.ObjectiveLocal, 0.3},
+		{"partition-beta0.3", core.ObjectivePartition, 0.3},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			rid, err := core.NewRID(core.RIDConfig{Alpha: 3, Beta: tc.beta, Objective: tc.obj})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var f1 float64
+			for i := 0; i < b.N; i++ {
+				det, err := rid.Detect(in.Snap)
+				if err != nil {
+					b.Fatal(err)
+				}
+				f1 = metrics.EvalIdentity(det.Initiators, in.Seeds).F1
+			}
+			b.ReportMetric(f1, "F1")
+		})
+	}
+}
+
+func BenchmarkArborLogVsLinear(b *testing.B) {
+	rng := xrand.New(31)
+	g, err := gen.PreferentialAttachment(gen.Config{Nodes: 2000, Edges: 12000, PositiveRatio: 0.8}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	edges := make([]arbor.Edge, 0, g.NumEdges())
+	logEdges := make([]arbor.Edge, 0, g.NumEdges())
+	g.Edges(func(e sgraph.Edge) {
+		w := e.Weight
+		if w < 1e-9 {
+			w = 1e-9
+		}
+		edges = append(edges, arbor.Edge{From: e.From, To: e.To, Weight: w})
+		logEdges = append(logEdges, arbor.Edge{From: e.From, To: e.To, Weight: math.Log(w)})
+	})
+	b.Run("linear", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := arbor.MaxForest(g.NumNodes(), edges, -1e9); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("log", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := arbor.MaxForest(g.NumNodes(), logEdges, -1e9); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkBoostedVsRawWeights(b *testing.B) {
+	in, err := benchWorkload("Epinions").Run(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		mode cascade.WeightMode
+	}{
+		{"boosted", cascade.ModeBoosted},
+		{"raw", cascade.ModeRaw},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var rootPrecision float64
+			for i := 0; i < b.N; i++ {
+				forest, err := cascade.Extract(in.Snap, cascade.Config{Alpha: 3, Mode: tc.mode})
+				if err != nil {
+					b.Fatal(err)
+				}
+				roots := make([]int, 0, len(forest.Trees))
+				for _, tr := range forest.Trees {
+					roots = append(roots, tr.Orig[0])
+				}
+				rootPrecision = metrics.EvalIdentity(roots, in.Seeds).Precision
+			}
+			b.ReportMetric(rootPrecision, "root-precision")
+		})
+	}
+}
+
+func BenchmarkWeightSchemes(b *testing.B) {
+	// Ablation: the paper's Jaccard weighting vs Adamic-Adar and raw
+	// common neighbors (all from Liben-Nowell & Kleinberg, the paper's
+	// [18]). The workload is regenerated under each scheme, so the metric
+	// compares end-to-end detection quality.
+	rng := xrand.New(77)
+	base, err := gen.PreferentialAttachment(gen.Config{Nodes: 2500, Edges: 16000, PositiveRatio: 0.85}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name   string
+		scheme sgraph.WeightScheme
+	}{
+		{"jaccard", sgraph.SchemeJaccard},
+		{"adamic-adar", sgraph.SchemeAdamicAdar},
+		{"common-neighbors", sgraph.SchemeCommonNeighbors},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var f1 float64
+			for i := 0; i < b.N; i++ {
+				wrng := xrand.New(5)
+				g := sgraph.WeightBy(base, tc.scheme, 0.1, wrng)
+				dif := g.Reverse()
+				seeds, states, err := diffusion.SampleInitiators(dif.NumNodes(), 125, 0.5, wrng)
+				if err != nil {
+					b.Fatal(err)
+				}
+				c, err := diffusion.MFC(dif, seeds, states, diffusion.MFCConfig{Alpha: 3}, wrng)
+				if err != nil {
+					b.Fatal(err)
+				}
+				snap, err := cascade.NewSnapshot(dif, c.States)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rid, err := core.NewRID(core.RIDConfig{Alpha: 3, Beta: 0.2})
+				if err != nil {
+					b.Fatal(err)
+				}
+				det, err := rid.Detect(snap)
+				if err != nil {
+					b.Fatal(err)
+				}
+				f1 = metrics.EvalIdentity(det.Initiators, seeds).F1
+			}
+			b.ReportMetric(f1, "F1")
+		})
+	}
+}
+
+func BenchmarkMFCFlipOnOff(b *testing.B) {
+	rng := xrand.New(17)
+	g, err := gen.PreferentialAttachment(gen.Config{Nodes: 5000, Edges: 30000, PositiveRatio: 0.8}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dif := sgraph.WeightByJaccard(g, 0.1, rng).Reverse()
+	seeds, states, err := diffusion.SampleInitiators(dif.NumNodes(), 100, 0.5, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name    string
+		disable bool
+	}{
+		{"flip-on", false},
+		{"flip-off", true},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var infected float64
+			r := xrand.New(5)
+			for i := 0; i < b.N; i++ {
+				c, err := diffusion.MFC(dif, seeds, states, diffusion.MFCConfig{Alpha: 3, DisableFlip: tc.disable}, r.Split())
+				if err != nil {
+					b.Fatal(err)
+				}
+				infected = float64(c.NumInfected())
+			}
+			b.ReportMetric(infected, "infected")
+		})
+	}
+}
+
+// --- Component microbenches ---
+
+func BenchmarkMFCSimulation(b *testing.B) {
+	rng := xrand.New(3)
+	g, err := gen.PreferentialAttachment(gen.Config{Nodes: 20000, Edges: 130000, PositiveRatio: 0.85}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dif := sgraph.WeightByJaccard(g, 0.1, rng).Reverse()
+	seeds, states, err := diffusion.SampleInitiators(dif.NumNodes(), 200, 0.5, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	r := xrand.New(11)
+	for i := 0; i < b.N; i++ {
+		if _, err := diffusion.MFC(dif, seeds, states, diffusion.MFCConfig{Alpha: 3}, r.Split()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkForestExtraction(b *testing.B) {
+	in, err := benchWorkload("Epinions").Run(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cascade.Extract(in.Snap, cascade.Config{Alpha: 3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRIDEndToEnd(b *testing.B) {
+	in, err := benchWorkload("Epinions").Run(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rid, err := core.NewRID(core.RIDConfig{Alpha: 3, Beta: 0.3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rid.Detect(in.Snap); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

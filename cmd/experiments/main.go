@@ -1,0 +1,237 @@
+// Command experiments regenerates the paper's tables and figures on the
+// synthetic dataset stand-ins and prints the same rows/series the paper
+// reports.
+//
+// Usage:
+//
+//	experiments [-exp all|table2|fig4|fig5|fig6|diffusion] [-dataset Epinions|Slashdot|both]
+//	            [-scale 0.02] [-trials 3] [-seed-frac 0.05] [-theta 0.5] [-alpha 3]
+//	            [-mask 0] [-seed 20170605] [-csv dir]
+//
+// With -csv, each experiment also writes a CSV series into the directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment: all, table2, fig4, fig5, fig6, diffusion, mask, hidden, alphasens, timing, ranking, density, scaling, balance")
+		ds       = flag.String("dataset", "both", "dataset: Epinions, Slashdot or both")
+		scale    = flag.Float64("scale", 0.02, "fraction of the Table II network size (1.0 = paper scale)")
+		trials   = flag.Int("trials", 3, "independent simulations per configuration")
+		seedFrac = flag.Float64("seed-frac", 0.05, "rumor initiators as a fraction of nodes")
+		theta    = flag.Float64("theta", 0.5, "positive ratio of initiator states")
+		alpha    = flag.Float64("alpha", 3, "MFC asymmetric boosting coefficient")
+		mask     = flag.Float64("mask", 0, "fraction of infected states hidden as '?'")
+		seed     = flag.Uint64("seed", 0, "base RNG seed (0 = built-in default)")
+		csvDir   = flag.String("csv", "", "directory for CSV output (optional)")
+		mdFile   = flag.String("md", "", "write all results as one markdown report (optional)")
+	)
+	flag.Parse()
+	if err := run(*exp, *ds, *scale, *trials, *seedFrac, *theta, *alpha, *mask, *seed, *csvDir, *mdFile); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp, ds string, scale float64, trials int, seedFrac, theta, alpha, mask float64, seed uint64, csvDir, mdFile string) error {
+	report := &experiment.Report{Title: "Reproduction report — Rumor Initiator Detection in Infected Signed Networks"}
+	datasets := []string{"Epinions", "Slashdot"}
+	if ds != "both" {
+		datasets = []string{ds}
+	}
+	workload := func(name string) experiment.Workload {
+		return experiment.Workload{
+			Dataset: name, Scale: scale, Trials: trials, SeedFraction: seedFrac,
+			Theta: theta, Alpha: alpha, MaskFraction: mask, BaseSeed: seed,
+		}
+	}
+	want := func(name string) bool { return exp == "all" || exp == name }
+	emitCSV := func(name string, result any) error {
+		if csvDir == "" {
+			return nil
+		}
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			return err
+		}
+		f, err := os.Create(filepath.Join(csvDir, name+".csv"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return experiment.WriteCSV(f, result)
+	}
+
+	ran := false
+	if want("balance") {
+		ran = true
+		res, err := experiment.Balance(scale, seed)
+		if err != nil {
+			return err
+		}
+		res.Render(os.Stdout)
+		report.Add("Structural balance of the synthetic stand-ins", res)
+		fmt.Println()
+	}
+	if want("table2") {
+		ran = true
+		res, err := experiment.TableII(scale, seed)
+		if err != nil {
+			return err
+		}
+		res.Render(os.Stdout)
+		report.Add("Table II — network properties", res)
+		fmt.Println()
+		if err := emitCSV("table2", res); err != nil {
+			return err
+		}
+	}
+	for _, name := range datasets {
+		suffix := strings.ToLower(name)
+		if want("fig4") {
+			ran = true
+			res, err := experiment.Figure4(workload(name))
+			if err != nil {
+				return err
+			}
+			res.Render(os.Stdout)
+			report.Add("Figure 4 — "+name, res)
+			fmt.Println()
+			if err := emitCSV("fig4-"+suffix, res); err != nil {
+				return err
+			}
+		}
+		if want("fig5") {
+			ran = true
+			res, err := experiment.Figure5(workload(name), nil)
+			if err != nil {
+				return err
+			}
+			res.Render(os.Stdout)
+			report.Add("Figure 5 — "+name, res)
+			fmt.Println()
+			if err := emitCSV("fig5-"+suffix, res); err != nil {
+				return err
+			}
+		}
+		if want("fig6") {
+			ran = true
+			res, err := experiment.Figure6(workload(name), nil)
+			if err != nil {
+				return err
+			}
+			res.Render(os.Stdout)
+			report.Add("Figure 6 — "+name, res)
+			fmt.Println()
+			if err := emitCSV("fig6-"+suffix, res); err != nil {
+				return err
+			}
+		}
+		if want("diffusion") {
+			ran = true
+			res, err := experiment.DiffusionAnalysis(workload(name), nil, []float64{0.25, 0.5, 0.75})
+			if err != nil {
+				return err
+			}
+			res.Render(os.Stdout)
+			report.Add("Diffusion analysis — "+name, res)
+			fmt.Println()
+			if err := emitCSV("diffusion-"+suffix, res); err != nil {
+				return err
+			}
+		}
+		if want("mask") {
+			ran = true
+			res, err := experiment.MaskSweep(workload(name), 0.2, nil)
+			if err != nil {
+				return err
+			}
+			res.Render(os.Stdout)
+			report.Add("Unknown-state sweep — "+name, res)
+			fmt.Println()
+		}
+		if want("hidden") {
+			ran = true
+			res, err := experiment.HiddenSweep(workload(name), 0.2, nil)
+			if err != nil {
+				return err
+			}
+			res.Render(os.Stdout)
+			report.Add("Hidden-infection sweep — "+name, res)
+			fmt.Println()
+		}
+		if want("alphasens") {
+			ran = true
+			res, err := experiment.AlphaSweep(workload(name), 0.2, nil)
+			if err != nil {
+				return err
+			}
+			res.Render(os.Stdout)
+			report.Add("Alpha sensitivity — "+name, res)
+			fmt.Println()
+		}
+		if want("ranking") {
+			ran = true
+			res, err := experiment.Ranking(workload(name), 0.1, nil)
+			if err != nil {
+				return err
+			}
+			res.Render(os.Stdout)
+			report.Add("Confidence ranking — "+name, res)
+			fmt.Println()
+		}
+		if want("timing") {
+			ran = true
+			res, err := experiment.TimingSweep(workload(name), 0.2, nil)
+			if err != nil {
+				return err
+			}
+			res.Render(os.Stdout)
+			report.Add("Timing sweep — "+name, res)
+			fmt.Println()
+		}
+		if want("density") {
+			ran = true
+			res, err := experiment.DensitySweep(workload(name), 0.2, nil)
+			if err != nil {
+				return err
+			}
+			res.Render(os.Stdout)
+			report.Add("Seed-density sweep — "+name, res)
+			fmt.Println()
+		}
+		if want("scaling") {
+			ran = true
+			res, err := experiment.Scaling(workload(name), 0.2, []float64{scale / 10, scale / 5, scale / 2, scale})
+			if err != nil {
+				return err
+			}
+			res.Render(os.Stdout)
+			report.Add("Scaling — "+name, res)
+			fmt.Println()
+		}
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	if mdFile != "" {
+		f, err := os.Create(mdFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := report.WriteMarkdown(f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote markdown report to %s\n", mdFile)
+	}
+	return nil
+}

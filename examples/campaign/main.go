@@ -1,0 +1,72 @@
+// Campaign scenario: the flip side of rumor-source detection. A marketer
+// (or a counter-misinformation team) gets to pick K accounts to seed with
+// a positive message on a signed trust network, where distrust links turn
+// the message against them. We select seeds by CELF lazy greedy under the
+// MFC model and compare against degree and random seeding — the classical
+// influence-maximization experiment (Table I's sister problem), run on the
+// paper's diffusion model.
+//
+//	go run ./examples/campaign
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/influence"
+	"repro/internal/xrand"
+)
+
+func main() {
+	rng := repro.NewRand(99)
+
+	social, err := repro.GenerateNetwork(1500, 9000, 0.8, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	diffusionNet := social.Reverse()
+	st := social.Stats()
+	fmt.Printf("network: %d accounts, %d signed links (%.0f%% trust)\n",
+		st.Nodes, st.Edges, 100*st.PositiveRatio)
+
+	const k = 8
+	cfg := influence.Config{
+		K:         k,
+		Alpha:     3,
+		Samples:   400,
+		Objective: influence.MaximizeNetPositive,
+	}
+
+	fmt.Printf("\nselecting %d seeds to maximize (#positive − #negative) reach under MFC...\n\n", k)
+	greedy, err := influence.Greedy(diffusionNet, cfg, xrand.New(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	deg, err := influence.DegreeTop(diffusionNet, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rnd, err := influence.RandomSeeds(diffusionNet, k, xrand.New(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	eval := func(name string, seeds []int) {
+		spread, err := influence.EstimateSpread(diffusionNet, seeds, cfg, xrand.New(3))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s net positive reach %7.1f   seeds %v\n", name, spread, seeds)
+	}
+	eval("greedy", greedy.Seeds)
+	eval("degree", deg)
+	eval("random", rnd)
+	fmt.Println("\n(on hub-dominated networks degree seeding is near-optimal, so greedy")
+	fmt.Println(" and degree should land close; random should trail far behind)")
+
+	fmt.Println("\ngreedy marginal gains (diminishing returns):")
+	for i, g := range greedy.Gains {
+		fmt.Printf("  seed %d: +%.1f\n", i+1, g)
+	}
+}

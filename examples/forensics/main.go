@@ -1,0 +1,62 @@
+// Forensics scenario: an investigation team reconstructs who started a
+// rumor after the fact. Beyond the infected snapshot, some posts carry
+// usable timestamps (message creation times survive for a fraction of
+// accounts). Timestamps constrain causality — nobody can have been
+// activated by someone infected later — so every recovered timestamp
+// prunes candidate activation links and sharpens attribution. This example
+// sweeps the fraction of recovered timestamps and shows detection quality
+// climbing from the paper's state-only setting toward near-perfect
+// attribution.
+//
+//	go run ./examples/forensics
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro"
+	"repro/internal/metrics"
+)
+
+func main() {
+	rng := repro.NewRand(77)
+
+	social, err := repro.LoadDataset("Epinions", 0.02, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, diffusionNet, err := repro.SimulateMFC(social, repro.SimConfig{
+		N: social.Stats().Nodes / 20, Theta: 0.5, Alpha: 3,
+	}, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("case file: %d accounts infected by %d unknown sources\n\n",
+		c.NumInfected(), len(c.Initiators))
+
+	rid, err := repro.NewRID(repro.RIDConfig{Alpha: 3, Beta: 0.2})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%12s %9s %7s %7s %7s   %s\n", "timestamps", "suspects", "prec", "recall", "F1", "F1 chart")
+	for _, frac := range []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0} {
+		rounds := repro.SampleRounds(c, frac, repro.NewRand(uint64(1000+frac*100)))
+		snap, err := repro.NewSnapshotWithRounds(diffusionNet, c.States, rounds)
+		if err != nil {
+			log.Fatal(err)
+		}
+		det, err := rid.Detect(snap)
+		if err != nil {
+			log.Fatal(err)
+		}
+		id := metrics.EvalIdentity(det.Initiators, c.Initiators)
+		bar := strings.Repeat("#", int(id.F1*40+0.5))
+		fmt.Printf("%11.0f%% %9d %7.3f %7.3f %7.3f   %s\n",
+			100*frac, len(det.Initiators), id.Precision, id.Recall, id.F1, bar)
+	}
+	fmt.Println("\neach recovered timestamp prunes backward-in-time activation candidates;")
+	fmt.Println("with full timing every true source provably has no possible activator")
+}

@@ -1,0 +1,222 @@
+// Package arbor implements maximum-weight spanning arborescences and
+// forests over directed graphs via the Chu-Liu/Edmonds algorithm — the
+// machinery behind the paper's Algorithms 2 (Maximum Weight Spanning
+// Graph), 3 (Contract Circles) and 4 (Infected Cascade Trees Extraction).
+//
+// Weights are generic scores: higher is better and negative values are
+// allowed, so callers maximizing a likelihood product Π w(u,v) pass log
+// weights. Each round the algorithm lets every node pick its best in-edge
+// (Algorithm 2), contracts any cycles with the exact weight adjustment of
+// Algorithm 3 (w' = w(u,v) − w(π(v),v)), and repeats on the contracted
+// graph until the picks are acyclic.
+package arbor
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Edge is a directed scored edge for arborescence computation.
+type Edge struct {
+	From, To int
+	Weight   float64
+}
+
+// ErrUnreachable reports that some node has no incoming path from the root.
+var ErrUnreachable = errors.New("arbor: node unreachable from root")
+
+// MaxArborescence computes the maximum-weight spanning arborescence of the
+// n-node graph rooted at root: every node except root ends up with exactly
+// one in-edge, the edge set is acyclic, and the total weight is maximal.
+// It returns the index (into edges) of the chosen in-edge per node, with
+// chosen[root] = -1, plus the total weight. Self-loops and edges into the
+// root are ignored. If a node has no path from the root the result is
+// ErrUnreachable.
+func MaxArborescence(n int, edges []Edge, root int) (chosen []int, total float64, err error) {
+	if root < 0 || root >= n {
+		return nil, 0, fmt.Errorf("arbor: root %d out of range [0,%d)", root, n)
+	}
+	work := make([]wedge, 0, len(edges))
+	origOf := make([]int32, 0, len(edges))
+	for i, e := range edges {
+		if e.From == e.To || e.To == root {
+			continue
+		}
+		if e.From < 0 || e.From >= n || e.To < 0 || e.To >= n {
+			return nil, 0, fmt.Errorf("arbor: edge %d endpoints (%d,%d) out of range", i, e.From, e.To)
+		}
+		work = append(work, wedge{from: int32(e.From), to: int32(e.To), w: e.Weight, src: int32(len(work))})
+		origOf = append(origOf, int32(i))
+	}
+	chosenIdx, err := contract(n, work, root)
+	if err != nil {
+		return nil, 0, err
+	}
+	chosen = make([]int, n)
+	for v := range chosen {
+		chosen[v] = -1
+	}
+	for _, wi := range chosenIdx {
+		oi := int(origOf[wi])
+		e := edges[oi]
+		chosen[e.To] = oi
+		total += e.Weight
+	}
+	return chosen, total, nil
+}
+
+// wedge is a working edge. src is the index of the edge it descends from
+// in the parent recursion level's edge slice (at the top level, its own
+// index), letting the recursion return plain indices with no lookup maps.
+type wedge struct {
+	from, to int32
+	src      int32
+	w        float64
+}
+
+// contract runs one Chu-Liu/Edmonds round and recurses on the contracted
+// graph, returning indices (into edges) of the selected arborescence's
+// in-edges.
+func contract(n int, edges []wedge, root int) ([]int32, error) {
+	// Algorithm 2 (MWSG): every node picks its maximum-weight in-edge.
+	best := make([]int32, n)
+	for v := range best {
+		best[v] = -1
+	}
+	for i := range edges {
+		e := &edges[i]
+		if best[e.to] == -1 || e.w > edges[best[e.to]].w {
+			best[e.to] = int32(i)
+		}
+	}
+	for v := 0; v < n; v++ {
+		if v != root && best[v] == -1 {
+			return nil, fmt.Errorf("%w: node %d has no in-edge", ErrUnreachable, v)
+		}
+	}
+
+	// Detect cycles among the picks.
+	const (
+		unseen = -1
+		inPath = -2
+	)
+	id := make([]int32, n) // component id in the contracted graph
+	mark := make([]int32, n)
+	for v := range id {
+		id[v] = unseen
+		mark[v] = unseen
+	}
+	comps := int32(0)
+	var cycleOf [][]int32 // nodes of each cycle
+	var cycleIDs []int32  // component id of each cycle
+	for v := 0; v < n; v++ {
+		if mark[v] != unseen {
+			continue
+		}
+		// Walk the pick chain from v until we hit the root, a previously
+		// classified node, or our own path (a new cycle).
+		u := v
+		for u != root && mark[u] == unseen {
+			mark[u] = inPath
+			u = int(edges[best[u]].from)
+		}
+		if u != root && mark[u] == inPath {
+			// Found a new cycle through u.
+			cyc := []int32{int32(u)}
+			id[u] = comps
+			for w := int(edges[best[u]].from); w != u; w = int(edges[best[w]].from) {
+				id[w] = comps
+				cyc = append(cyc, int32(w))
+			}
+			cycleOf = append(cycleOf, cyc)
+			cycleIDs = append(cycleIDs, comps)
+			comps++
+		}
+		// Everything else on the path gets its own component.
+		u = v
+		for u != root && mark[u] == inPath {
+			mark[u] = 1
+			if id[u] == unseen {
+				id[u] = comps
+				comps++
+			}
+			u = int(edges[best[u]].from)
+		}
+	}
+	if id[root] == unseen {
+		id[root] = comps
+		comps++
+	}
+	for v := 0; v < n; v++ {
+		if id[v] == unseen {
+			id[v] = comps
+			comps++
+		}
+	}
+
+	if len(cycleOf) == 0 {
+		out := make([]int32, 0, n-1)
+		for v := 0; v < n; v++ {
+			if v != root {
+				out = append(out, best[v])
+			}
+		}
+		return out, nil
+	}
+
+	// Algorithm 3 (Contract Circles): rebuild the edge list on component
+	// ids; edges entering a cycle node v are re-weighted by subtracting
+	// the weight of v's in-cycle pick, w(π(v), v). realTo remembers which
+	// real node each surviving edge enters, for expansion.
+	// cycIdx maps a component id to its cycle index, or -1.
+	cycIdx := make([]int32, comps)
+	for i := range cycIdx {
+		cycIdx[i] = -1
+	}
+	for ci, cid := range cycleIDs {
+		cycIdx[cid] = int32(ci)
+	}
+	next := make([]wedge, 0, len(edges))
+	realTo := make([]int32, 0, len(edges))
+	for i := range edges {
+		e := &edges[i]
+		nf, nt := id[e.from], id[e.to]
+		if nf == nt {
+			continue
+		}
+		w := e.w
+		if cycIdx[nt] >= 0 {
+			w -= edges[best[e.to]].w
+		}
+		next = append(next, wedge{from: nf, to: nt, w: w, src: int32(i)})
+		realTo = append(realTo, e.to)
+	}
+	sub, err := contract(int(comps), next, int(id[root]))
+	if err != nil {
+		return nil, err
+	}
+	// Expansion: for each cycle, find which real node the solution enters
+	// it at, then keep every in-cycle pick except the one into that node.
+	enteredAt := make([]int32, len(cycleOf))
+	for ci := range enteredAt {
+		enteredAt[ci] = -1
+	}
+	out := make([]int32, 0, n)
+	for _, si := range sub {
+		out = append(out, next[si].src)
+		t := realTo[si]
+		if ci := cycIdx[id[t]]; ci >= 0 {
+			enteredAt[ci] = t
+		}
+	}
+	for ci, cyc := range cycleOf {
+		entered := enteredAt[ci]
+		for _, v := range cyc {
+			if v == entered {
+				continue
+			}
+			out = append(out, best[v])
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,60 @@
+package arbor
+
+// MaxForest computes a maximum-weight spanning forest of a directed graph:
+// every node either selects one in-edge or becomes a tree root, where being
+// a root costs rootScore (typically a large negative log-prior, so the
+// algorithm opens as few roots as possible and only where no better in-edge
+// exists). Internally this is MaxArborescence with a virtual root node
+// connected to every node with weight rootScore.
+//
+// It returns parents[v] = the index (into edges) of v's chosen in-edge, or
+// -1 if v is a tree root, and the total weight of the chosen real edges
+// (virtual-edge scores excluded).
+func MaxForest(n int, edges []Edge, rootScore float64) (parents []int, total float64, err error) {
+	if n == 0 {
+		return nil, 0, nil
+	}
+	aug := make([]Edge, 0, len(edges)+n)
+	aug = append(aug, edges...)
+	virtual := n
+	for v := 0; v < n; v++ {
+		aug = append(aug, Edge{From: virtual, To: v, Weight: rootScore})
+	}
+	chosen, _, err := MaxArborescence(n+1, aug, virtual)
+	if err != nil {
+		return nil, 0, err
+	}
+	parents = make([]int, n)
+	for v := 0; v < n; v++ {
+		ei := chosen[v]
+		if ei >= len(edges) {
+			parents[v] = -1 // virtual edge: v is a root
+			continue
+		}
+		parents[v] = ei
+		total += edges[ei].Weight
+	}
+	return parents, total, nil
+}
+
+// GreedyInEdge implements Algorithm 2 (MWSG) in isolation: every node
+// independently picks its maximum-weight in-edge. The result may contain
+// cycles; the full extraction resolves them via contraction. Exposed for
+// tests and for the ablation comparing one greedy round against the full
+// Chu-Liu/Edmonds solution. Returns the index of the picked in-edge per
+// node (-1 where a node has no in-edges).
+func GreedyInEdge(n int, edges []Edge) []int {
+	best := make([]int, n)
+	for v := range best {
+		best[v] = -1
+	}
+	for i, e := range edges {
+		if e.From == e.To {
+			continue
+		}
+		if best[e.To] == -1 || e.Weight > edges[best[e.To]].Weight {
+			best[e.To] = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,159 @@
+package balance
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/sgraph"
+	"repro/internal/xrand"
+)
+
+func triangle(t *testing.T, s1, s2, s3 sgraph.Sign) *sgraph.Graph {
+	t.Helper()
+	b := sgraph.NewBuilder(3)
+	b.AddEdge(0, 1, s1, 0.5)
+	b.AddEdge(1, 2, s2, 0.5)
+	b.AddEdge(2, 0, s3, 0.5)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestTriadTypes(t *testing.T) {
+	tests := []struct {
+		name     string
+		signs    [3]sgraph.Sign
+		want     TriadType
+		balanced bool
+	}{
+		{"FFF", [3]sgraph.Sign{sgraph.Positive, sgraph.Positive, sgraph.Positive}, TriadFFF, true},
+		{"FFE", [3]sgraph.Sign{sgraph.Positive, sgraph.Positive, sgraph.Negative}, TriadFFE, false},
+		{"FEE", [3]sgraph.Sign{sgraph.Positive, sgraph.Negative, sgraph.Negative}, TriadFEE, true},
+		{"EEE", [3]sgraph.Sign{sgraph.Negative, sgraph.Negative, sgraph.Negative}, TriadEEE, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			g := triangle(t, tt.signs[0], tt.signs[1], tt.signs[2])
+			c := TriangleCensus(g)
+			if c.Triangles != 1 {
+				t.Fatalf("triangles = %d, want 1", c.Triangles)
+			}
+			if c.Counts[tt.want] != 1 {
+				t.Errorf("counts = %v, want one %v", c.Counts, tt.want)
+			}
+			if tt.want.Balanced() != tt.balanced {
+				t.Errorf("Balanced() = %v, want %v", tt.want.Balanced(), tt.balanced)
+			}
+			wantFrac := 0.0
+			if tt.balanced {
+				wantFrac = 1.0
+			}
+			if c.BalancedFraction != wantFrac {
+				t.Errorf("balanced fraction = %g, want %g", c.BalancedFraction, wantFrac)
+			}
+		})
+	}
+}
+
+func TestTriadStrings(t *testing.T) {
+	want := map[TriadType]string{TriadFFF: "+++", TriadFFE: "++-", TriadFEE: "+--", TriadEEE: "---"}
+	for tt, s := range want {
+		if tt.String() != s {
+			t.Errorf("%d.String() = %q, want %q", tt, tt.String(), s)
+		}
+	}
+}
+
+func TestCensusCountsAllTriangles(t *testing.T) {
+	// K4 (all positive, directed arbitrarily): 4 triangles.
+	b := sgraph.NewBuilder(4)
+	for u := 0; u < 4; u++ {
+		for v := u + 1; v < 4; v++ {
+			b.AddEdge(u, v, sgraph.Positive, 0.5)
+		}
+	}
+	g := b.MustBuild()
+	c := TriangleCensus(g)
+	if c.Triangles != 4 {
+		t.Errorf("K4 triangles = %d, want 4", c.Triangles)
+	}
+	if c.Counts[TriadFFF] != 4 || c.BalancedFraction != 1 {
+		t.Errorf("census = %+v", c)
+	}
+}
+
+func TestCensusReciprocalEdgesNotDoubleCounted(t *testing.T) {
+	// Triangle with one reciprocated pair must still count once.
+	b := sgraph.NewBuilder(3)
+	b.AddEdge(0, 1, sgraph.Positive, 0.5)
+	b.AddEdge(1, 0, sgraph.Positive, 0.5)
+	b.AddEdge(1, 2, sgraph.Positive, 0.5)
+	b.AddEdge(2, 0, sgraph.Negative, 0.5)
+	g := b.MustBuild()
+	c := TriangleCensus(g)
+	if c.Triangles != 1 {
+		t.Errorf("triangles = %d, want 1", c.Triangles)
+	}
+	if c.Counts[TriadFFE] != 1 {
+		t.Errorf("counts = %v, want one ++-", c.Counts)
+	}
+}
+
+func TestCensusNoTriangles(t *testing.T) {
+	b := sgraph.NewBuilder(4)
+	b.AddEdge(0, 1, sgraph.Positive, 0.5)
+	b.AddEdge(1, 2, sgraph.Positive, 0.5)
+	b.AddEdge(2, 3, sgraph.Positive, 0.5)
+	g := b.MustBuild()
+	c := TriangleCensus(g)
+	if c.Triangles != 0 || c.BalancedFraction != 0 {
+		t.Errorf("path census = %+v", c)
+	}
+}
+
+func TestGeneratedNetworksHaveTriangles(t *testing.T) {
+	// Triadic closure in the generator must create a real triangle count,
+	// and with mostly positive links, most triangles should be balanced.
+	g, err := gen.PreferentialAttachment(gen.Config{
+		Nodes: 2000, Edges: 13000, PositiveRatio: 0.85,
+	}, xrand.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := TriangleCensus(g)
+	if c.Triangles < 500 {
+		t.Errorf("triangles = %d, want >= 500 with closure", c.Triangles)
+	}
+	if c.BalancedFraction < 0.6 {
+		t.Errorf("balanced fraction = %g, want >= 0.6", c.BalancedFraction)
+	}
+}
+
+func TestClusteringCoefficient(t *testing.T) {
+	// Triangle: clustering = 1.
+	g := triangle(t, sgraph.Positive, sgraph.Positive, sgraph.Positive)
+	if cc := ClusteringCoefficient(g); math.Abs(cc-1) > 1e-12 {
+		t.Errorf("triangle clustering = %g, want 1", cc)
+	}
+	// Path: clustering = 0.
+	b := sgraph.NewBuilder(3)
+	b.AddEdge(0, 1, sgraph.Positive, 0.5)
+	b.AddEdge(1, 2, sgraph.Positive, 0.5)
+	if cc := ClusteringCoefficient(b.MustBuild()); cc != 0 {
+		t.Errorf("path clustering = %g, want 0", cc)
+	}
+	// Generated networks have non-trivial clustering (the property the
+	// Jaccard weighting needs).
+	pa, err := gen.PreferentialAttachment(gen.Config{
+		Nodes: 1500, Edges: 9000, PositiveRatio: 0.85,
+	}, xrand.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cc := ClusteringCoefficient(pa); cc < 0.02 {
+		t.Errorf("generated clustering = %g, want >= 0.02", cc)
+	}
+}

@@ -1,0 +1,384 @@
+// Package cascade turns an infected-network snapshot into the maximum-
+// likelihood signed infected cascade forest of the paper's Section III-E:
+// infected connected components are detected (Definition 6), each component
+// is reduced to its most likely cascade trees via Chu-Liu/Edmonds
+// (Algorithm 4), unknown node states are imputed, and general trees can be
+// transformed into binary trees with dummy nodes (Figure 3) for the
+// budgeted DP.
+package cascade
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/arbor"
+	"repro/internal/sgraph"
+)
+
+// Snapshot is the input of the ISOMIT problem: a diffusion network plus the
+// observed state of every node at one moment in time. States may be
+// StateUnknown for infected-but-unobserved nodes; StateInactive nodes are
+// outside the infected subgraph.
+type Snapshot struct {
+	G      *sgraph.Graph
+	States []sgraph.State
+	// Rounds optionally carries partial timing metadata (an extension
+	// beyond the paper, which observes states only): Rounds[v] >= 0 is
+	// the round v was first observed infected, -1 means unknown. When
+	// both endpoints of a candidate activation link carry timestamps,
+	// extraction drops links that run backward in time. Nil when no
+	// timing is available.
+	Rounds []int32
+}
+
+// NewSnapshot validates lengths and state values.
+func NewSnapshot(g *sgraph.Graph, states []sgraph.State) (*Snapshot, error) {
+	if len(states) != g.NumNodes() {
+		return nil, fmt.Errorf("cascade: %d states for %d nodes", len(states), g.NumNodes())
+	}
+	for v, s := range states {
+		switch s {
+		case sgraph.StatePositive, sgraph.StateNegative, sgraph.StateInactive, sgraph.StateUnknown:
+		default:
+			return nil, fmt.Errorf("cascade: invalid state %d at node %d", s, v)
+		}
+	}
+	return &Snapshot{G: g, States: states}, nil
+}
+
+// NewSnapshotWithRounds builds a snapshot carrying partial first-infection
+// timestamps; rounds[v] must be -1 (unknown) or >= 0, and only infected
+// nodes may carry one.
+func NewSnapshotWithRounds(g *sgraph.Graph, states []sgraph.State, rounds []int32) (*Snapshot, error) {
+	snap, err := NewSnapshot(g, states)
+	if err != nil {
+		return nil, err
+	}
+	if len(rounds) != g.NumNodes() {
+		return nil, fmt.Errorf("cascade: %d rounds for %d nodes", len(rounds), g.NumNodes())
+	}
+	for v, r := range rounds {
+		if r < -1 {
+			return nil, fmt.Errorf("cascade: invalid round %d at node %d", r, v)
+		}
+		if r >= 0 && states[v] == sgraph.StateInactive {
+			return nil, fmt.Errorf("cascade: inactive node %d carries round %d", v, r)
+		}
+	}
+	snap.Rounds = rounds
+	return snap, nil
+}
+
+// timeAdmissible reports whether u could have activated v given the
+// snapshot's (partial) timing: impossible only when both timestamps are
+// known and u was first infected at or after v.
+func (s *Snapshot) timeAdmissible(u, v int) bool {
+	if s.Rounds == nil {
+		return true
+	}
+	ru, rv := s.Rounds[u], s.Rounds[v]
+	return ru < 0 || rv < 0 || ru < rv
+}
+
+// Infected returns the nodes considered part of the infected subgraph:
+// active states plus unknown-state nodes (known to be infected, opinion
+// unobserved).
+func (s *Snapshot) Infected() []int {
+	var out []int
+	for v, st := range s.States {
+		if st.Active() || st == sgraph.StateUnknown {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// WeightMode selects the edge score used for forest extraction.
+type WeightMode int
+
+const (
+	// ModeBoosted scores each candidate activation link with the MFC
+	// activation probability g(·) from Section III-B: min(1, α·w) on
+	// consistent positive links, w on consistent negative links, and the
+	// configured floor on sign-inconsistent links (which can only be
+	// explained by a later flip). This is what RID uses.
+	ModeBoosted WeightMode = iota
+	// ModeRaw scores every link with its plain weight w, as in the
+	// paper's tree likelihood L(T) = Π w(u,v) and the unsigned method of
+	// Lappas et al. that RID-Positive generalizes.
+	ModeRaw
+)
+
+// Config parameterizes forest extraction.
+type Config struct {
+	// Alpha is the MFC boosting coefficient used by ModeBoosted; must
+	// be >= 1.
+	Alpha float64
+	// Mode selects the edge scoring; see WeightMode.
+	Mode WeightMode
+	// PositiveOnly drops negative links before extraction (the
+	// RID-Positive baseline).
+	PositiveOnly bool
+	// InconsistentFloor is the g value of sign-inconsistent links under
+	// ModeBoosted. Zero defaults to 1e-12. It must be positive: such links
+	// are improbable (a flip must explain them) but not impossible.
+	InconsistentFloor float64
+	// WeightFloor bounds all scores away from zero so log-space
+	// arborescence stays finite. Zero defaults to 1e-12.
+	WeightFloor float64
+	// RootScore is the log-space score of opening a tree root. Zero
+	// defaults to -1e9, which makes the extractor open as few roots as
+	// possible (only for nodes with no incoming candidate links), exactly
+	// as the paper's construction implies.
+	RootScore float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Alpha == 0 {
+		c.Alpha = 1
+	}
+	if c.InconsistentFloor == 0 {
+		c.InconsistentFloor = 1e-12
+	}
+	if c.WeightFloor == 0 {
+		c.WeightFloor = 1e-12
+	}
+	if c.RootScore == 0 {
+		c.RootScore = -1e9
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Alpha < 1 {
+		return fmt.Errorf("cascade: Alpha must be >= 1, got %g", c.Alpha)
+	}
+	if c.InconsistentFloor <= 0 || c.InconsistentFloor > 1 {
+		return fmt.Errorf("cascade: InconsistentFloor must be in (0,1], got %g", c.InconsistentFloor)
+	}
+	if c.WeightFloor <= 0 || c.WeightFloor > 1 {
+		return fmt.Errorf("cascade: WeightFloor must be in (0,1], got %g", c.WeightFloor)
+	}
+	if c.RootScore >= 0 {
+		return fmt.Errorf("cascade: RootScore must be negative, got %g", c.RootScore)
+	}
+	return nil
+}
+
+// Score returns the extraction score of a candidate activation link with
+// the given sign and weight between observed states su -> sv, under cfg.
+// Unknown endpoint states are scored as consistent: imputation will choose
+// the consistent assignment.
+func (c Config) Score(sign sgraph.Sign, w float64, su, sv sgraph.State) float64 {
+	cfg := c.withDefaults()
+	var score float64
+	switch cfg.Mode {
+	case ModeRaw:
+		score = w
+	default: // ModeBoosted
+		consistent := su == sgraph.StateUnknown || sv == sgraph.StateUnknown ||
+			sgraph.StateOf(su, sign) == sv
+		if !consistent {
+			score = cfg.InconsistentFloor
+		} else if sign == sgraph.Positive {
+			score = math.Min(1, cfg.Alpha*w)
+		} else {
+			score = w
+		}
+	}
+	if score < cfg.WeightFloor {
+		score = cfg.WeightFloor
+	}
+	return score
+}
+
+// Forest is the extracted signed infected cascade forest.
+type Forest struct {
+	// Trees holds one cascade tree per detected root, grouped by
+	// component: trees extracted from the same infected connected
+	// component carry the same Component index.
+	Trees []*Tree
+	// Components is the number of infected connected components.
+	Components int
+}
+
+// ForestStats summarizes an extracted forest.
+type ForestStats struct {
+	Trees, Components  int
+	Nodes              int
+	LargestTree        int
+	MeanTreeSize       float64
+	MaxDepth           int
+	TotalLogLikelihood float64
+	InconsistentEdges  int // edges scored at the inconsistency floor
+	SingletonTrees     int
+	MultiNodeTrees     int
+}
+
+// Stats computes summary statistics over the forest's trees.
+func (f *Forest) Stats() ForestStats {
+	st := ForestStats{Trees: len(f.Trees), Components: f.Components}
+	floor := 0.0
+	for _, t := range f.Trees {
+		floor = t.ScoreCfg.withDefaults().InconsistentFloor
+		n := t.Len()
+		st.Nodes += n
+		if n > st.LargestTree {
+			st.LargestTree = n
+		}
+		if d := t.Depth(); d > st.MaxDepth {
+			st.MaxDepth = d
+		}
+		st.TotalLogLikelihood += t.LogLikelihood()
+		if n == 1 {
+			st.SingletonTrees++
+		} else {
+			st.MultiNodeTrees++
+		}
+		for v := 1; v < n; v++ {
+			if t.Score[v] <= floor {
+				st.InconsistentEdges++
+			}
+		}
+	}
+	if st.Trees > 0 {
+		st.MeanTreeSize = float64(st.Nodes) / float64(st.Trees)
+	}
+	return st
+}
+
+// ErrNoInfected is returned when the snapshot has no infected nodes.
+var ErrNoInfected = errors.New("cascade: snapshot has no infected nodes")
+
+// Extract implements Algorithm 4 over the whole snapshot: detect infected
+// connected components, solve a maximum-likelihood spanning forest on each
+// (log-space Chu-Liu/Edmonds, so cycles are contracted exactly as the
+// paper's CC routine prescribes), impute unknown states down the trees, and
+// score every tree edge with g(·) for the downstream DP.
+func Extract(snap *Snapshot, cfg Config) (*Forest, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	infected := snap.Infected()
+	if len(infected) == 0 {
+		return nil, ErrNoInfected
+	}
+	sub := sgraph.Induce(snap.G, infected)
+	if cfg.PositiveOnly {
+		sub = dropNegative(sub)
+	}
+	comps := sgraph.ConnectedComponents(sub.G)
+	forest := &Forest{Components: len(comps)}
+	for ci, comp := range comps {
+		trees, err := extractComponent(snap, sub, comp, ci, cfg)
+		if err != nil {
+			return nil, err
+		}
+		forest.Trees = append(forest.Trees, trees...)
+	}
+	return forest, nil
+}
+
+// dropNegative removes negative links from an induced subgraph, keeping
+// the node-identity mapping intact.
+func dropNegative(sub *sgraph.Subgraph) *sgraph.Subgraph {
+	b := sgraph.NewBuilder(sub.G.NumNodes())
+	sub.G.Edges(func(e sgraph.Edge) {
+		if e.Sign == sgraph.Positive {
+			b.AddEdge(e.From, e.To, e.Sign, e.Weight)
+		}
+	})
+	return sgraph.NewSubgraph(b.MustBuild(), sub.Orig)
+}
+
+// extractComponent solves one infected connected component: a log-space
+// maximum-weight spanning forest over the component's candidate diffusion
+// links, converted into rooted Tree values with imputed states.
+func extractComponent(snap *Snapshot, sub *sgraph.Subgraph, comp []int, compIdx int, cfg Config) ([]*Tree, error) {
+	// Dense re-indexing of the component's nodes.
+	pos := make(map[int]int, len(comp)) // sub-local ID -> component index
+	for i, v := range comp {
+		pos[v] = i
+	}
+	stateOf := func(ci int) sgraph.State { return snap.States[sub.Orig[comp[ci]]] }
+
+	type cand struct {
+		sign   sgraph.Sign
+		weight float64
+	}
+	edges := make([]arbor.Edge, 0, len(comp)*2)
+	cands := make([]cand, 0, len(comp)*2)
+	for i, v := range comp {
+		sub.G.Out(v, func(e sgraph.Edge) {
+			j, ok := pos[e.To]
+			if !ok {
+				return
+			}
+			if !snap.timeAdmissible(sub.Orig[comp[i]], sub.Orig[comp[j]]) {
+				return // known timestamps rule this activation out
+			}
+			score := cfg.Score(e.Sign, e.Weight, stateOf(i), stateOf(j))
+			edges = append(edges, arbor.Edge{From: i, To: j, Weight: math.Log(score)})
+			cands = append(cands, cand{sign: e.Sign, weight: e.Weight})
+		})
+	}
+	parents, _, err := arbor.MaxForest(len(comp), edges, cfg.RootScore)
+	if err != nil {
+		return nil, fmt.Errorf("cascade: component %d: %w", compIdx, err)
+	}
+
+	// Children lists on component indices, then one BFS per root.
+	childIdx := make([][]int32, len(comp))
+	var roots []int
+	for i := range comp {
+		if parents[i] == -1 {
+			roots = append(roots, i)
+			continue
+		}
+		p := edges[parents[i]].From
+		childIdx[p] = append(childIdx[p], int32(i))
+	}
+	localOf := make([]int32, len(comp))
+	trees := make([]*Tree, 0, len(roots))
+	for _, r := range roots {
+		t := &Tree{Component: compIdx}
+		queue := []int{r}
+		for len(queue) > 0 {
+			ci := queue[0]
+			queue = queue[1:]
+			var parentLocal int32 = -1
+			var sign sgraph.Sign
+			var weight, score float64 = 0, 1
+			if pe := parents[ci]; pe != -1 {
+				parentLocal = localOf[edges[pe].From]
+				sign = cands[pe].sign
+				weight = cands[pe].weight
+				score = cfg.Score(sign, weight, stateOf(int(edges[pe].From)), stateOf(ci))
+			}
+			local := int32(len(t.Orig))
+			localOf[ci] = local
+			t.Orig = append(t.Orig, sub.Orig[comp[ci]])
+			t.Parent = append(t.Parent, parentLocal)
+			t.Children = append(t.Children, nil)
+			t.Sign = append(t.Sign, sign)
+			t.Weight = append(t.Weight, weight)
+			t.Score = append(t.Score, score)
+			t.State = append(t.State, stateOf(ci))
+			t.Observed = append(t.Observed, stateOf(ci))
+			t.Dummy = append(t.Dummy, false)
+			if parentLocal >= 0 {
+				t.Children[parentLocal] = append(t.Children[parentLocal], local)
+			}
+			for _, ch := range childIdx[ci] {
+				queue = append(queue, int(ch))
+			}
+		}
+		imputeStates(t)
+		rescore(t, cfg)
+		t.ScoreCfg = cfg
+		trees = append(trees, t)
+	}
+	return trees, nil
+}

@@ -1,0 +1,716 @@
+package cascade
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/diffusion"
+	"repro/internal/gen"
+	"repro/internal/sgraph"
+	"repro/internal/xrand"
+)
+
+func TestNewSnapshotValidation(t *testing.T) {
+	g := sgraph.NewBuilder(2).MustBuild()
+	if _, err := NewSnapshot(g, []sgraph.State{sgraph.StatePositive}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := NewSnapshot(g, []sgraph.State{sgraph.StatePositive, 5}); err == nil {
+		t.Error("invalid state should error")
+	}
+	if _, err := NewSnapshot(g, []sgraph.State{sgraph.StatePositive, sgraph.StateUnknown}); err != nil {
+		t.Errorf("valid snapshot rejected: %v", err)
+	}
+}
+
+func TestSnapshotInfected(t *testing.T) {
+	g := sgraph.NewBuilder(4).MustBuild()
+	snap, err := NewSnapshot(g, []sgraph.State{
+		sgraph.StatePositive, sgraph.StateInactive, sgraph.StateUnknown, sgraph.StateNegative,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := snap.Infected()
+	want := []int{0, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("Infected = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Infected = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestConfigScore(t *testing.T) {
+	cfg := Config{Alpha: 3}
+	pos, neg := sgraph.StatePositive, sgraph.StateNegative
+	tests := []struct {
+		name   string
+		sign   sgraph.Sign
+		w      float64
+		su, sv sgraph.State
+		want   float64
+	}{
+		{"consistent positive boosted", sgraph.Positive, 0.25, pos, pos, 0.75},
+		{"consistent positive capped", sgraph.Positive, 0.5, pos, pos, 1},
+		{"consistent negative unboosted", sgraph.Negative, 0.25, pos, neg, 0.25},
+		{"inconsistent floored", sgraph.Positive, 0.25, pos, neg, 1e-12},
+		{"inconsistent negative floored", sgraph.Negative, 0.25, pos, pos, 1e-12},
+		{"unknown target assumed consistent", sgraph.Positive, 0.25, pos, sgraph.StateUnknown, 0.75},
+		{"unknown source assumed consistent", sgraph.Positive, 0.25, sgraph.StateUnknown, neg, 0.75},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := cfg.Score(tt.sign, tt.w, tt.su, tt.sv); math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("Score = %g, want %g", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestConfigScoreRawMode(t *testing.T) {
+	cfg := Config{Alpha: 3, Mode: ModeRaw}
+	// Raw mode ignores signs, states and boosting.
+	if got := cfg.Score(sgraph.Positive, 0.25, sgraph.StatePositive, sgraph.StateNegative); got != 0.25 {
+		t.Errorf("raw Score = %g, want 0.25", got)
+	}
+	// Zero weights are floored for log-space safety.
+	if got := cfg.Score(sgraph.Negative, 0, sgraph.StatePositive, sgraph.StateNegative); got != 1e-12 {
+		t.Errorf("floored Score = %g, want 1e-12", got)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bads := []Config{
+		{Alpha: 0.5},
+		{Alpha: 1, InconsistentFloor: -1},
+		{Alpha: 1, InconsistentFloor: 2},
+		{Alpha: 1, WeightFloor: 2},
+		{Alpha: 1, RootScore: 5},
+	}
+	g := sgraph.NewBuilder(1).MustBuild()
+	snap, _ := NewSnapshot(g, []sgraph.State{sgraph.StatePositive})
+	for i, cfg := range bads {
+		if _, err := Extract(snap, cfg); err == nil {
+			t.Errorf("config %d should be rejected", i)
+		}
+	}
+}
+
+func TestExtractNoInfected(t *testing.T) {
+	g := sgraph.NewBuilder(3).MustBuild()
+	snap, _ := NewSnapshot(g, make([]sgraph.State, 3))
+	if _, err := Extract(snap, Config{Alpha: 3}); !errors.Is(err, ErrNoInfected) {
+		t.Errorf("err = %v, want ErrNoInfected", err)
+	}
+}
+
+// chainSnapshot builds the snapshot of a deterministic MFC run over a
+// weighted signed path graph.
+func chainSnapshot(t *testing.T) *Snapshot {
+	t.Helper()
+	// Diffusion chain 0 -+-> 1 --> 2 (neg) with an inactive node 3.
+	b := sgraph.NewBuilder(4)
+	b.AddEdge(0, 1, sgraph.Positive, 0.9)
+	b.AddEdge(1, 2, sgraph.Negative, 0.8)
+	b.AddEdge(2, 3, sgraph.Positive, 0.7)
+	g := b.MustBuild()
+	snap, err := NewSnapshot(g, []sgraph.State{
+		sgraph.StatePositive, sgraph.StatePositive, sgraph.StateNegative, sgraph.StateInactive,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+func TestExtractChain(t *testing.T) {
+	snap := chainSnapshot(t)
+	forest, err := Extract(snap, Config{Alpha: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forest.Components != 1 {
+		t.Errorf("components = %d, want 1", forest.Components)
+	}
+	if len(forest.Trees) != 1 {
+		t.Fatalf("trees = %d, want 1", len(forest.Trees))
+	}
+	tr := forest.Trees[0]
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 3 {
+		t.Errorf("tree size = %d, want 3 (node 3 inactive)", tr.Len())
+	}
+	if tr.Orig[0] != 0 {
+		t.Errorf("root orig = %d, want 0", tr.Orig[0])
+	}
+	// Edge 0->1 is positive and consistent: boosted to min(1, 3*0.9) = 1.
+	if tr.Score[1] != 1 {
+		t.Errorf("score[1] = %g, want 1", tr.Score[1])
+	}
+	// Edge 1->2 negative consistent: raw 0.8.
+	if math.Abs(tr.Score[2]-0.8) > 1e-12 {
+		t.Errorf("score[2] = %g, want 0.8", tr.Score[2])
+	}
+}
+
+func TestExtractSplitsComponents(t *testing.T) {
+	// Two infected islands separated by an inactive node.
+	b := sgraph.NewBuilder(5)
+	b.AddEdge(0, 1, sgraph.Positive, 0.5)
+	b.AddEdge(1, 2, sgraph.Positive, 0.5) // 2 inactive: excluded
+	b.AddEdge(2, 3, sgraph.Positive, 0.5)
+	b.AddEdge(3, 4, sgraph.Positive, 0.5)
+	g := b.MustBuild()
+	snap, _ := NewSnapshot(g, []sgraph.State{
+		sgraph.StatePositive, sgraph.StatePositive, sgraph.StateInactive,
+		sgraph.StatePositive, sgraph.StatePositive,
+	})
+	forest, err := Extract(snap, Config{Alpha: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forest.Components != 2 {
+		t.Errorf("components = %d, want 2", forest.Components)
+	}
+	if len(forest.Trees) != 2 {
+		t.Fatalf("trees = %d, want 2", len(forest.Trees))
+	}
+	if forest.Trees[0].Component == forest.Trees[1].Component {
+		t.Error("trees should belong to different components")
+	}
+}
+
+func TestExtractPositiveOnly(t *testing.T) {
+	// Infected pair joined only by a negative link: PositiveOnly must
+	// split them into two trees.
+	b := sgraph.NewBuilder(2)
+	b.AddEdge(0, 1, sgraph.Negative, 0.9)
+	g := b.MustBuild()
+	snap, _ := NewSnapshot(g, []sgraph.State{sgraph.StatePositive, sgraph.StateNegative})
+	forest, err := Extract(snap, Config{Alpha: 3, PositiveOnly: true, Mode: ModeRaw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(forest.Trees) != 2 {
+		t.Fatalf("PositiveOnly trees = %d, want 2", len(forest.Trees))
+	}
+	forestSigned, err := Extract(snap, Config{Alpha: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(forestSigned.Trees) != 1 {
+		t.Fatalf("signed trees = %d, want 1", len(forestSigned.Trees))
+	}
+}
+
+func TestExtractPrefersConsistentParent(t *testing.T) {
+	// Node 2 (state -1) has two potential activators: node 0 (+1) over a
+	// heavy positive link (inconsistent: would make 2 positive) and node
+	// 1 (+1) over a lighter negative link (consistent). Extraction must
+	// pick the consistent parent despite the lower raw weight.
+	b := sgraph.NewBuilder(3)
+	b.AddEdge(0, 2, sgraph.Positive, 0.9)
+	b.AddEdge(1, 2, sgraph.Negative, 0.1)
+	b.AddEdge(0, 1, sgraph.Positive, 0.5)
+	g := b.MustBuild()
+	snap, _ := NewSnapshot(g, []sgraph.State{
+		sgraph.StatePositive, sgraph.StatePositive, sgraph.StateNegative,
+	})
+	forest, err := Extract(snap, Config{Alpha: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(forest.Trees) != 1 {
+		t.Fatalf("trees = %d, want 1", len(forest.Trees))
+	}
+	tr := forest.Trees[0]
+	// find local ID of node 2 and check its parent is node 1
+	for v := 0; v < tr.Len(); v++ {
+		if tr.Orig[v] == 2 {
+			if p := tr.Parent[v]; p < 0 || tr.Orig[p] != 1 {
+				t.Errorf("node 2's parent = %v, want node 1", p)
+			}
+		}
+	}
+	// Raw mode ignores consistency and takes the heavy link instead.
+	rawForest, err := Extract(snap, Config{Alpha: 3, Mode: ModeRaw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr = rawForest.Trees[0]
+	for v := 0; v < tr.Len(); v++ {
+		if tr.Orig[v] == 2 {
+			if p := tr.Parent[v]; p < 0 || tr.Orig[p] != 0 {
+				t.Errorf("raw mode: node 2's parent = %v, want node 0", p)
+			}
+		}
+	}
+}
+
+func TestImputeUnknownStates(t *testing.T) {
+	// Chain with unknown middle node: imputed from parent and link sign.
+	b := sgraph.NewBuilder(3)
+	b.AddEdge(0, 1, sgraph.Negative, 0.9)
+	b.AddEdge(1, 2, sgraph.Positive, 0.9)
+	g := b.MustBuild()
+	snap, _ := NewSnapshot(g, []sgraph.State{
+		sgraph.StatePositive, sgraph.StateUnknown, sgraph.StateNegative,
+	})
+	forest, err := Extract(snap, Config{Alpha: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := forest.Trees[0]
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < tr.Len(); v++ {
+		if tr.Orig[v] == 1 {
+			if tr.State[v] != sgraph.StateNegative {
+				t.Errorf("imputed state = %v, want -1 (via negative link from +1)", tr.State[v])
+			}
+			if tr.Observed[v] != sgraph.StateUnknown {
+				t.Errorf("observed state = %v, want ?", tr.Observed[v])
+			}
+		}
+	}
+}
+
+func TestImputeUnknownRootMajorityVote(t *testing.T) {
+	// Root unknown with two children observed -1 over positive links:
+	// majority vote should impute the root as -1.
+	b := sgraph.NewBuilder(3)
+	b.AddEdge(0, 1, sgraph.Positive, 0.9)
+	b.AddEdge(0, 2, sgraph.Positive, 0.9)
+	g := b.MustBuild()
+	snap, _ := NewSnapshot(g, []sgraph.State{
+		sgraph.StateUnknown, sgraph.StateNegative, sgraph.StateNegative,
+	})
+	forest, err := Extract(snap, Config{Alpha: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := forest.Trees[0]
+	if tr.Orig[0] != 0 {
+		t.Fatalf("root orig = %d, want 0", tr.Orig[0])
+	}
+	if tr.State[0] != sgraph.StateNegative {
+		t.Errorf("imputed root state = %v, want -1", tr.State[0])
+	}
+}
+
+func TestExtractOnSimulatedCascades(t *testing.T) {
+	// Property: for any MFC run, extraction yields valid trees that
+	// exactly cover the infected nodes, with each tree in one component.
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		g, err := gen.PreferentialAttachment(gen.Config{
+			Nodes: 200, Edges: 1000, PositiveRatio: 0.8,
+		}, rng)
+		if err != nil {
+			return false
+		}
+		dif := g.Reverse()
+		seeds, states, err := diffusion.SampleInitiators(dif.NumNodes(), 5, 0.5, rng)
+		if err != nil {
+			return false
+		}
+		c, err := diffusion.MFC(dif, seeds, states, diffusion.MFCConfig{Alpha: 3}, rng)
+		if err != nil {
+			return false
+		}
+		snap, err := NewSnapshot(dif, c.States)
+		if err != nil {
+			return false
+		}
+		forest, err := Extract(snap, Config{Alpha: 3})
+		if err != nil {
+			return false
+		}
+		covered := make(map[int]bool)
+		for _, tr := range forest.Trees {
+			if tr.Validate() != nil {
+				return false
+			}
+			for v := 0; v < tr.Len(); v++ {
+				if tr.Dummy[v] {
+					return false // Extract never creates dummies
+				}
+				if covered[tr.Orig[v]] {
+					return false // node in two trees
+				}
+				covered[tr.Orig[v]] = true
+			}
+		}
+		infected := snap.Infected()
+		if len(covered) != len(infected) {
+			return false
+		}
+		for _, v := range infected {
+			if !covered[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExtractOpensMinimumRoots(t *testing.T) {
+	// The log-space forest with a harshly negative root score opens the
+	// minimum number of roots. The ground-truth first-activation forest
+	// (one root per seed) is always a feasible spanning forest of the
+	// infected subgraph, so the extraction can never need MORE trees than
+	// there were seeds.
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		g, err := gen.PreferentialAttachment(gen.Config{
+			Nodes: 250, Edges: 1250, PositiveRatio: 0.8,
+		}, rng)
+		if err != nil {
+			return false
+		}
+		dif := g.Reverse()
+		seeds, states, err := diffusion.SampleInitiators(dif.NumNodes(), 8, 0.5, rng)
+		if err != nil {
+			return false
+		}
+		c, err := diffusion.MFC(dif, seeds, states, diffusion.MFCConfig{Alpha: 3}, rng)
+		if err != nil {
+			return false
+		}
+		snap, err := NewSnapshot(dif, c.States)
+		if err != nil {
+			return false
+		}
+		forest, err := Extract(snap, Config{Alpha: 3})
+		if err != nil {
+			return false
+		}
+		return len(forest.Trees) <= len(seeds)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestForestStats(t *testing.T) {
+	// Two infected islands: a 3-node chain and a singleton.
+	b := sgraph.NewBuilder(5)
+	b.AddEdge(0, 1, sgraph.Positive, 0.5)
+	b.AddEdge(1, 2, sgraph.Negative, 0.5)
+	g := b.MustBuild()
+	snap, _ := NewSnapshot(g, []sgraph.State{
+		sgraph.StatePositive, sgraph.StatePositive, sgraph.StateNegative,
+		sgraph.StateInactive, sgraph.StatePositive,
+	})
+	forest, err := Extract(snap, Config{Alpha: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := forest.Stats()
+	if st.Trees != 2 || st.Components != 2 {
+		t.Errorf("trees/components = %d/%d, want 2/2", st.Trees, st.Components)
+	}
+	if st.Nodes != 4 || st.LargestTree != 3 || st.MaxDepth != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.SingletonTrees != 1 || st.MultiNodeTrees != 1 {
+		t.Errorf("singleton/multi = %d/%d", st.SingletonTrees, st.MultiNodeTrees)
+	}
+	if st.MeanTreeSize != 2 {
+		t.Errorf("mean tree size = %g", st.MeanTreeSize)
+	}
+	if st.InconsistentEdges != 0 {
+		t.Errorf("inconsistent edges = %d, want 0", st.InconsistentEdges)
+	}
+}
+
+func TestForestStatsCountsInconsistentEdges(t *testing.T) {
+	// A +1 -> +1 pair over a negative link: the only candidate activation
+	// link is inconsistent.
+	b := sgraph.NewBuilder(2)
+	b.AddEdge(0, 1, sgraph.Negative, 0.5)
+	g := b.MustBuild()
+	snap, _ := NewSnapshot(g, []sgraph.State{sgraph.StatePositive, sgraph.StatePositive})
+	forest, err := Extract(snap, Config{Alpha: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := forest.Stats(); st.InconsistentEdges != 1 {
+		t.Errorf("inconsistent edges = %d, want 1", st.InconsistentEdges)
+	}
+}
+
+func TestTreeMetrics(t *testing.T) {
+	snap := chainSnapshot(t)
+	forest, err := Extract(snap, Config{Alpha: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := forest.Trees[0]
+	if tr.Root() != 0 {
+		t.Errorf("Root = %d, want 0", tr.Root())
+	}
+	if tr.Depth() != 2 {
+		t.Errorf("Depth = %d, want 2", tr.Depth())
+	}
+	if tr.MaxFanout() != 1 {
+		t.Errorf("MaxFanout = %d, want 1", tr.MaxFanout())
+	}
+	if tr.NumReal() != 3 {
+		t.Errorf("NumReal = %d, want 3", tr.NumReal())
+	}
+	wantLL := math.Log(1) + math.Log(0.8)
+	if math.Abs(tr.LogLikelihood()-wantLL) > 1e-9 {
+		t.Errorf("LogLikelihood = %g, want %g", tr.LogLikelihood(), wantLL)
+	}
+}
+
+func buildWideTree(t *testing.T, fanout int) *Tree {
+	t.Helper()
+	// Star: root with `fanout` children, distinct weights.
+	b := sgraph.NewBuilder(fanout + 1)
+	for i := 1; i <= fanout; i++ {
+		b.AddEdge(0, i, sgraph.Positive, float64(i)/float64(4*fanout))
+	}
+	g := b.MustBuild()
+	states := make([]sgraph.State, fanout+1)
+	for i := range states {
+		states[i] = sgraph.StatePositive
+	}
+	snap, err := NewSnapshot(g, states)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forest, err := Extract(snap, Config{Alpha: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(forest.Trees) != 1 {
+		t.Fatalf("trees = %d, want 1", len(forest.Trees))
+	}
+	return forest.Trees[0]
+}
+
+func TestBinarize(t *testing.T) {
+	tr := buildWideTree(t, 7)
+	bt := tr.Binarize()
+	if err := bt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if bt.MaxFanout() > 2 {
+		t.Errorf("binarized fanout = %d", bt.MaxFanout())
+	}
+	if bt.NumReal() != tr.NumReal() {
+		t.Errorf("real nodes = %d, want %d", bt.NumReal(), tr.NumReal())
+	}
+	// Path products from root to each real node must be preserved.
+	prods := func(x *Tree) map[int]float64 {
+		out := make(map[int]float64)
+		prod := make([]float64, x.Len())
+		prod[0] = 1
+		for v := 1; v < x.Len(); v++ {
+			prod[v] = prod[x.Parent[v]] * x.Score[v]
+			if !x.Dummy[v] {
+				out[x.Orig[v]] = prod[v]
+			}
+		}
+		return out
+	}
+	a, bp := prods(tr), prods(bt)
+	for k, v := range a {
+		if math.Abs(bp[k]-v) > 1e-12 {
+			t.Errorf("path product to %d changed: %g vs %g", k, v, bp[k])
+		}
+	}
+	// Dummies carry score 1 and orig -1.
+	for v := 0; v < bt.Len(); v++ {
+		if bt.Dummy[v] && (bt.Score[v] != 1 || bt.Orig[v] != -1) {
+			t.Errorf("dummy %d score/orig = %g/%d", v, bt.Score[v], bt.Orig[v])
+		}
+	}
+}
+
+func TestBinarizeAlreadyBinary(t *testing.T) {
+	tr := buildWideTree(t, 2)
+	if bt := tr.Binarize(); bt != tr {
+		t.Error("binary tree should be returned unchanged")
+	}
+}
+
+func TestBinarizeLargeFanoutDepth(t *testing.T) {
+	tr := buildWideTree(t, 64)
+	bt := tr.Binarize()
+	if bt.MaxFanout() > 2 {
+		t.Fatalf("fanout = %d", bt.MaxFanout())
+	}
+	// A balanced relay over 64 children should stay near log2(64) deep.
+	if d := bt.Depth(); d > 8 {
+		t.Errorf("binarized depth = %d, want <= 8", d)
+	}
+	// Real node set preserved.
+	var orig []int
+	for v := 0; v < bt.Len(); v++ {
+		if !bt.Dummy[v] {
+			orig = append(orig, bt.Orig[v])
+		}
+	}
+	sort.Ints(orig)
+	for i, v := range orig {
+		if i != v {
+			t.Fatalf("real node set corrupted: %v", orig[:i+1])
+		}
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	tr := buildWideTree(t, 3)
+	tr.Parent[0] = 2
+	if tr.Validate() == nil {
+		t.Error("root with parent should fail validation")
+	}
+	tr = buildWideTree(t, 3)
+	tr.Score[1] = 0
+	if tr.Validate() == nil {
+		t.Error("zero score should fail validation")
+	}
+	tr = buildWideTree(t, 3)
+	tr.State[2] = sgraph.StateUnknown
+	if tr.Validate() == nil {
+		t.Error("unknown state should fail validation")
+	}
+}
+
+func TestNewSnapshotWithRoundsValidation(t *testing.T) {
+	b := sgraph.NewBuilder(2)
+	b.AddEdge(0, 1, sgraph.Positive, 0.5)
+	g := b.MustBuild()
+	states := []sgraph.State{sgraph.StatePositive, sgraph.StateInactive}
+	if _, err := NewSnapshotWithRounds(g, states, []int32{0}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := NewSnapshotWithRounds(g, states, []int32{-2, -1}); err == nil {
+		t.Error("round < -1 should error")
+	}
+	if _, err := NewSnapshotWithRounds(g, states, []int32{0, 3}); err == nil {
+		t.Error("inactive node with round should error")
+	}
+	if _, err := NewSnapshotWithRounds(g, states, []int32{0, -1}); err != nil {
+		t.Errorf("valid rounds rejected: %v", err)
+	}
+}
+
+func TestExtractRespectsTimestamps(t *testing.T) {
+	// Chain 0 -> 1 -> 2 all infected +1, but node 0 is KNOWN to have been
+	// infected after node 1: the edge 0->1 is inadmissible, so node 1
+	// must become a root.
+	b := sgraph.NewBuilder(3)
+	b.AddEdge(0, 1, sgraph.Positive, 0.9)
+	b.AddEdge(1, 2, sgraph.Positive, 0.9)
+	g := b.MustBuild()
+	states := []sgraph.State{sgraph.StatePositive, sgraph.StatePositive, sgraph.StatePositive}
+	snap, err := NewSnapshotWithRounds(g, states, []int32{5, 0, -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	forest, err := Extract(snap, Config{Alpha: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(forest.Trees) != 2 {
+		t.Fatalf("trees = %d, want 2 (node 0 and node 1 both roots)", len(forest.Trees))
+	}
+	roots := map[int]bool{}
+	for _, tr := range forest.Trees {
+		roots[tr.Orig[0]] = true
+	}
+	if !roots[0] || !roots[1] {
+		t.Errorf("roots = %v, want {0,1}", roots)
+	}
+	// Without timestamps the chain stays one tree.
+	plain, err := NewSnapshot(g, states)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forest, err = Extract(plain, Config{Alpha: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(forest.Trees) != 1 {
+		t.Errorf("untimed trees = %d, want 1", len(forest.Trees))
+	}
+}
+
+func TestExtractEqualRoundsInadmissible(t *testing.T) {
+	// Two seeds infected at round 0 with a link between them: neither can
+	// have activated the other.
+	b := sgraph.NewBuilder(2)
+	b.AddEdge(0, 1, sgraph.Positive, 0.9)
+	g := b.MustBuild()
+	states := []sgraph.State{sgraph.StatePositive, sgraph.StatePositive}
+	snap, err := NewSnapshotWithRounds(g, states, []int32{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	forest, err := Extract(snap, Config{Alpha: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(forest.Trees) != 2 {
+		t.Errorf("trees = %d, want 2", len(forest.Trees))
+	}
+}
+
+func TestTimingNeverReducesTreeCount(t *testing.T) {
+	// Pruning candidate edges can only force MORE roots, never fewer.
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		g, err := gen.PreferentialAttachment(gen.Config{
+			Nodes: 200, Edges: 1000, PositiveRatio: 0.8,
+		}, rng)
+		if err != nil {
+			return false
+		}
+		dif := g.Reverse()
+		seeds, states, err := diffusion.SampleInitiators(dif.NumNodes(), 6, 0.5, rng)
+		if err != nil {
+			return false
+		}
+		c, err := diffusion.MFC(dif, seeds, states, diffusion.MFCConfig{Alpha: 3}, rng)
+		if err != nil {
+			return false
+		}
+		plain, err := NewSnapshot(dif, c.States)
+		if err != nil {
+			return false
+		}
+		rounds := diffusion.SampleRounds(c, 0.5, rng)
+		timed, err := NewSnapshotWithRounds(dif, c.States, rounds)
+		if err != nil {
+			return false
+		}
+		fp, err := Extract(plain, Config{Alpha: 3})
+		if err != nil {
+			return false
+		}
+		ft, err := Extract(timed, Config{Alpha: 3})
+		if err != nil {
+			return false
+		}
+		return len(ft.Trees) >= len(fp.Trees)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,264 @@
+package cascade
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sgraph"
+)
+
+// Tree is one signed infected cascade tree (Definition 7), stored with
+// dense local node IDs assigned in BFS order so that local 0 is always the
+// root and parents precede children. Per-node slices are indexed by local
+// ID; edge attributes (Sign, Weight, Score) describe the link from
+// Parent[v] to v and are meaningless at the root.
+type Tree struct {
+	// Component is the index of the infected connected component this
+	// tree was extracted from.
+	Component int
+	// Orig maps local IDs to original diffusion-network node IDs. Dummy
+	// nodes introduced by Binarize have Orig = -1.
+	Orig []int
+	// Parent holds local parent IDs, -1 at the root.
+	Parent []int32
+	// Children holds local child IDs, in insertion order.
+	Children [][]int32
+	// Sign and Weight are the diffusion link attributes of the in-edge.
+	Sign   []sgraph.Sign
+	Weight []float64
+	// Score is the g(·) value of the in-edge after state imputation.
+	Score []float64
+	// State is the imputed (concrete) state of every node; Observed keeps
+	// the original observation, which may be StateUnknown.
+	State    []sgraph.State
+	Observed []sgraph.State
+	// Dummy marks relay nodes added by Binarize; they carry Score 1,
+	// never count toward objectives, and cannot be initiators.
+	Dummy []bool
+	// ScoreCfg is the extraction configuration the Score values were
+	// computed with; solvers that re-score edges under alternative state
+	// assumptions (the ±1 initiator branch of the budgeted DP) use it.
+	ScoreCfg Config
+}
+
+// FlipScore returns the g score of v's in-edge if its parent held the
+// opposite of state parentState — i.e. with the edge's consistency
+// inverted. Used by the budgeted DP's ±1 initiator-state branch.
+func (t *Tree) FlipScore(v int, parentState sgraph.State) float64 {
+	flipped := sgraph.StateNegative
+	if parentState == sgraph.StateNegative {
+		flipped = sgraph.StatePositive
+	}
+	return t.ScoreCfg.Score(t.Sign[v], t.Weight[v], flipped, t.State[v])
+}
+
+// Len returns the number of nodes, including dummies.
+func (t *Tree) Len() int { return len(t.Orig) }
+
+// NumReal returns the number of non-dummy nodes.
+func (t *Tree) NumReal() int {
+	n := 0
+	for _, d := range t.Dummy {
+		if !d {
+			n++
+		}
+	}
+	return n
+}
+
+// Root returns the local root ID (always 0).
+func (t *Tree) Root() int { return 0 }
+
+// LogLikelihood returns Σ log Score over all non-root edges — the log of
+// the paper's tree likelihood L(T) = Π w(u,v) with the configured scoring.
+func (t *Tree) LogLikelihood() float64 {
+	var sum float64
+	for v := 1; v < t.Len(); v++ {
+		sum += math.Log(t.Score[v])
+	}
+	return sum
+}
+
+// MaxFanout returns the largest number of children of any node.
+func (t *Tree) MaxFanout() int {
+	m := 0
+	for _, ch := range t.Children {
+		if len(ch) > m {
+			m = len(ch)
+		}
+	}
+	return m
+}
+
+// Depth returns the number of edges on the longest root-to-leaf path.
+func (t *Tree) Depth() int {
+	depth := make([]int, t.Len())
+	max := 0
+	for v := 1; v < t.Len(); v++ { // BFS order: parent before child
+		depth[v] = depth[t.Parent[v]] + 1
+		if depth[v] > max {
+			max = depth[v]
+		}
+	}
+	return max
+}
+
+// Validate checks the structural invariants and returns the first
+// violation. Used by tests and defensive call sites.
+func (t *Tree) Validate() error {
+	n := t.Len()
+	if n == 0 {
+		return fmt.Errorf("cascade: empty tree")
+	}
+	for _, s := range [][]int{
+		{len(t.Parent)}, {len(t.Children)}, {len(t.Sign)}, {len(t.Weight)},
+		{len(t.Score)}, {len(t.State)}, {len(t.Observed)}, {len(t.Dummy)},
+	} {
+		if s[0] != n {
+			return fmt.Errorf("cascade: slice length mismatch (%d vs %d nodes)", s[0], n)
+		}
+	}
+	if t.Parent[0] != -1 {
+		return fmt.Errorf("cascade: root has parent %d", t.Parent[0])
+	}
+	for v := 1; v < n; v++ {
+		p := t.Parent[v]
+		if p < 0 || int(p) >= v {
+			return fmt.Errorf("cascade: node %d parent %d violates BFS order", v, p)
+		}
+		found := false
+		for _, c := range t.Children[p] {
+			if int(c) == v {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("cascade: node %d missing from parent %d children", v, p)
+		}
+		if t.Score[v] <= 0 || t.Score[v] > 1 {
+			return fmt.Errorf("cascade: node %d score %g out of (0,1]", v, t.Score[v])
+		}
+	}
+	for v := 0; v < n; v++ {
+		if !t.State[v].Active() {
+			return fmt.Errorf("cascade: node %d has non-concrete state %v", v, t.State[v])
+		}
+		if t.Dummy[v] && t.Orig[v] != -1 {
+			return fmt.Errorf("cascade: dummy node %d has original ID %d", v, t.Orig[v])
+		}
+	}
+	return nil
+}
+
+// imputeStates replaces StateUnknown with concrete states: an unknown root
+// takes the state consistent with the majority of its observed children;
+// every other unknown node takes the state its in-edge would propagate
+// (s(v) = s(parent) * s(parent, v)), exactly the assumption the extraction
+// scoring makes.
+func imputeStates(t *Tree) {
+	if t.State[0] == sgraph.StateUnknown {
+		votePos, voteNeg := 0, 0
+		for _, c := range t.Children[0] {
+			cs := t.Observed[c]
+			if !cs.Active() {
+				continue
+			}
+			if sgraph.StateOf(sgraph.StatePositive, t.Sign[c]) == cs {
+				votePos++
+			} else {
+				voteNeg++
+			}
+		}
+		if voteNeg > votePos {
+			t.State[0] = sgraph.StateNegative
+		} else {
+			t.State[0] = sgraph.StatePositive
+		}
+	}
+	for v := 1; v < t.Len(); v++ { // parents precede children
+		if t.State[v] == sgraph.StateUnknown {
+			t.State[v] = sgraph.StateOf(t.State[t.Parent[v]], t.Sign[v])
+		}
+	}
+}
+
+// rescore recomputes edge scores from the imputed (concrete) states.
+func rescore(t *Tree, cfg Config) {
+	for v := 1; v < t.Len(); v++ {
+		t.Score[v] = cfg.Score(t.Sign[v], t.Weight[v], t.State[t.Parent[v]], t.State[v])
+	}
+}
+
+// Binarize returns an equivalent tree with fan-out at most 2, inserting
+// dummy relay nodes per the paper's Figure 3 transformation: a node with c
+// children gets a balanced binary relay of dummies above them. Dummy
+// in-edges carry Score 1 (log 0), so path products — and therefore the DP
+// objective — are unchanged; dummies are excluded from objectives and can
+// never be initiators. If the tree is already binary the receiver is
+// returned unchanged.
+func (t *Tree) Binarize() *Tree {
+	if t.MaxFanout() <= 2 {
+		return t
+	}
+	nb := &Tree{Component: t.Component, ScoreCfg: t.ScoreCfg}
+	// appendNode adds one node and returns its local ID.
+	appendNode := func(orig int, parent int32, sign sgraph.Sign, w, score float64, state, observed sgraph.State, dummy bool) int32 {
+		id := int32(len(nb.Orig))
+		nb.Orig = append(nb.Orig, orig)
+		nb.Parent = append(nb.Parent, parent)
+		nb.Children = append(nb.Children, nil)
+		nb.Sign = append(nb.Sign, sign)
+		nb.Weight = append(nb.Weight, w)
+		nb.Score = append(nb.Score, score)
+		nb.State = append(nb.State, state)
+		nb.Observed = append(nb.Observed, observed)
+		nb.Dummy = append(nb.Dummy, dummy)
+		if parent >= 0 {
+			nb.Children[parent] = append(nb.Children[parent], id)
+		}
+		return id
+	}
+	// BFS over the original tree; work items attach an original subtree
+	// root under a new parent.
+	type item struct {
+		origNode int32
+		newPar   int32
+	}
+	queue := make([]item, 0, t.Len())
+	queue = append(queue, item{0, -1})
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		v := it.origNode
+		var sign sgraph.Sign
+		var w, score float64
+		if it.newPar >= 0 {
+			sign, w, score = t.Sign[v], t.Weight[v], t.Score[v]
+		}
+		id := appendNode(t.Orig[v], it.newPar, sign, w, score, t.State[v], t.Observed[v], t.Dummy[v])
+		// Attach children through a balanced dummy relay.
+		var attach func(children []int32, parent int32)
+		attach = func(children []int32, parent int32) {
+			switch {
+			case len(children) == 0:
+			case len(children) <= 2:
+				for _, c := range children {
+					queue = append(queue, item{c, parent})
+				}
+			default:
+				half := (len(children) + 1) / 2
+				for _, group := range [][]int32{children[:half], children[half:]} {
+					if len(group) == 1 {
+						queue = append(queue, item{group[0], parent})
+						continue
+					}
+					d := appendNode(-1, parent, sgraph.Positive, 1, 1, t.State[v], t.State[v], true)
+					attach(group, d)
+				}
+			}
+		}
+		attach(t.Children[v], id)
+	}
+	return nb
+}

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/cascade"
+	"repro/internal/isomit"
+	"repro/internal/sgraph"
+)
+
+// Objective selects the per-tree score RID optimizes.
+type Objective int
+
+const (
+	// ObjectiveLocal scores each non-initiator node with the MFC
+	// activation probability of its own in-edge conditional on its parent
+	// (the paper's P(u,s(u)|I,S) for a one-hop path). This Markov form is
+	// scale-free in tree depth and gives β its paper semantics on [0, 1]:
+	// β = 0 shatters trees, β = 1 keeps them whole. The default.
+	ObjectiveLocal Objective = iota
+	// ObjectivePartition is the literal path-product partition objective
+	// of Section III-E3: a governed node contributes the product of g
+	// scores from its nearest initiator ancestor. Exact via
+	// isomit.SolvePenalized; kept for faithfulness and ablations. Note
+	// that compound products decay with depth, so the β range with real
+	// weights sits well above [0, 1].
+	ObjectivePartition
+)
+
+// RIDConfig parameterizes the RID detector.
+type RIDConfig struct {
+	// Alpha is the MFC asymmetric boosting coefficient used when scoring
+	// candidate activation links; must be >= 1. The paper's experiments
+	// use 3.
+	Alpha float64
+	// Beta is the per-extra-initiator penalty β of Section III-E3. The
+	// paper evaluates 0.09 and 0.1 and sweeps [0, 1].
+	Beta float64
+	// Objective selects the per-tree score; see Objective. Zero value is
+	// ObjectiveLocal.
+	Objective Objective
+	// UseBudgetDP switches per-tree inference from the exact penalized DP
+	// to the paper's literal procedure: binarize the tree (Figure 3) and
+	// search k incrementally with the k-ISOMIT-BT DP (Section III-D),
+	// stopping when the objective stops improving. Slower and — because
+	// the incremental stop is a heuristic — occasionally worse; kept for
+	// faithfulness and for the ablation benches.
+	UseBudgetDP bool
+	// BranchStates enables the paper's full three-case recursion in the
+	// budget DP: initiators may assume either ±1 state, with
+	// contradicting observations scored 0 and out-edges re-scored. Only
+	// meaningful with UseBudgetDP.
+	BranchStates bool
+	// MaxBudgetTreeSize skips the budget DP on trees larger than this
+	// and falls back to the penalized DP (the budget DP is quadratic in
+	// the number of initiators, which the partition objective drives
+	// toward O(tree size)). Zero defaults to 128. Only relevant with
+	// UseBudgetDP.
+	MaxBudgetTreeSize int
+	// Extraction overrides advanced forest-extraction knobs. Alpha, Mode
+	// and PositiveOnly are controlled by RID itself and ignored here.
+	Extraction cascade.Config
+	// Penalty overrides advanced penalized-DP knobs; Beta is taken from
+	// the field above.
+	Penalty isomit.PenaltyConfig
+}
+
+func (c RIDConfig) withDefaults() RIDConfig {
+	if c.Alpha == 0 {
+		c.Alpha = 3
+	}
+	if c.MaxBudgetTreeSize == 0 {
+		c.MaxBudgetTreeSize = 128
+	}
+	return c
+}
+
+// RID is the paper's Rumor Initiator Detector: infected connected
+// components → maximum-likelihood cascade forest → per-tree dynamic
+// programming with the β penalty → initiator identities and states.
+type RID struct {
+	cfg RIDConfig
+}
+
+// NewRID validates the configuration and returns the detector.
+func NewRID(cfg RIDConfig) (*RID, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Alpha < 1 {
+		return nil, fmt.Errorf("core: Alpha must be >= 1, got %g", cfg.Alpha)
+	}
+	if cfg.Beta < 0 {
+		return nil, fmt.Errorf("core: Beta must be non-negative, got %g", cfg.Beta)
+	}
+	return &RID{cfg: cfg}, nil
+}
+
+// Name implements Detector.
+func (r *RID) Name() string { return fmt.Sprintf("RID(%g)", r.cfg.Beta) }
+
+// Detect implements Detector.
+func (r *RID) Detect(snap *cascade.Snapshot) (*Detection, error) {
+	forest, err := r.Extract(snap)
+	if err != nil {
+		return nil, err
+	}
+	return r.DetectForest(forest)
+}
+
+// Extract runs the β-independent half of the pipeline — infected component
+// detection and cascade-forest extraction — so callers sweeping β (or
+// comparing objectives) can pay for it once and call DetectForest per
+// setting.
+func (r *RID) Extract(snap *cascade.Snapshot) (*cascade.Forest, error) {
+	ext := r.cfg.Extraction
+	ext.Alpha = r.cfg.Alpha
+	ext.Mode = cascade.ModeBoosted
+	ext.PositiveOnly = false
+	return cascade.Extract(snap, ext)
+}
+
+// DetectForest runs per-tree initiator inference over an already-extracted
+// forest. The forest must come from Extract on a RID with the same Alpha
+// and Extraction settings; the per-tree solvers only read β and the
+// objective from this detector.
+func (r *RID) DetectForest(forest *cascade.Forest) (*Detection, error) {
+	det := &Detection{Trees: len(forest.Trees), Components: forest.Components}
+	for _, tree := range forest.Trees {
+		res, solved, err := r.solveTree(tree)
+		if err != nil {
+			return nil, err
+		}
+		det.Initiators = append(det.Initiators, res.Initiators...)
+		det.States = append(det.States, res.States...)
+		// res.Local indexes the tree the solver actually ran on (possibly
+		// the binarized transform).
+		for _, local := range res.Local {
+			if local == solved.Root() {
+				// A root has no candidate activator at all: certain.
+				det.Confidence = append(det.Confidence, 1)
+			} else {
+				// A cut point's confidence is the improbability of the
+				// activation link it severs.
+				det.Confidence = append(det.Confidence, 1-solved.Score[local])
+			}
+		}
+	}
+	sortDetection(det)
+	return det, nil
+}
+
+// solveTree runs the configured per-tree solver and also returns the tree
+// the result's local IDs refer to (the binarized transform for the budget
+// DP, the input tree otherwise).
+func (r *RID) solveTree(tree *cascade.Tree) (*isomit.Result, *cascade.Tree, error) {
+	if r.cfg.Objective == ObjectiveLocal {
+		lambda := 0.0 // default: −log of the extraction inconsistency floor
+		if f := r.cfg.Extraction.InconsistentFloor; f > 0 {
+			lambda = -math.Log(f)
+		}
+		res, err := isomit.SolveLocal(tree, r.cfg.Beta, lambda)
+		return res, tree, err
+	}
+	if r.cfg.UseBudgetDP && tree.Len() <= r.cfg.MaxBudgetTreeSize {
+		bin := tree.Binarize()
+		var (
+			res *isomit.Result
+			err error
+		)
+		if r.cfg.BranchStates {
+			res, err = isomit.SolveAutoStates(bin, r.cfg.Beta)
+		} else {
+			res, err = isomit.SolveAuto(bin, r.cfg.Beta)
+		}
+		return res, bin, err
+	}
+	pen := r.cfg.Penalty
+	pen.Beta = r.cfg.Beta
+	res, err := isomit.SolvePenalized(tree, pen)
+	return res, tree, err
+}
+
+// sortDetection orders initiators ascending, keeping the parallel slices
+// aligned.
+func sortDetection(det *Detection) {
+	if len(det.States) != 0 && len(det.States) != len(det.Initiators) {
+		panic("core: states misaligned with initiators")
+	}
+	if len(det.Confidence) != 0 && len(det.Confidence) != len(det.Initiators) {
+		panic("core: confidence misaligned with initiators")
+	}
+	idx := make([]int, len(det.Initiators))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return det.Initiators[idx[a]] < det.Initiators[idx[b]] })
+	ini := make([]int, len(idx))
+	var sts []sgraph.State
+	if det.States != nil {
+		sts = make([]sgraph.State, len(idx))
+	}
+	var conf []float64
+	if det.Confidence != nil {
+		conf = make([]float64, len(idx))
+	}
+	for i, j := range idx {
+		ini[i] = det.Initiators[j]
+		if sts != nil {
+			sts[i] = det.States[j]
+		}
+		if conf != nil {
+			conf[i] = det.Confidence[j]
+		}
+	}
+	det.Initiators = ini
+	det.States = sts
+	det.Confidence = conf
+}

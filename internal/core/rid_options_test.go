@@ -1,0 +1,118 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cascade"
+	"repro/internal/isomit"
+	"repro/internal/metrics"
+)
+
+func TestRIDExtractionOverrides(t *testing.T) {
+	sim := simulate(t, 61, 1000, 6000, 20)
+	// A custom inconsistency floor changes the local objective's lambda
+	// and hence the effective threshold; the detector must still work and
+	// respect the override.
+	rid, err := NewRID(RIDConfig{
+		Alpha: 3, Beta: 0.5,
+		Extraction: cascade.Config{InconsistentFloor: 1e-6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := rid.Detect(sim.snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(det.Initiators) == 0 {
+		t.Fatal("override broke detection")
+	}
+	// RID ignores attempts to override the fields it owns.
+	rid2, err := NewRID(RIDConfig{
+		Alpha: 3, Beta: 0.5,
+		Extraction: cascade.Config{Mode: cascade.ModeRaw, PositiveOnly: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det2, err := rid2.Detect(sim.snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := mustRID(t, 0.5).Detect(sim.snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(det2.Initiators) != len(base.Initiators) {
+		t.Errorf("owned-field override changed detection: %d vs %d",
+			len(det2.Initiators), len(base.Initiators))
+	}
+}
+
+func TestRIDPenaltyOverrides(t *testing.T) {
+	sim := simulate(t, 62, 800, 4800, 15)
+	rid, err := NewRID(RIDConfig{
+		Alpha: 3, Beta: 0.5, Objective: ObjectivePartition,
+		Penalty: isomit.PenaltyConfig{MaxAncestors: 8, QMin: 1e-9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := rid.Detect(sim.snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(det.Initiators) == 0 {
+		t.Fatal("penalty override broke detection")
+	}
+}
+
+func TestRIDBudgetFallbackOnLargeTrees(t *testing.T) {
+	// With MaxBudgetTreeSize 1, every tree falls back to the penalized
+	// DP; the detector must still return a sensible result.
+	sim := simulate(t, 63, 800, 4800, 15)
+	rid, err := NewRID(RIDConfig{
+		Alpha: 3, Beta: 0.5, Objective: ObjectivePartition,
+		UseBudgetDP: true, MaxBudgetTreeSize: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := rid.Detect(sim.snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pen, err := NewRID(RIDConfig{Alpha: 3, Beta: 0.5, Objective: ObjectivePartition})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := pen.Detect(sim.snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(det.Initiators) != len(base.Initiators) {
+		t.Errorf("fallback path diverged: %d vs %d", len(det.Initiators), len(base.Initiators))
+	}
+}
+
+func TestRIDBranchStatesVariant(t *testing.T) {
+	sim := simulate(t, 64, 600, 3600, 10)
+	rid, err := NewRID(RIDConfig{
+		Alpha: 3, Beta: 0.3, Objective: ObjectivePartition,
+		UseBudgetDP: true, BranchStates: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := rid.Detect(sim.snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := metrics.EvalIdentity(det.Initiators, sim.seeds)
+	if id.F1 == 0 {
+		t.Error("state-branching variant found nothing")
+	}
+	if len(det.States) != len(det.Initiators) {
+		t.Error("states misaligned")
+	}
+}

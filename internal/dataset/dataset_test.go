@@ -1,0 +1,128 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/sgraph"
+	"repro/internal/xrand"
+)
+
+const sampleSNAP = `# Directed signed network
+# FromNodeId	ToNodeId	Sign
+10	20	1
+20	30	-1
+10	30	1
+10	10	1
+10	20	-1
+`
+
+func TestParseSNAP(t *testing.T) {
+	g, err := ParseSNAP(strings.NewReader(sampleSNAP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 {
+		t.Errorf("nodes = %d, want 3 (dense IDs)", g.NumNodes())
+	}
+	// Self-loop and duplicate dropped.
+	if g.NumEdges() != 3 {
+		t.Errorf("edges = %d, want 3", g.NumEdges())
+	}
+	// 10 -> 0, 20 -> 1, 30 -> 2 in first-seen order.
+	e, ok := g.HasEdge(0, 1)
+	if !ok || e.Sign != sgraph.Positive {
+		t.Errorf("edge (0,1) = %+v %v", e, ok)
+	}
+	e, ok = g.HasEdge(1, 2)
+	if !ok || e.Sign != sgraph.Negative {
+		t.Errorf("edge (1,2) = %+v %v", e, ok)
+	}
+}
+
+func TestParseSNAPErrors(t *testing.T) {
+	cases := map[string]string{
+		"too few fields": "1 2\n",
+		"bad source":     "x 2 1\n",
+		"bad target":     "1 y 1\n",
+		"bad sign":       "1 2 0\n",
+		"sign not int":   "1 2 plus\n",
+	}
+	for name, in := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ParseSNAP(strings.NewReader(in)); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	g, err := gen.ErdosRenyi(gen.Config{Nodes: 40, Edges: 150, PositiveRatio: 0.7}, xrand.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSNAP(&buf, g, "test"); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseSNAP(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNodes() != g.NumNodes() || back.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip size mismatch: %d/%d vs %d/%d",
+			back.NumNodes(), back.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	// ParseSNAP densifies IDs in first-seen order, so map original IDs
+	// through that order before comparing.
+	remap := make(map[int]int, g.NumNodes())
+	dense := func(v int) int {
+		if id, ok := remap[v]; ok {
+			return id
+		}
+		id := len(remap)
+		remap[v] = id
+		return id
+	}
+	g.Edges(func(e sgraph.Edge) {
+		u, v := dense(e.From), dense(e.To)
+		got, ok := back.HasEdge(u, v)
+		if !ok || got.Sign != e.Sign {
+			t.Errorf("edge (%d,%d)->(%d,%d) lost or sign changed", e.From, e.To, u, v)
+		}
+	})
+}
+
+func TestTableII(t *testing.T) {
+	g, err := gen.ErdosRenyi(gen.Config{Nodes: 30, Edges: 100, PositiveRatio: 0.8}, xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := TableII([]Source{{Name: "Tiny", Graph: g}})
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r := rows[0]
+	if r.Network != "Tiny" || r.Nodes != 30 || r.Links != 100 || r.LinkType != "directed" {
+		t.Errorf("row = %+v", r)
+	}
+	if r.PositiveRatio < 0.6 || r.PositiveRatio > 1 {
+		t.Errorf("positive ratio = %g", r.PositiveRatio)
+	}
+}
+
+func TestLoad(t *testing.T) {
+	g, err := Load("Slashdot", 0.02, xrand.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() == 0 || g.NumEdges() == 0 {
+		t.Error("empty graph")
+	}
+	if _, err := Load("Nope", 0.1, xrand.New(4)); err == nil {
+		t.Error("unknown dataset should error")
+	}
+}

@@ -1,0 +1,30 @@
+package dataset
+
+import (
+	"compress/gzip"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/sgraph"
+)
+
+// OpenSNAP loads a SNAP signed edge list from disk, transparently
+// decompressing .gz files — the format SNAP distributes
+// soc-sign-epinions.txt.gz and soc-sign-Slashdot090221.txt.gz in.
+func OpenSNAP(path string) (*sgraph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".gz") {
+		zr, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: %s: %w", path, err)
+		}
+		defer zr.Close()
+		return ParseSNAP(zr)
+	}
+	return ParseSNAP(f)
+}

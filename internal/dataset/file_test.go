@@ -1,0 +1,72 @@
+package dataset
+
+import (
+	"compress/gzip"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestOpenSNAPPlainAndGzip(t *testing.T) {
+	dir := t.TempDir()
+	plain := filepath.Join(dir, "net.txt")
+	if err := os.WriteFile(plain, []byte(sampleSNAP), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	zipped := filepath.Join(dir, "net.txt.gz")
+	f, err := os.Create(zipped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zw := gzip.NewWriter(f)
+	if _, err := zw.Write([]byte(sampleSNAP)); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, path := range []string{plain, zipped} {
+		g, err := OpenSNAP(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if g.NumNodes() != 3 || g.NumEdges() != 3 {
+			t.Errorf("%s: graph = %d/%d", path, g.NumNodes(), g.NumEdges())
+		}
+	}
+}
+
+func TestOpenSNAPErrors(t *testing.T) {
+	if _, err := OpenSNAP("/nonexistent/net.txt"); err == nil {
+		t.Error("missing file should error")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.gz")
+	if err := os.WriteFile(bad, []byte("not gzip"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenSNAP(bad); err == nil {
+		t.Error("corrupt gzip should error")
+	}
+}
+
+func FuzzParseSNAP(f *testing.F) {
+	f.Add(sampleSNAP)
+	f.Add("")
+	f.Add("# comment only\n")
+	f.Add("1 2 1\n2 3 -1\n")
+	f.Add("a b c\n")
+	f.Add("1\t2\t1\n1 1 1\n-5 -6 -1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		// Must never panic; errors are fine.
+		g, err := ParseSNAP(strings.NewReader(input))
+		if err == nil && g == nil {
+			t.Fatal("nil graph without error")
+		}
+	})
+}

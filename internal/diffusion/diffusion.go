@@ -1,0 +1,246 @@
+// Package diffusion implements information-diffusion models over weighted
+// signed diffusion networks: the paper's MFC (asyMmetric Flipping Cascade,
+// Algorithm 1) and the reference models it is contrasted with (IC, LT,
+// SIR). Every run returns a Cascade recording the complete ground truth —
+// final states, activation links, rounds and flips — which the experiment
+// harness uses to evaluate the detectors.
+package diffusion
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/sgraph"
+	"repro/internal/xrand"
+)
+
+// Cascade is the full record of one diffusion run over a graph with n
+// nodes. Slices indexed by node ID have length n.
+type Cascade struct {
+	// States holds the final state of every node (+1, -1 or inactive).
+	States []sgraph.State
+	// ActivatedBy[v] is the node whose attempt produced v's final state
+	// (its activation link, Definition 4), or -1 for initiators and
+	// never-activated nodes. A flipped node's entry points at the last
+	// flipper; because a flipper can be a cascade descendant of its
+	// target, the final pointers may contain cycles.
+	ActivatedBy []int32
+	// FirstActivatedBy[v] is the node that first activated v, or -1.
+	// First activations strictly increase in round along parent chains,
+	// so these pointers always form the forest of cascade trees rooted at
+	// the initiators that the paper describes after Definition 4.
+	FirstActivatedBy []int32
+	// Round[v] is the round at which v reached its final state, or -1.
+	// Initiators have round 0. FirstRound records first activation.
+	Round      []int32
+	FirstRound []int32
+	// Initiators and InitStates record the seed set and its initial
+	// states; these are the ground truth for detector evaluation.
+	Initiators []int
+	InitStates []sgraph.State
+	// Rounds is the number of propagation rounds executed.
+	Rounds int
+	// Attempts counts activation attempts; Flips counts successful state
+	// flips of already-active nodes (MFC only).
+	Attempts, Flips int
+}
+
+// Infected returns the IDs of all active nodes in ascending order.
+func (c *Cascade) Infected() []int {
+	out := make([]int, 0, len(c.Initiators)*4)
+	for v, s := range c.States {
+		if s.Active() {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// SpreadCurve returns the cumulative number of ever-activated nodes after
+// each round, index 0 being the initiators. Derived from first-activation
+// rounds, so it is exact for every model in this package.
+func (c *Cascade) SpreadCurve() []int {
+	counts := make([]int, c.Rounds+1)
+	for v := range c.States {
+		if r := c.FirstRound[v]; r >= 0 {
+			if int(r) >= len(counts) {
+				// defensive: rounds beyond the recorded horizon
+				grown := make([]int, r+1)
+				copy(grown, counts)
+				counts = grown
+			}
+			counts[r]++
+		}
+	}
+	for i := 1; i < len(counts); i++ {
+		counts[i] += counts[i-1]
+	}
+	return counts
+}
+
+// NumInfected returns the number of active nodes.
+func (c *Cascade) NumInfected() int {
+	n := 0
+	for _, s := range c.States {
+		if s.Active() {
+			n++
+		}
+	}
+	return n
+}
+
+// Errors shared by the simulators.
+var (
+	ErrNoInitiators   = errors.New("diffusion: empty initiator set")
+	ErrStateMismatch  = errors.New("diffusion: len(states) != len(initiators)")
+	ErrBadInitiator   = errors.New("diffusion: initiator out of range or duplicated")
+	ErrInactiveSeed   = errors.New("diffusion: initiator state must be +1 or -1")
+	ErrBadCoefficient = errors.New("diffusion: invalid model coefficient")
+)
+
+func checkSeeds(n int, initiators []int, states []sgraph.State) error {
+	if len(initiators) == 0 {
+		return ErrNoInitiators
+	}
+	if len(states) != len(initiators) {
+		return fmt.Errorf("%w: %d vs %d", ErrStateMismatch, len(states), len(initiators))
+	}
+	seen := make(map[int]bool, len(initiators))
+	for i, u := range initiators {
+		if u < 0 || u >= n || seen[u] {
+			return fmt.Errorf("%w: node %d", ErrBadInitiator, u)
+		}
+		seen[u] = true
+		if !states[i].Active() {
+			return fmt.Errorf("%w: state %v for node %d", ErrInactiveSeed, states[i], u)
+		}
+	}
+	return nil
+}
+
+func newCascade(n int, initiators []int, states []sgraph.State) *Cascade {
+	c := &Cascade{
+		States:           make([]sgraph.State, n),
+		ActivatedBy:      make([]int32, n),
+		FirstActivatedBy: make([]int32, n),
+		Round:            make([]int32, n),
+		FirstRound:       make([]int32, n),
+		Initiators:       append([]int(nil), initiators...),
+		InitStates:       append([]sgraph.State(nil), states...),
+	}
+	for i := range c.ActivatedBy {
+		c.ActivatedBy[i] = -1
+		c.FirstActivatedBy[i] = -1
+		c.Round[i] = -1
+		c.FirstRound[i] = -1
+	}
+	for i, u := range initiators {
+		c.States[u] = states[i]
+		c.Round[u] = 0
+		c.FirstRound[u] = 0
+	}
+	return c
+}
+
+// MFCConfig parameterizes the asyMmetric Flipping Cascade model.
+type MFCConfig struct {
+	// Alpha is the asymmetric boosting coefficient (α > 1 in the paper;
+	// α = 1 disables boosting). Positive-link activation probability is
+	// min(1, Alpha*w); negative links use w unchanged.
+	Alpha float64
+	// DisableFlip turns off the state-flipping rule, degrading MFC to a
+	// signed independent-cascade model (used by the ablation benches).
+	DisableFlip bool
+}
+
+func (c MFCConfig) validate() error {
+	if c.Alpha < 1 {
+		return fmt.Errorf("%w: Alpha must be >= 1, got %g", ErrBadCoefficient, c.Alpha)
+	}
+	return nil
+}
+
+// BoostedWeight returns the MFC activation probability of a diffusion link
+// with the given sign and weight under boosting coefficient alpha:
+// min(1, alpha*w) for positive links, w for negative links.
+func BoostedWeight(sign sgraph.Sign, w, alpha float64) float64 {
+	if sign == sgraph.Positive {
+		if bw := alpha * w; bw < 1 {
+			return bw
+		}
+		return 1
+	}
+	return w
+}
+
+// MFC runs Algorithm 1 over the diffusion network g (edges oriented in the
+// direction information flows) from the given initiators and initial
+// states. Eligibility per round follows the paper exactly: an attempt on v
+// is allowed if v is inactive, or if the link (u,v) is positive and v's
+// current state differs from u's (the flipping rule). Each directed link is
+// attempted at most once over the whole process ("u cannot make any further
+// attempts to activate v in subsequent rounds"), which also guarantees
+// termination. On success v adopts state s(u)*s(u,v) and becomes recently
+// infected, propagating in the next round.
+func MFC(g *sgraph.Graph, initiators []int, states []sgraph.State, cfg MFCConfig, rng *xrand.Rand) (*Cascade, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if err := checkSeeds(g.NumNodes(), initiators, states); err != nil {
+		return nil, err
+	}
+	c := newCascade(g.NumNodes(), initiators, states)
+
+	attempted := make([]bool, g.NumEdges())
+
+	recent := append([]int(nil), initiators...)
+	round := int32(0)
+	for len(recent) > 0 {
+		round++
+		var next []int
+		for _, u := range recent {
+			su := c.States[u]
+			g.OutIndexed(u, func(i int, e sgraph.Edge) {
+				v := e.To
+				sv := c.States[v]
+				eligible := sv == sgraph.StateInactive ||
+					(!cfg.DisableFlip && e.Sign == sgraph.Positive && sv != su)
+				if !eligible || attempted[i] {
+					return
+				}
+				attempted[i] = true
+				c.Attempts++
+				if !rng.Bool(BoostedWeight(e.Sign, e.Weight, cfg.Alpha)) {
+					return
+				}
+				newState := sgraph.StateOf(su, e.Sign)
+				if sv.Active() {
+					c.Flips++
+				} else {
+					c.FirstActivatedBy[v] = int32(u)
+					c.FirstRound[v] = round
+				}
+				c.States[v] = newState
+				c.ActivatedBy[v] = int32(u)
+				c.Round[v] = round
+				next = append(next, v)
+			})
+		}
+		recent = next
+	}
+	c.Rounds = int(round) - 1
+	if c.Rounds < 0 {
+		c.Rounds = 0
+	}
+	return c, nil
+}
+
+// IC runs the classical Independent Cascade model (Kempe et al. 2003) on
+// the diffusion network, ignoring link signs for the activation
+// probability (p = w) and never flipping: once active, a node keeps the
+// state it was first activated with (s(u)*s(u,v), so sign information still
+// determines opinions, as in a signed IC). This is both a baseline in its
+// own right and MFC with Alpha=1, DisableFlip=true.
+func IC(g *sgraph.Graph, initiators []int, states []sgraph.State, rng *xrand.Rand) (*Cascade, error) {
+	return MFC(g, initiators, states, MFCConfig{Alpha: 1, DisableFlip: true}, rng)
+}

@@ -1,0 +1,86 @@
+package diffusion
+
+import (
+	"fmt"
+
+	"repro/internal/sgraph"
+	"repro/internal/xrand"
+)
+
+// SampleInitiators implements the paper's seeding protocol (Section IV-B3):
+// count distinct nodes are selected uniformly at random from a graph with n
+// nodes, and round(theta*count) of them — chosen at random — start with the
+// positive state, the rest negative.
+func SampleInitiators(n, count int, theta float64, rng *xrand.Rand) ([]int, []sgraph.State, error) {
+	if count <= 0 || count > n {
+		return nil, nil, fmt.Errorf("diffusion: initiator count %d out of range (n=%d)", count, n)
+	}
+	if theta < 0 || theta > 1 {
+		return nil, nil, fmt.Errorf("diffusion: theta %g out of [0,1]", theta)
+	}
+	nodes := rng.Sample(n, count)
+	states := make([]sgraph.State, count)
+	positives := int(theta*float64(count) + 0.5)
+	for i := range states {
+		if i < positives {
+			states[i] = sgraph.StatePositive
+		} else {
+			states[i] = sgraph.StateNegative
+		}
+	}
+	rng.Shuffle(count, func(i, j int) { states[i], states[j] = states[j], states[i] })
+	return nodes, states, nil
+}
+
+// MaskStates returns a copy of states in which each active entry is
+// replaced by StateUnknown with probability fraction — modelling the
+// paper's observation that "the states of many nodes in large-scale
+// networks are often unknown". Inactive entries are never masked (whether a
+// node is infected at all is assumed observable).
+func MaskStates(states []sgraph.State, fraction float64, rng *xrand.Rand) []sgraph.State {
+	out := append([]sgraph.State(nil), states...)
+	if fraction <= 0 {
+		return out
+	}
+	for i, s := range out {
+		if s.Active() && rng.Bool(fraction) {
+			out[i] = sgraph.StateUnknown
+		}
+	}
+	return out
+}
+
+// SampleRounds returns partial first-infection timestamps from a cascade:
+// each infected node's FirstRound is revealed with probability
+// keepFraction, everything else is -1 (unknown). Models platforms where
+// only some posts carry usable timestamps; feeds
+// cascade.NewSnapshotWithRounds.
+func SampleRounds(c *Cascade, keepFraction float64, rng *xrand.Rand) []int32 {
+	out := make([]int32, len(c.FirstRound))
+	for v := range out {
+		out[v] = -1
+		if c.FirstRound[v] >= 0 && c.States[v].Active() && rng.Bool(keepFraction) {
+			out[v] = c.FirstRound[v]
+		}
+	}
+	return out
+}
+
+// HideInfected returns a copy of states in which each active entry is
+// reset to StateInactive with probability fraction — a harsher observation
+// model than MaskStates: the node's infection itself goes unnoticed, so
+// the detector sees a fragmented infected subgraph. Goes beyond the
+// paper's setting (which assumes infection observability); used by the
+// robustness experiments.
+func HideInfected(states []sgraph.State, fraction float64, rng *xrand.Rand) []sgraph.State {
+	out := append([]sgraph.State(nil), states...)
+	if fraction <= 0 {
+		return out
+	}
+	for i, s := range out {
+		if s.Active() && rng.Bool(fraction) {
+			out[i] = sgraph.StateInactive
+		}
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV renders any of the experiment results as CSV so the series can
+// be re-plotted. The result type picks the columns.
+func WriteCSV(w io.Writer, result any) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	f := func(x float64) string { return strconv.FormatFloat(x, 'g', 6, 64) }
+	switch r := result.(type) {
+	case *TableIIResult:
+		if err := cw.Write([]string{"network", "nodes", "links", "link_type", "positive_ratio"}); err != nil {
+			return err
+		}
+		for _, row := range r.Rows {
+			if err := cw.Write([]string{row.Network, strconv.Itoa(row.Nodes), strconv.Itoa(row.Links), row.LinkType, f(row.PositiveRatio)}); err != nil {
+				return err
+			}
+		}
+	case *Figure4Result:
+		if err := cw.Write([]string{"method", "detected", "precision", "precision_std", "recall", "recall_std", "f1", "f1_std"}); err != nil {
+			return err
+		}
+		for _, row := range r.Rows {
+			if err := cw.Write([]string{row.Method, f(row.Detected.Mean),
+				f(row.Precision.Mean), f(row.Precision.Std),
+				f(row.Recall.Mean), f(row.Recall.Std),
+				f(row.F1.Mean), f(row.F1.Std)}); err != nil {
+				return err
+			}
+		}
+	case *SweepResult:
+		if err := cw.Write([]string{"beta", "detected", "precision", "recall", "f1"}); err != nil {
+			return err
+		}
+		for i, beta := range r.Betas {
+			row := r.Rows[i]
+			if err := cw.Write([]string{f(beta), f(row.Detected.Mean), f(row.Precision.Mean), f(row.Recall.Mean), f(row.F1.Mean)}); err != nil {
+				return err
+			}
+		}
+	case *StateSweepResult:
+		if err := cw.Write([]string{"beta", "compared", "accuracy", "mae", "r2"}); err != nil {
+			return err
+		}
+		for _, row := range r.Rows {
+			if err := cw.Write([]string{f(row.Beta), f(row.Compared.Mean), f(row.Accuracy.Mean), f(row.MAE.Mean), f(row.R2.Mean)}); err != nil {
+				return err
+			}
+		}
+	case *DiffusionResult:
+		if err := cw.Write([]string{"model", "alpha", "theta", "infected", "pos_share", "flips", "rounds"}); err != nil {
+			return err
+		}
+		write := func(model string, p DiffusionPoint) error {
+			return cw.Write([]string{model, f(p.Alpha), f(p.Theta), f(p.Infected.Mean), f(p.PositiveShare.Mean), f(p.Flips.Mean), f(p.Rounds.Mean)})
+		}
+		if err := write("IC", r.IC); err != nil {
+			return err
+		}
+		for _, p := range r.MFC {
+			if err := write("MFC", p); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("experiment: WriteCSV: unsupported result type %T", result)
+	}
+	return nil
+}

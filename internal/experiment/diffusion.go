@@ -1,0 +1,123 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/dataset"
+	"repro/internal/diffusion"
+	"repro/internal/metrics"
+	"repro/internal/xrand"
+)
+
+// DiffusionPoint summarizes MFC behavior at one (α, θ) setting.
+type DiffusionPoint struct {
+	Alpha, Theta  float64
+	Infected      metrics.Summary
+	PositiveShare metrics.Summary // fraction of infected nodes with state +1
+	Flips         metrics.Summary
+	Rounds        metrics.Summary
+}
+
+// DiffusionResult holds the Section IV-B3 diffusion analysis for one
+// network: MFC spread as a function of the boosting coefficient α and the
+// seed positive-ratio θ, with the IC model (α=1, no flipping) as the
+// reference first row.
+type DiffusionResult struct {
+	Workload Workload
+	IC       DiffusionPoint
+	MFC      []DiffusionPoint
+}
+
+// DiffusionAnalysis reproduces the paper's diffusion analysis: how the
+// asymmetric boosting and flipping of MFC change spread, opinion mixture
+// and convergence compared to IC.
+func DiffusionAnalysis(w Workload, alphas, thetas []float64) (*DiffusionResult, error) {
+	w = w.withDefaults()
+	if err := w.validate(); err != nil {
+		return nil, err
+	}
+	if len(alphas) == 0 {
+		alphas = []float64{1, 2, 3, 4, 5}
+	}
+	if len(thetas) == 0 {
+		thetas = []float64{w.Theta}
+	}
+	res := &DiffusionResult{Workload: w}
+	ic, err := diffusionPoint(w, 1, w.Theta, true)
+	if err != nil {
+		return nil, err
+	}
+	res.IC = ic
+	for _, theta := range thetas {
+		for _, alpha := range alphas {
+			p, err := diffusionPoint(w, alpha, theta, false)
+			if err != nil {
+				return nil, err
+			}
+			res.MFC = append(res.MFC, p)
+		}
+	}
+	return res, nil
+}
+
+func diffusionPoint(w Workload, alpha, theta float64, disableFlip bool) (DiffusionPoint, error) {
+	var infected, posShare, flips, rounds []float64
+	for t := 0; t < w.Trials; t++ {
+		rng := xrand.New(w.BaseSeed + uint64(t)*0x9e37)
+		g, err := dataset.Load(w.Dataset, w.Scale, rng)
+		if err != nil {
+			return DiffusionPoint{}, err
+		}
+		dif := g.Reverse()
+		n := dif.NumNodes()
+		count := int(w.SeedFraction * float64(n))
+		if count < 1 {
+			count = 1
+		}
+		seeds, states, err := diffusion.SampleInitiators(n, count, theta, rng)
+		if err != nil {
+			return DiffusionPoint{}, err
+		}
+		c, err := diffusion.MFC(dif, seeds, states, diffusion.MFCConfig{Alpha: alpha, DisableFlip: disableFlip}, rng)
+		if err != nil {
+			return DiffusionPoint{}, err
+		}
+		tot := c.NumInfected()
+		pos := 0
+		for _, s := range c.States {
+			if s == 1 {
+				pos++
+			}
+		}
+		infected = append(infected, float64(tot))
+		if tot > 0 {
+			posShare = append(posShare, float64(pos)/float64(tot))
+		}
+		flips = append(flips, float64(c.Flips))
+		rounds = append(rounds, float64(c.Rounds))
+	}
+	return DiffusionPoint{
+		Alpha:         alpha,
+		Theta:         theta,
+		Infected:      metrics.Summarize(infected),
+		PositiveShare: metrics.Summarize(posShare),
+		Flips:         metrics.Summarize(flips),
+		Rounds:        metrics.Summarize(rounds),
+	}, nil
+}
+
+// Render writes the diffusion analysis as text.
+func (r *DiffusionResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "Diffusion analysis — %s (scale %.3g, N=%.3g%%, trials=%d)\n",
+		r.Workload.Dataset, r.Workload.Scale, 100*r.Workload.SeedFraction, r.Workload.Trials)
+	fmt.Fprintf(w, "%-10s %6s %6s %14s %14s %12s %10s\n",
+		"model", "alpha", "theta", "infected", "pos-share", "flips", "rounds")
+	p := r.IC
+	fmt.Fprintf(w, "%-10s %6.1f %6.2f %14.1f %14.3f %12.1f %10.1f\n",
+		"IC", p.Alpha, p.Theta, p.Infected.Mean, p.PositiveShare.Mean, p.Flips.Mean, p.Rounds.Mean)
+	for _, p := range r.MFC {
+		fmt.Fprintf(w, "%-10s %6.1f %6.2f %14.1f %14.3f %12.1f %10.1f\n",
+			"MFC", p.Alpha, p.Theta, p.Infected.Mean, p.PositiveShare.Mean, p.Flips.Mean, p.Rounds.Mean)
+	}
+}

@@ -1,0 +1,141 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Report collects experiment results and renders them as a single markdown
+// document — the machine-written companion to EXPERIMENTS.md, regenerated
+// with `cmd/experiments -md out.md`.
+type Report struct {
+	Title    string
+	Sections []ReportSection
+}
+
+// ReportSection is one experiment's rendered block.
+type ReportSection struct {
+	Heading string
+	Result  any
+}
+
+// Add appends a section.
+func (r *Report) Add(heading string, result any) {
+	r.Sections = append(r.Sections, ReportSection{Heading: heading, Result: result})
+}
+
+// WriteMarkdown renders the whole report.
+func (r *Report) WriteMarkdown(w io.Writer) error {
+	fmt.Fprintf(w, "# %s\n\n", r.Title)
+	fmt.Fprintf(w, "_Generated %s by cmd/experiments._\n\n", time.Now().UTC().Format(time.RFC3339))
+	for _, s := range r.Sections {
+		fmt.Fprintf(w, "## %s\n\n", s.Heading)
+		if err := writeMarkdownSection(w, s.Result); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+func writeMarkdownSection(w io.Writer, result any) error {
+	sum := func(s fmt.Stringer) string { return s.String() }
+	switch r := result.(type) {
+	case *TableIIResult:
+		fmt.Fprintf(w, "| network | nodes | links | link type | positive |\n|---|---|---|---|---|\n")
+		for _, row := range r.Rows {
+			fmt.Fprintf(w, "| %s | %d | %d | %s | %.1f%% |\n",
+				row.Network, row.Nodes, row.Links, row.LinkType, 100*row.PositiveRatio)
+		}
+	case *Figure4Result:
+		fmt.Fprintf(w, "Workload: %s, scale %.3g, seeds %.3g%%, θ=%.2g, α=%g, %d trials, infected %s.\n\n",
+			r.Workload.Dataset, r.Workload.Scale, 100*r.Workload.SeedFraction,
+			r.Workload.Theta, r.Workload.Alpha, r.Workload.Trials, r.Infected.String())
+		fmt.Fprintf(w, "| method | detected | precision | recall | F1 |\n|---|---|---|---|---|\n")
+		for _, row := range r.Rows {
+			fmt.Fprintf(w, "| %s | %.1f | %s | %s | %s |\n",
+				row.Method, row.Detected.Mean, sum(row.Precision), sum(row.Recall), sum(row.F1))
+		}
+	case *SweepResult:
+		fmt.Fprintf(w, "| β | detected | precision | recall | F1 |\n|---|---|---|---|---|\n")
+		for i, beta := range r.Betas {
+			row := r.Rows[i]
+			fmt.Fprintf(w, "| %.2f | %.1f | %s | %s | %s |\n",
+				beta, row.Detected.Mean, sum(row.Precision), sum(row.Recall), sum(row.F1))
+		}
+	case *StateSweepResult:
+		fmt.Fprintf(w, "| β | compared | accuracy | MAE | R² |\n|---|---|---|---|---|\n")
+		for _, row := range r.Rows {
+			fmt.Fprintf(w, "| %.2f | %.1f | %s | %s | %s |\n",
+				row.Beta, row.Compared.Mean, sum(row.Accuracy), sum(row.MAE), sum(row.R2))
+		}
+	case *DiffusionResult:
+		fmt.Fprintf(w, "| model | α | θ | infected | positive share | flips | rounds |\n|---|---|---|---|---|---|---|\n")
+		write := func(model string, p DiffusionPoint) {
+			fmt.Fprintf(w, "| %s | %.1f | %.2f | %.1f | %.3f | %.1f | %.1f |\n",
+				model, p.Alpha, p.Theta, p.Infected.Mean, p.PositiveShare.Mean, p.Flips.Mean, p.Rounds.Mean)
+		}
+		write("IC", r.IC)
+		for _, p := range r.MFC {
+			write("MFC", p)
+		}
+	case *BalanceResult:
+		fmt.Fprintf(w, "| network | triangles | +++ | ++- | +-- | --- | balanced | clustering |\n|---|---|---|---|---|---|---|---|\n")
+		for _, row := range r.Rows {
+			fmt.Fprintf(w, "| %s | %d | %d | %d | %d | %d | %.1f%% | %.4f |\n",
+				row.Network, row.Triangles, row.Counts[0], row.Counts[1], row.Counts[2], row.Counts[3],
+				100*row.BalancedFraction, row.Clustering)
+		}
+	case *MaskSweepResult:
+		fmt.Fprintf(w, "| mask | detected | precision | recall | F1 | state accuracy |\n|---|---|---|---|---|---|\n")
+		for i, frac := range r.Fractions {
+			row := r.Rows[i]
+			fmt.Fprintf(w, "| %.2f | %.1f | %s | %s | %s | %s |\n",
+				frac, row.Detected.Mean, sum(row.Precision), sum(row.Recall), sum(row.F1), sum(r.StateAcc[i]))
+		}
+	case *HiddenSweepResult:
+		fmt.Fprintf(w, "| hidden | detected | precision | recall | F1 |\n|---|---|---|---|---|\n")
+		for i, frac := range r.Fractions {
+			row := r.Rows[i]
+			fmt.Fprintf(w, "| %.2f | %.1f | %s | %s | %s |\n",
+				frac, row.Detected.Mean, sum(row.Precision), sum(row.Recall), sum(row.F1))
+		}
+	case *RankingResult:
+		fmt.Fprintf(w, "Overall precision %s.\n\n", sum(r.Overall))
+		fmt.Fprintf(w, "| k | precision@k |\n|---|---|\n")
+		for i, k := range r.Ks {
+			fmt.Fprintf(w, "| %d | %s |\n", k, sum(r.PrecisionAt[i]))
+		}
+	case *TimingSweepResult:
+		fmt.Fprintf(w, "| timestamps | detected | precision | recall | F1 |\n|---|---|---|---|---|\n")
+		for i, frac := range r.Fractions {
+			row := r.Rows[i]
+			fmt.Fprintf(w, "| %.2f | %.1f | %s | %s | %s |\n",
+				frac, row.Detected.Mean, sum(row.Precision), sum(row.Recall), sum(row.F1))
+		}
+	case *AlphaSweepResult:
+		fmt.Fprintf(w, "| detector α | detected | precision | recall | F1 |\n|---|---|---|---|---|\n")
+		for i, alpha := range r.Alphas {
+			row := r.Rows[i]
+			fmt.Fprintf(w, "| %.1f | %.1f | %s | %s | %s |\n",
+				alpha, row.Detected.Mean, sum(row.Precision), sum(row.Recall), sum(row.F1))
+		}
+	case *DensityResult:
+		fmt.Fprintf(w, "| seeds | infected | trees | tree recall | RID F1 | tree F1 |\n|---|---|---|---|---|---|\n")
+		for _, p := range r.Points {
+			fmt.Fprintf(w, "| %.1f%% | %.1f | %.1f | %.3f | %.3f | %.3f |\n",
+				100*p.SeedFraction, p.Infected.Mean, p.Trees.Mean, p.TreeRecall.Mean, p.RIDF1.Mean, p.TreeF1.Mean)
+		}
+	case *ScalingResult:
+		fmt.Fprintf(w, "| scale | nodes | edges | infected | simulate | detect | F1 |\n|---|---|---|---|---|---|---|\n")
+		for _, p := range r.Points {
+			fmt.Fprintf(w, "| %.3f | %d | %d | %d | %s | %s | %.3f |\n",
+				p.Scale, p.Nodes, p.Edges, p.Infected,
+				p.SimulateDuration.Round(time.Millisecond), p.DetectDuration.Round(time.Millisecond), p.F1)
+		}
+	default:
+		return fmt.Errorf("experiment: WriteMarkdown: unsupported result type %T", result)
+	}
+	return nil
+}

@@ -1,0 +1,27 @@
+package experiment
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// BenchmarkDetectLarge profiles RID end-to-end at 10% scale; run with
+// -cpuprofile to find hot spots.
+func BenchmarkDetectLarge(b *testing.B) {
+	w := Workload{Dataset: "Epinions", Scale: 0.1, Trials: 1}
+	in, err := w.Run(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rid, err := core.NewRID(core.RIDConfig{Alpha: 3, Beta: 0.2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rid.Detect(in.Snap); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

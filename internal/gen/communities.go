@@ -1,0 +1,114 @@
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/sgraph"
+	"repro/internal/xrand"
+)
+
+// CommunityConfig parameterizes the signed stochastic block model:
+// Communities groups of nodes where within-group links are mostly positive
+// and across-group links mostly negative — the mesoscale signature of
+// polarized signed networks (structural balance at community level).
+type CommunityConfig struct {
+	// Nodes and Edges as in Config.
+	Nodes, Edges int
+	// Communities is the number of equal-sized groups; must be >= 1.
+	Communities int
+	// IntraFraction is the fraction of links placed within a community
+	// (default 0.8).
+	IntraFraction float64
+	// IntraPositive and CrossPositive are the positive-link probabilities
+	// within and across communities (defaults 0.95 and 0.2).
+	IntraPositive, CrossPositive float64
+	// WeightLow/WeightHigh bound uniform link weights; zero values
+	// default to [0.01, 0.3).
+	WeightLow, WeightHigh float64
+}
+
+func (c CommunityConfig) withDefaults() CommunityConfig {
+	if c.IntraFraction == 0 {
+		c.IntraFraction = 0.8
+	}
+	if c.IntraPositive == 0 {
+		c.IntraPositive = 0.95
+	}
+	if c.CrossPositive == 0 {
+		c.CrossPositive = 0.2
+	}
+	if c.WeightLow == 0 && c.WeightHigh == 0 {
+		c.WeightLow, c.WeightHigh = 0.01, 0.3
+	}
+	return c
+}
+
+func (c CommunityConfig) validate() error {
+	if c.Nodes <= 0 || c.Edges < 0 {
+		return fmt.Errorf("gen: bad sizes %d/%d", c.Nodes, c.Edges)
+	}
+	if c.Communities < 1 || c.Communities > c.Nodes {
+		return fmt.Errorf("gen: Communities=%d out of range", c.Communities)
+	}
+	for _, p := range []float64{c.IntraFraction, c.IntraPositive, c.CrossPositive} {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("gen: probability %g out of [0,1]", p)
+		}
+	}
+	if c.WeightLow < 0 || c.WeightHigh > 1 || c.WeightLow > c.WeightHigh {
+		return fmt.Errorf("gen: weight bounds [%g,%g] invalid", c.WeightLow, c.WeightHigh)
+	}
+	return nil
+}
+
+// SignedCommunities samples a signed stochastic block model. It returns
+// the graph plus each node's community assignment (round-robin, so
+// community of node v is v mod Communities).
+func SignedCommunities(cfg CommunityConfig, rng *xrand.Rand) (*sgraph.Graph, []int, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, nil, err
+	}
+	community := make([]int, cfg.Nodes)
+	for v := range community {
+		community[v] = v % cfg.Communities
+	}
+	// members[c] lists the nodes of community c.
+	members := make([][]int, cfg.Communities)
+	for v, c := range community {
+		members[c] = append(members[c], v)
+	}
+	b := sgraph.NewBuilder(cfg.Nodes)
+	seen := make(map[[2]int]bool, cfg.Edges)
+	for attempts := 0; b.Len() < cfg.Edges && attempts < 100*cfg.Edges; attempts++ {
+		u := rng.Intn(cfg.Nodes)
+		var v int
+		var positive float64
+		if rng.Bool(cfg.IntraFraction) && len(members[community[u]]) > 1 {
+			peers := members[community[u]]
+			v = peers[rng.Intn(len(peers))]
+			positive = cfg.IntraPositive
+		} else {
+			v = rng.Intn(cfg.Nodes)
+			if community[v] == community[u] {
+				positive = cfg.IntraPositive
+			} else {
+				positive = cfg.CrossPositive
+			}
+		}
+		if u == v || seen[[2]int{u, v}] {
+			continue
+		}
+		seen[[2]int{u, v}] = true
+		sig := sgraph.Negative
+		if rng.Bool(positive) {
+			sig = sgraph.Positive
+		}
+		b.AddEdge(u, v, sig, rng.Range(cfg.WeightLow, cfg.WeightHigh))
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, community, nil
+}

@@ -1,0 +1,86 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/sgraph"
+	"repro/internal/xrand"
+)
+
+func TestSignedCommunities(t *testing.T) {
+	cfg := CommunityConfig{Nodes: 600, Edges: 4800, Communities: 3}
+	g, community, err := SignedCommunities(cfg, xrand.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 600 || len(community) != 600 {
+		t.Fatalf("sizes = %d/%d", g.NumNodes(), len(community))
+	}
+	if g.NumEdges() < 4500 {
+		t.Fatalf("edges = %d, want near 4800", g.NumEdges())
+	}
+	var intraPos, intraNeg, crossPos, crossNeg int
+	g.Edges(func(e sgraph.Edge) {
+		same := community[e.From] == community[e.To]
+		pos := e.Sign == sgraph.Positive
+		switch {
+		case same && pos:
+			intraPos++
+		case same && !pos:
+			intraNeg++
+		case !same && pos:
+			crossPos++
+		default:
+			crossNeg++
+		}
+	})
+	intra := intraPos + intraNeg
+	cross := crossPos + crossNeg
+	if intra <= cross {
+		t.Errorf("intra %d not above cross %d with IntraFraction 0.8", intra, cross)
+	}
+	if frac := float64(intraPos) / float64(intra); frac < 0.9 {
+		t.Errorf("intra positive fraction = %g, want >= 0.9", frac)
+	}
+	if frac := float64(crossNeg) / float64(cross); frac < 0.6 {
+		t.Errorf("cross negative fraction = %g, want >= 0.6", frac)
+	}
+}
+
+func TestSignedCommunitiesAssignment(t *testing.T) {
+	_, community, err := SignedCommunities(CommunityConfig{Nodes: 10, Edges: 20, Communities: 4}, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, c := range community {
+		if c != v%4 {
+			t.Errorf("community[%d] = %d, want %d", v, c, v%4)
+		}
+	}
+}
+
+func TestSignedCommunitiesValidation(t *testing.T) {
+	bads := []CommunityConfig{
+		{Nodes: 0, Edges: 1, Communities: 1},
+		{Nodes: 5, Edges: 1, Communities: 0},
+		{Nodes: 5, Edges: 1, Communities: 9},
+		{Nodes: 5, Edges: 1, Communities: 2, IntraFraction: 2},
+		{Nodes: 5, Edges: 1, Communities: 2, WeightLow: 0.9, WeightHigh: 0.1},
+	}
+	for i, cfg := range bads {
+		if _, _, err := SignedCommunities(cfg, xrand.New(1)); err == nil {
+			t.Errorf("config %d should fail", i)
+		}
+	}
+}
+
+func TestSignedCommunitiesSingleGroup(t *testing.T) {
+	g, _, err := SignedCommunities(CommunityConfig{Nodes: 50, Edges: 200, Communities: 1}, xrand.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := g.Stats()
+	if st.PositiveRatio < 0.85 {
+		t.Errorf("single community positive ratio = %g, want IntraPositive-ish", st.PositiveRatio)
+	}
+}

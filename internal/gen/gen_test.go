@@ -1,0 +1,291 @@
+package gen
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sgraph"
+	"repro/internal/xrand"
+)
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		cfg  Config
+	}{
+		{"zero nodes", Config{Nodes: 0, Edges: 1}},
+		{"negative nodes", Config{Nodes: -3, Edges: 1}},
+		{"negative edges", Config{Nodes: 3, Edges: -1}},
+		{"ratio above one", Config{Nodes: 3, Edges: 1, PositiveRatio: 1.5}},
+		{"ratio below zero", Config{Nodes: 3, Edges: 1, PositiveRatio: -0.5}},
+		{"bad weights", Config{Nodes: 3, Edges: 1, WeightLow: 0.9, WeightHigh: 0.5}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ErdosRenyi(tt.cfg, xrand.New(1)); err == nil {
+				t.Errorf("ErdosRenyi(%+v) succeeded, want error", tt.cfg)
+			}
+		})
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	cfg := Config{Nodes: 100, Edges: 400, PositiveRatio: 0.8}
+	g, err := ErdosRenyi(cfg, xrand.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 100 {
+		t.Errorf("nodes = %d, want 100", g.NumNodes())
+	}
+	if g.NumEdges() != 400 {
+		t.Errorf("edges = %d, want 400", g.NumEdges())
+	}
+	st := g.Stats()
+	if st.PositiveRatio < 0.7 || st.PositiveRatio > 0.9 {
+		t.Errorf("positive ratio = %g, want near 0.8", st.PositiveRatio)
+	}
+	g.Edges(func(e sgraph.Edge) {
+		if e.Weight < 0.01 || e.Weight >= 0.3 {
+			t.Errorf("default weight %g outside [0.01, 0.3)", e.Weight)
+		}
+	})
+}
+
+func TestErdosRenyiTooManyEdges(t *testing.T) {
+	if _, err := ErdosRenyi(Config{Nodes: 3, Edges: 7}, xrand.New(1)); err == nil {
+		t.Error("want error when edges exceed n(n-1)")
+	}
+}
+
+func TestErdosRenyiDeterministic(t *testing.T) {
+	cfg := Config{Nodes: 50, Edges: 120, PositiveRatio: 0.5}
+	a, err := ErdosRenyi(cfg, xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ErdosRenyi(cfg, xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed produced different edge counts")
+	}
+	for i := 0; i < a.NumEdges(); i++ {
+		if a.Edge(i) != b.Edge(i) {
+			t.Fatalf("edge %d differs: %+v vs %+v", i, a.Edge(i), b.Edge(i))
+		}
+	}
+}
+
+func TestPreferentialAttachment(t *testing.T) {
+	cfg := Config{Nodes: 2000, Edges: 12000, PositiveRatio: 0.85}
+	g, err := PreferentialAttachment(cfg, xrand.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 2000 {
+		t.Errorf("nodes = %d, want 2000", g.NumNodes())
+	}
+	if g.NumEdges() < 11000 {
+		t.Errorf("edges = %d, want close to 12000", g.NumEdges())
+	}
+	st := g.Stats()
+	if st.PositiveRatio < 0.8 || st.PositiveRatio > 0.9 {
+		t.Errorf("positive ratio = %g, want near 0.85", st.PositiveRatio)
+	}
+	// Heavy tail: the max in-degree should far exceed the mean.
+	mean := float64(g.NumEdges()) / float64(g.NumNodes())
+	if float64(st.MaxInDegree) < 5*mean {
+		t.Errorf("max in-degree %d not heavy-tailed (mean %.1f)", st.MaxInDegree, mean)
+	}
+}
+
+func TestPreferentialAttachmentNoDuplicateEdges(t *testing.T) {
+	f := func(seed uint64) bool {
+		g, err := PreferentialAttachment(Config{Nodes: 60, Edges: 240, PositiveRatio: 0.5}, xrand.New(seed))
+		if err != nil {
+			return false
+		}
+		seen := make(map[[2]int]bool)
+		dup := false
+		g.Edges(func(e sgraph.Edge) {
+			k := [2]int{e.From, e.To}
+			if seen[k] || e.From == e.To {
+				dup = true
+			}
+			seen[k] = true
+		})
+		return !dup
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func edgesOf(t *testing.T, g *sgraph.Graph) map[[2]int]sgraph.Edge {
+	t.Helper()
+	m := make(map[[2]int]sgraph.Edge, g.NumEdges())
+	g.Edges(func(e sgraph.Edge) { m[[2]int{e.From, e.To}] = e })
+	return m
+}
+
+func checkTree(t *testing.T, g *sgraph.Graph) {
+	t.Helper()
+	if g.NumEdges() != g.NumNodes()-1 {
+		t.Fatalf("tree edges = %d, want n-1 = %d", g.NumEdges(), g.NumNodes()-1)
+	}
+	for v := 1; v < g.NumNodes(); v++ {
+		if g.InDegree(v) != 1 {
+			t.Errorf("node %d in-degree = %d, want 1", v, g.InDegree(v))
+		}
+	}
+	if g.InDegree(0) != 0 {
+		t.Errorf("root in-degree = %d, want 0", g.InDegree(0))
+	}
+	// Connectivity: every node reachable from the root.
+	comps := sgraph.ConnectedComponents(g)
+	if len(comps) != 1 {
+		t.Errorf("tree has %d components, want 1", len(comps))
+	}
+}
+
+func TestRandomTree(t *testing.T) {
+	g, err := RandomTree(TreeConfig{Nodes: 200, MaxChildren: 3, PositiveRatio: 0.7}, xrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTree(t, g)
+	for u := 0; u < g.NumNodes(); u++ {
+		if d := g.OutDegree(u); d > 3 {
+			t.Errorf("node %d has %d children, exceeds MaxChildren 3", u, d)
+		}
+	}
+}
+
+func TestRandomTreeUnboundedFanout(t *testing.T) {
+	g, err := RandomTree(TreeConfig{Nodes: 50, PositiveRatio: 1}, xrand.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTree(t, g)
+	g.Edges(func(e sgraph.Edge) {
+		if e.Sign != sgraph.Positive {
+			t.Errorf("PositiveRatio=1 produced negative edge %+v", e)
+		}
+	})
+}
+
+func TestBinaryTree(t *testing.T) {
+	g, err := BinaryTree(TreeConfig{Nodes: 31, PositiveRatio: 0.5}, xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTree(t, g)
+	em := edgesOf(t, g)
+	for i := 0; i < 15; i++ {
+		if _, ok := em[[2]int{i, 2*i + 1}]; !ok {
+			t.Errorf("missing edge (%d,%d)", i, 2*i+1)
+		}
+		if _, ok := em[[2]int{i, 2*i + 2}]; !ok {
+			t.Errorf("missing edge (%d,%d)", i, 2*i+2)
+		}
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		if g.OutDegree(u) > 2 {
+			t.Errorf("node %d fan-out %d > 2", u, g.OutDegree(u))
+		}
+	}
+}
+
+func TestPathAndStar(t *testing.T) {
+	p, err := Path(TreeConfig{Nodes: 10, PositiveRatio: 0.5}, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTree(t, p)
+	for i := 0; i+1 < 10; i++ {
+		if _, ok := p.HasEdge(i, i+1); !ok {
+			t.Errorf("path missing edge (%d,%d)", i, i+1)
+		}
+	}
+	s, err := Star(TreeConfig{Nodes: 10, PositiveRatio: 0.5}, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTree(t, s)
+	if s.OutDegree(0) != 9 {
+		t.Errorf("star center fan-out = %d, want 9", s.OutDegree(0))
+	}
+}
+
+func TestSingleNodeTrees(t *testing.T) {
+	for _, fn := range []func(TreeConfig, *xrand.Rand) (*sgraph.Graph, error){RandomTree, BinaryTree, Path, Star} {
+		g, err := fn(TreeConfig{Nodes: 1}, xrand.New(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.NumNodes() != 1 || g.NumEdges() != 0 {
+			t.Errorf("single-node tree = %d nodes %d edges", g.NumNodes(), g.NumEdges())
+		}
+	}
+}
+
+func TestTreeConfigValidate(t *testing.T) {
+	if _, err := RandomTree(TreeConfig{Nodes: 0}, xrand.New(1)); err == nil {
+		t.Error("want error for zero nodes")
+	}
+	if _, err := RandomTree(TreeConfig{Nodes: 5, MaxChildren: -1}, xrand.New(1)); err == nil {
+		t.Error("want error for negative MaxChildren")
+	}
+	if _, err := BinaryTree(TreeConfig{Nodes: 5, PositiveRatio: 2}, xrand.New(1)); err == nil {
+		t.Error("want error for ratio > 1")
+	}
+}
+
+func TestPresets(t *testing.T) {
+	if len(Presets()) != 2 {
+		t.Fatalf("Presets() = %d entries, want 2", len(Presets()))
+	}
+	p, err := PresetByName("Epinions")
+	if err != nil || p.Nodes != 131828 || p.Edges != 841372 {
+		t.Errorf("Epinions preset = %+v, %v", p, err)
+	}
+	s, err := PresetByName("Slashdot")
+	if err != nil || s.Nodes != 77350 || s.Edges != 516575 {
+		t.Errorf("Slashdot preset = %+v, %v", s, err)
+	}
+	if _, err := PresetByName("Wikipedia"); err == nil {
+		t.Error("unknown preset should error")
+	}
+}
+
+func TestPresetGenerate(t *testing.T) {
+	rng := xrand.New(42)
+	g, err := Epinions.Generate(0.02, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNodes := int(float64(Epinions.Nodes) * 0.02)
+	if g.NumNodes() != wantNodes {
+		t.Errorf("nodes = %d, want %d", g.NumNodes(), wantNodes)
+	}
+	st := g.Stats()
+	if math.Abs(st.PositiveRatio-Epinions.PositiveRatio) > 0.05 {
+		t.Errorf("positive ratio = %g, want near %g", st.PositiveRatio, Epinions.PositiveRatio)
+	}
+	g.Edges(func(e sgraph.Edge) {
+		if e.Weight < 0 || e.Weight > 1 {
+			t.Errorf("weight %g out of range", e.Weight)
+		}
+	})
+}
+
+func TestPresetGenerateBadScale(t *testing.T) {
+	for _, scale := range []float64{0, -1, 1.5} {
+		if _, err := Epinions.Generate(scale, xrand.New(1)); err == nil {
+			t.Errorf("scale %g should error", scale)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/sgraph"
+	"repro/internal/xrand"
+)
+
+// TreeConfig are the knobs of the tree-shaped generators. Tree edges point
+// parent -> child, i.e. they are already diffusion-oriented: information
+// flows from the root downward, which is the orientation the ISOMIT solvers
+// consume.
+type TreeConfig struct {
+	// Nodes is the number of nodes; must be positive. Node 0 is the root.
+	Nodes int
+	// MaxChildren bounds the fan-out of RandomTree; 0 means unbounded.
+	MaxChildren int
+	// PositiveRatio is the probability that an edge is positive.
+	PositiveRatio float64
+	// WeightLow/WeightHigh bound the uniform edge weights; zero values
+	// default to [0.01, 0.3).
+	WeightLow, WeightHigh float64
+}
+
+func (c TreeConfig) validate() error {
+	if c.Nodes <= 0 {
+		return fmt.Errorf("gen: tree Nodes must be positive, got %d", c.Nodes)
+	}
+	if c.MaxChildren < 0 {
+		return fmt.Errorf("gen: MaxChildren must be non-negative, got %d", c.MaxChildren)
+	}
+	if c.PositiveRatio < 0 || c.PositiveRatio > 1 {
+		return fmt.Errorf("gen: PositiveRatio must be in [0,1], got %g", c.PositiveRatio)
+	}
+	return nil
+}
+
+func (c TreeConfig) weights() (lo, hi float64) {
+	lo, hi = c.WeightLow, c.WeightHigh
+	if lo == 0 && hi == 0 {
+		lo, hi = 0.01, 0.3
+	}
+	return lo, hi
+}
+
+func (c TreeConfig) sign(rng *xrand.Rand) sgraph.Sign {
+	if rng.Bool(c.PositiveRatio) {
+		return sgraph.Positive
+	}
+	return sgraph.Negative
+}
+
+// RandomTree attaches each node i >= 1 to a uniformly chosen earlier parent
+// whose fan-out is still below MaxChildren.
+func RandomTree(cfg TreeConfig, rng *xrand.Rand) (*sgraph.Graph, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	lo, hi := cfg.weights()
+	b := sgraph.NewBuilder(cfg.Nodes)
+	childCount := make([]int, cfg.Nodes)
+	// eligible lists nodes that can still accept children.
+	eligible := make([]int, 1, cfg.Nodes)
+	eligible[0] = 0
+	for i := 1; i < cfg.Nodes; i++ {
+		j := rng.Intn(len(eligible))
+		p := eligible[j]
+		b.AddEdge(p, i, cfg.sign(rng), rng.Range(lo, hi))
+		childCount[p]++
+		if cfg.MaxChildren > 0 && childCount[p] >= cfg.MaxChildren {
+			eligible[j] = eligible[len(eligible)-1]
+			eligible = eligible[:len(eligible)-1]
+		}
+		eligible = append(eligible, i)
+	}
+	return b.Build()
+}
+
+// BinaryTree builds a complete-shape binary tree over Nodes nodes: node i
+// has children 2i+1 and 2i+2 where they exist.
+func BinaryTree(cfg TreeConfig, rng *xrand.Rand) (*sgraph.Graph, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	lo, hi := cfg.weights()
+	b := sgraph.NewBuilder(cfg.Nodes)
+	for i := 0; i < cfg.Nodes; i++ {
+		for _, c := range []int{2*i + 1, 2*i + 2} {
+			if c < cfg.Nodes {
+				b.AddEdge(i, c, cfg.sign(rng), rng.Range(lo, hi))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Path builds a directed path 0 -> 1 -> ... -> Nodes-1.
+func Path(cfg TreeConfig, rng *xrand.Rand) (*sgraph.Graph, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	lo, hi := cfg.weights()
+	b := sgraph.NewBuilder(cfg.Nodes)
+	for i := 0; i+1 < cfg.Nodes; i++ {
+		b.AddEdge(i, i+1, cfg.sign(rng), rng.Range(lo, hi))
+	}
+	return b.Build()
+}
+
+// Star builds a star with node 0 at the center and edges 0 -> i.
+func Star(cfg TreeConfig, rng *xrand.Rand) (*sgraph.Graph, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	lo, hi := cfg.weights()
+	b := sgraph.NewBuilder(cfg.Nodes)
+	for i := 1; i < cfg.Nodes; i++ {
+		b.AddEdge(0, i, cfg.sign(rng), rng.Range(lo, hi))
+	}
+	return b.Build()
+}

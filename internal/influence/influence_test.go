@@ -1,0 +1,209 @@
+package influence
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/sgraph"
+	"repro/internal/xrand"
+)
+
+func testGraph(t *testing.T) *sgraph.Graph {
+	t.Helper()
+	g, err := gen.PreferentialAttachment(gen.Config{
+		Nodes: 300, Edges: 1500, PositiveRatio: 0.8,
+		WeightLow: 0.02, WeightHigh: 0.2,
+	}, xrand.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g.Reverse()
+}
+
+func TestEstimateSpreadBasics(t *testing.T) {
+	g := testGraph(t)
+	cfg := Config{K: 1, Samples: 50}
+	s, err := EstimateSpread(g, []int{0}, cfg, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s < 1 {
+		t.Errorf("spread = %g, want >= 1 (the seed itself)", s)
+	}
+	// More seeds never shrink estimated spread materially.
+	s2, err := EstimateSpread(g, []int{0, 1, 2, 3, 4}, cfg, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2 < s {
+		t.Errorf("5-seed spread %g below 1-seed %g", s2, s)
+	}
+}
+
+func TestEstimateSpreadObjectives(t *testing.T) {
+	// A deterministic star with one negative link: seed activates all
+	// leaves; exactly one turns negative.
+	b := sgraph.NewBuilder(4)
+	b.AddEdge(0, 1, sgraph.Positive, 1)
+	b.AddEdge(0, 2, sgraph.Positive, 1)
+	b.AddEdge(0, 3, sgraph.Negative, 1)
+	g := b.MustBuild()
+	rng := xrand.New(2)
+	all, err := EstimateSpread(g, []int{0}, Config{K: 1, Samples: 10}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all != 4 {
+		t.Errorf("total spread = %g, want 4", all)
+	}
+	pos, err := EstimateSpread(g, []int{0}, Config{K: 1, Samples: 10, Objective: MaximizePositive}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos != 3 {
+		t.Errorf("positive spread = %g, want 3", pos)
+	}
+	net, err := EstimateSpread(g, []int{0}, Config{K: 1, Samples: 10, Objective: MaximizeNetPositive}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net != 2 {
+		t.Errorf("net spread = %g, want 2", net)
+	}
+}
+
+func TestGreedyBeatsRandomAndMatchesDegreeOrBetter(t *testing.T) {
+	g := testGraph(t)
+	cfg := Config{K: 5, Samples: 60}
+	rng := xrand.New(7)
+	res, err := Greedy(g, cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Seeds) != 5 || len(res.Gains) != 5 {
+		t.Fatalf("result = %+v", res)
+	}
+	seen := map[int]bool{}
+	for _, s := range res.Seeds {
+		if seen[s] {
+			t.Fatalf("duplicate seed %d", s)
+		}
+		seen[s] = true
+	}
+	randSeeds, err := RandomSeeds(g, 5, xrand.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	randSpread, err := EstimateSpread(g, randSeeds, cfg, xrand.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Greedy should clearly beat random seeding.
+	if res.Spread <= randSpread {
+		t.Errorf("greedy spread %g not above random %g", res.Spread, randSpread)
+	}
+	degSeeds, err := DegreeTop(g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	degSpread, err := EstimateSpread(g, degSeeds, cfg, xrand.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Greedy should be at least competitive with pure degree (small
+	// tolerance for Monte Carlo noise).
+	if res.Spread < 0.85*degSpread {
+		t.Errorf("greedy spread %g far below degree baseline %g", res.Spread, degSpread)
+	}
+}
+
+func TestGreedyDeterministic(t *testing.T) {
+	g := testGraph(t)
+	cfg := Config{K: 3, Samples: 30}
+	a, err := Greedy(g, cfg, xrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Greedy(g, cfg, xrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Seeds {
+		if a.Seeds[i] != b.Seeds[i] {
+			t.Fatal("greedy nondeterministic under fixed seed")
+		}
+	}
+}
+
+func TestGreedyGainsNonIncreasingish(t *testing.T) {
+	g := testGraph(t)
+	res, err := Greedy(g, Config{K: 4, Samples: 80}, xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Marginal gains should roughly decrease (lazy greedy with noise):
+	// allow slack but catch gross inversions.
+	for i := 1; i < len(res.Gains); i++ {
+		if res.Gains[i] > res.Gains[0]*1.5+5 {
+			t.Errorf("gain %d (%g) wildly above first gain (%g)", i, res.Gains[i], res.Gains[0])
+		}
+	}
+}
+
+func TestCandidateRestriction(t *testing.T) {
+	g := testGraph(t)
+	cands := []int{10, 11, 12, 13}
+	res, err := Greedy(g, Config{K: 2, Samples: 20, Candidates: cands}, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	allowed := map[int]bool{10: true, 11: true, 12: true, 13: true}
+	for _, s := range res.Seeds {
+		if !allowed[s] {
+			t.Errorf("seed %d outside candidate set", s)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	g := testGraph(t)
+	rng := xrand.New(1)
+	if _, err := Greedy(g, Config{K: 0}, rng); err == nil {
+		t.Error("K=0 should error")
+	}
+	if _, err := Greedy(g, Config{K: 5, Alpha: 0.5}, rng); err == nil {
+		t.Error("alpha<1 should error")
+	}
+	if _, err := Greedy(g, Config{K: 3, Candidates: []int{1}}, rng); err == nil {
+		t.Error("K above candidate count should error")
+	}
+	// StateInactive is the zero value and means "default to positive".
+	if _, err := EstimateSpread(g, []int{0}, Config{K: 1, Samples: 1, SeedState: sgraph.StateInactive}, rng); err != nil {
+		t.Errorf("zero-value seed state should default, got %v", err)
+	}
+	if _, err := Greedy(g, Config{K: 1, SeedState: sgraph.StateUnknown}, rng); err == nil {
+		t.Error("unknown seed state should error")
+	}
+	if _, err := DegreeTop(g, 0); err == nil {
+		t.Error("DegreeTop K=0 should error")
+	}
+	if _, err := RandomSeeds(g, -1, rng); err == nil {
+		t.Error("RandomSeeds K<0 should error")
+	}
+}
+
+func TestDegreeTop(t *testing.T) {
+	b := sgraph.NewBuilder(4)
+	b.AddEdge(2, 0, sgraph.Positive, 0.5)
+	b.AddEdge(2, 1, sgraph.Positive, 0.5)
+	b.AddEdge(2, 3, sgraph.Positive, 0.5)
+	b.AddEdge(1, 0, sgraph.Positive, 0.5)
+	g := b.MustBuild()
+	top, err := DegreeTop(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top[0] != 2 || top[1] != 1 {
+		t.Errorf("DegreeTop = %v, want [2 1]", top)
+	}
+}

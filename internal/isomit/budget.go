@@ -1,0 +1,199 @@
+package isomit
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cascade"
+)
+
+// SolveBudget runs the k-ISOMIT-BT dynamic program of Section III-D: the
+// maximum partition score achievable with exactly k initiators on a binary
+// tree (fan-out at most 2 — binarize general trees first with
+// Tree.Binarize). The recursion follows the paper's three cases at every
+// node u: u is not an initiator (budget split across children, u governed
+// from above), or u is an initiator (budget k−1 split across children, u
+// governing below). Dummy nodes can never be initiators and contribute no
+// score. Returns an error if the tree is not binary or k is infeasible
+// (more initiators than real nodes).
+func SolveBudget(t *cascade.Tree, k int) (*Result, error) {
+	if t.MaxFanout() > 2 {
+		return nil, fmt.Errorf("isomit: SolveBudget requires a binary tree (fan-out %d); call Binarize first", t.MaxFanout())
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("isomit: k must be >= 1, got %d", k)
+	}
+	if real := t.NumReal(); k > real {
+		return nil, fmt.Errorf("isomit: k=%d exceeds %d real nodes", k, real)
+	}
+	n := t.Len()
+	depth := make([]int, n)
+	for v := 1; v < n; v++ {
+		depth[v] = depth[t.Parent[v]] + 1
+	}
+	maxDepth := 0
+	for _, d := range depth {
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	// memo[(u*(maxDepth+2) + govIdx)*(k+1) + j]; govIdx 0 = no governing
+	// initiator, d+1 = governing initiator at depth d on u's root path.
+	memoLen := n * (maxDepth + 2) * (k + 1)
+	memo := make([]float64, memoLen)
+	seen := make([]bool, memoLen)
+	key := func(u, govIdx, j int) int { return (u*(maxDepth+2)+govIdx)*(k+1) + j }
+
+	var solve func(u, govIdx int, q float64, j int) float64
+	solve = func(u, govIdx int, q float64, j int) float64 {
+		if j < 0 {
+			return negInf
+		}
+		kk := key(u, govIdx, j)
+		if seen[kk] {
+			return memo[kk]
+		}
+		children := t.Children[u]
+		// Case 1: u is not an initiator.
+		own := 0.0
+		if !t.Dummy[u] {
+			own = q
+		}
+		best := own + splitBudget(t, children, govIdx, q, j, solve)
+		// Cases 2-3: u is an initiator (the ±1 state branch collapses to
+		// the observed/imputed state, which scores 1; the contradicting
+		// state scores 0 by the paper's single-node base case and can
+		// never help under partition semantics).
+		if !t.Dummy[u] && j >= 1 {
+			if b := 1 + splitBudget(t, children, depth[u]+1, 1, j-1, solve); b > best {
+				best = b
+			}
+		}
+		memo[kk] = best
+		seen[kk] = true
+		return best
+	}
+	total := solve(0, 0, 0, k)
+	if math.IsInf(total, -1) {
+		return nil, fmt.Errorf("isomit: no feasible assignment of %d initiators", k)
+	}
+
+	// Reconstruction: re-derive decisions with the memo table hot.
+	var initiators []int
+	var walk func(u, govIdx int, q float64, j int)
+	walk = func(u, govIdx int, q float64, j int) {
+		children := t.Children[u]
+		own := 0.0
+		if !t.Dummy[u] {
+			own = q
+		}
+		notInit := own + splitBudget(t, children, govIdx, q, j, solve)
+		target := solve(u, govIdx, q, j)
+		if !t.Dummy[u] && j >= 1 && target > notInit {
+			initiators = append(initiators, u)
+			walkChildren(t, children, depth[u]+1, 1, j-1, solve, walk)
+			return
+		}
+		walkChildren(t, children, govIdx, q, j, solve, walk)
+	}
+	walk(0, 0, 0, k)
+	res := buildResult(t, initiators, 0)
+	res.Score = total
+	res.Objective = -total
+	return res, nil
+}
+
+// splitBudget distributes budget j across up to two children, with the
+// governing initiator (govIdx, product q at the parent) extended through
+// each child's in-edge.
+func splitBudget(t *cascade.Tree, children []int32, govIdx int, q float64, j int, solve func(int, int, float64, int) float64) float64 {
+	switch len(children) {
+	case 0:
+		if j == 0 {
+			return 0
+		}
+		return negInf
+	case 1:
+		c := int(children[0])
+		return solve(c, govIdx, q*t.Score[c], j)
+	default:
+		a, b := int(children[0]), int(children[1])
+		qa, qb := q*t.Score[a], q*t.Score[b]
+		best := negInf
+		for m := 0; m <= j; m++ {
+			va := solve(a, govIdx, qa, m)
+			if math.IsInf(va, -1) {
+				continue
+			}
+			vb := solve(b, govIdx, qb, j-m)
+			if v := va + vb; v > best {
+				best = v
+			}
+		}
+		return best
+	}
+}
+
+// walkChildren reconstructs the budget split chosen by splitBudget and
+// recurses into each child.
+func walkChildren(t *cascade.Tree, children []int32, govIdx int, q float64, j int, solve func(int, int, float64, int) float64, walk func(int, int, float64, int)) {
+	switch len(children) {
+	case 0:
+	case 1:
+		c := int(children[0])
+		walk(c, govIdx, q*t.Score[c], j)
+	default:
+		a, b := int(children[0]), int(children[1])
+		qa, qb := q*t.Score[a], q*t.Score[b]
+		target := splitBudget(t, children, govIdx, q, j, solve)
+		for m := 0; m <= j; m++ {
+			va := solve(a, govIdx, qa, m)
+			if math.IsInf(va, -1) {
+				continue
+			}
+			if va+solve(b, govIdx, qb, j-m) == target {
+				walk(a, govIdx, qa, m)
+				walk(b, govIdx, qb, j-m)
+				return
+			}
+		}
+		// Floating-point drift should be impossible since the comparison
+		// repeats identical operations, but fall back defensively.
+		walk(a, govIdx, qa, 0)
+		walk(b, govIdx, qb, j)
+	}
+}
+
+// SolveAuto implements the paper's k-selection loop (Section III-E3):
+// starting from k=1, increase k while the objective −OPT + (k−1)·β keeps
+// improving, and return the best stop. This is the faithful incremental
+// search; SolvePenalized reaches the same optimum directly.
+func SolveAuto(t *cascade.Tree, beta float64) (*Result, error) {
+	return autoSearch(t, beta, SolveBudget)
+}
+
+// SolveAutoStates is SolveAuto over the three-case DP with the ±1
+// initiator-state branch (SolveBudgetStates).
+func SolveAutoStates(t *cascade.Tree, beta float64) (*Result, error) {
+	return autoSearch(t, beta, SolveBudgetStates)
+}
+
+func autoSearch(t *cascade.Tree, beta float64, solve func(*cascade.Tree, int) (*Result, error)) (*Result, error) {
+	if beta < 0 {
+		return nil, fmt.Errorf("isomit: beta must be non-negative, got %g", beta)
+	}
+	var best *Result
+	maxK := t.NumReal()
+	for k := 1; k <= maxK; k++ {
+		r, err := solve(t, k)
+		if err != nil {
+			return nil, err
+		}
+		r.Objective = -r.Score + float64(k-1)*beta
+		if best != nil && r.Objective >= best.Objective {
+			break
+		}
+		best = r
+	}
+	return best, nil
+}

@@ -1,0 +1,205 @@
+package isomit
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/cascade"
+	"repro/internal/sgraph"
+)
+
+// SolveBudgetStates is the k-ISOMIT-BT dynamic program with the paper's
+// full three-case recursion (Section III-D): at every node the DP chooses
+// between "not an initiator", "initiator with state +1" and "initiator
+// with state −1". Relative to SolveBudget, the extra branch lets an
+// initiator assume the opposite of its imputed state: its own contribution
+// follows the paper's base case (1 when the assumption matches the
+// observation or the observation is unknown, 0 otherwise) and the g scores
+// of its out-edges are re-evaluated under the flipped state, which can pay
+// off when a cut point's observed state is unknown and its children
+// disagree with the imputation. Exponential neither in n nor k — the state
+// space is (node, governing ancestor, ancestor-state flip, budget).
+func SolveBudgetStates(t *cascade.Tree, k int) (*Result, error) {
+	if t.MaxFanout() > 2 {
+		return nil, fmt.Errorf("isomit: SolveBudgetStates requires a binary tree (fan-out %d)", t.MaxFanout())
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("isomit: k must be >= 1, got %d", k)
+	}
+	if real := t.NumReal(); k > real {
+		return nil, fmt.Errorf("isomit: k=%d exceeds %d real nodes", k, real)
+	}
+	n := t.Len()
+	depth := make([]int, n)
+	maxDepth := 0
+	for v := 1; v < n; v++ {
+		depth[v] = depth[t.Parent[v]] + 1
+		if depth[v] > maxDepth {
+			maxDepth = depth[v]
+		}
+	}
+	memoLen := n * (maxDepth + 2) * 2 * (k + 1)
+	memo := make([]float64, memoLen)
+	seen := make([]bool, memoLen)
+	key := func(u, govIdx, flip, j int) int {
+		return ((u*(maxDepth+2)+govIdx)*2+flip)*(k+1) + j
+	}
+
+	// ownCut returns the base-case contribution of cutting u with the
+	// imputed (flip=0) or opposite (flip=1) state.
+	ownCut := func(u, flip int) float64 {
+		if flip == 0 || t.Observed[u] == sgraph.StateUnknown {
+			return 1
+		}
+		return 0
+	}
+	// hop returns the in-edge score of child c when its parent holds the
+	// imputed state (flip=0) or the opposite (flip=1).
+	hop := func(c, flip int) float64 {
+		if flip == 0 {
+			return t.Score[c]
+		}
+		return t.FlipScore(c, t.State[t.Parent[c]])
+	}
+
+	var solve func(u, govIdx, flip int, q float64, j int) float64
+	split := func(children []int32, govIdx, flip int, q float64, j int, firstHopFlip int) float64 {
+		// firstHopFlip applies only when the governing initiator is the
+		// immediate parent of these children (q == 1 path start).
+		switch len(children) {
+		case 0:
+			if j == 0 {
+				return 0
+			}
+			return negInf
+		case 1:
+			c := int(children[0])
+			return solve(c, govIdx, flip, q*hop(c, firstHopFlip), j)
+		default:
+			a, b := int(children[0]), int(children[1])
+			qa, qb := q*hop(a, firstHopFlip), q*hop(b, firstHopFlip)
+			best := negInf
+			for m := 0; m <= j; m++ {
+				va := solve(a, govIdx, flip, qa, m)
+				if math.IsInf(va, -1) {
+					continue
+				}
+				if v := va + solve(b, govIdx, flip, qb, j-m); v > best {
+					best = v
+				}
+			}
+			return best
+		}
+	}
+	solve = func(u, govIdx, flip int, q float64, j int) float64 {
+		if j < 0 {
+			return negInf
+		}
+		kk := key(u, govIdx, flip, j)
+		if seen[kk] {
+			return memo[kk]
+		}
+		children := t.Children[u]
+		own := 0.0
+		if !t.Dummy[u] {
+			own = q
+		}
+		// Case 1: u is not an initiator; the flip context only affected
+		// u's own in-edge (already folded into q), so children see
+		// unflipped hops.
+		best := own + split(children, govIdx, flip, q, j, 0)
+		if !t.Dummy[u] && j >= 1 {
+			gi := depth[u] + 1
+			// Case 2: initiator keeping the imputed state.
+			if b := ownCut(u, 0) + split(children, gi, 0, 1, j-1, 0); b > best {
+				best = b
+			}
+			// Case 3: initiator assuming the opposite state.
+			if b := ownCut(u, 1) + split(children, gi, 1, 1, j-1, 1); b > best {
+				best = b
+			}
+		}
+		memo[kk] = best
+		seen[kk] = true
+		return best
+	}
+	total := solve(0, 0, 0, 0, k)
+	if math.IsInf(total, -1) {
+		return nil, fmt.Errorf("isomit: no feasible assignment of %d initiators", k)
+	}
+
+	// Reconstruction.
+	res := &Result{K: k, Score: total, Objective: -total}
+	var walk func(u, govIdx, flip int, q float64, j int)
+	walkChildren := func(children []int32, govIdx, flip int, q float64, j int, firstHopFlip int) {
+		switch len(children) {
+		case 0:
+		case 1:
+			c := int(children[0])
+			walk(c, govIdx, flip, q*hop(c, firstHopFlip), j)
+		default:
+			a, b := int(children[0]), int(children[1])
+			qa, qb := q*hop(a, firstHopFlip), q*hop(b, firstHopFlip)
+			target := split(children, govIdx, flip, q, j, firstHopFlip)
+			for m := 0; m <= j; m++ {
+				va := solve(a, govIdx, flip, qa, m)
+				if math.IsInf(va, -1) {
+					continue
+				}
+				if va+solve(b, govIdx, flip, qb, j-m) == target {
+					walk(a, govIdx, flip, qa, m)
+					walk(b, govIdx, flip, qb, j-m)
+					return
+				}
+			}
+			walk(a, govIdx, flip, qa, 0)
+			walk(b, govIdx, flip, qb, j)
+		}
+	}
+	flipState := func(s sgraph.State) sgraph.State {
+		if s == sgraph.StatePositive {
+			return sgraph.StateNegative
+		}
+		return sgraph.StatePositive
+	}
+	walk = func(u, govIdx, flip int, q float64, j int) {
+		children := t.Children[u]
+		target := solve(u, govIdx, flip, q, j)
+		own := 0.0
+		if !t.Dummy[u] {
+			own = q
+		}
+		if own+split(children, govIdx, flip, q, j, 0) == target {
+			walkChildren(children, govIdx, flip, q, j, 0)
+			return
+		}
+		gi := depth[u] + 1
+		if !t.Dummy[u] && j >= 1 && ownCut(u, 0)+split(children, gi, 0, 1, j-1, 0) == target {
+			res.Local = append(res.Local, u)
+			res.Initiators = append(res.Initiators, t.Orig[u])
+			res.States = append(res.States, t.State[u])
+			walkChildren(children, gi, 0, 1, j-1, 0)
+			return
+		}
+		res.Local = append(res.Local, u)
+		res.Initiators = append(res.Initiators, t.Orig[u])
+		res.States = append(res.States, flipState(t.State[u]))
+		walkChildren(children, gi, 1, 1, j-1, 1)
+	}
+	walk(0, 0, 0, 0, k)
+	// Sort by local ID, keeping the parallel slices aligned.
+	order := make([]int, len(res.Local))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return res.Local[order[a]] < res.Local[order[b]] })
+	local := make([]int, len(order))
+	inits := make([]int, len(order))
+	states := make([]sgraph.State, len(order))
+	for i, j := range order {
+		local[i], inits[i], states[i] = res.Local[j], res.Initiators[j], res.States[j]
+	}
+	res.Local, res.Initiators, res.States = local, inits, states
+	return res, nil
+}

@@ -1,0 +1,120 @@
+package isomit
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cascade"
+	"repro/internal/sgraph"
+	"repro/internal/xrand"
+)
+
+func TestSolveBudgetStatesMatchesBruteForce(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 3 + rng.Intn(7)
+		tr := testTree(t, seed, n).Binarize()
+		k := 1 + rng.Intn(min(tr.NumReal(), 5))
+		dp, err := SolveBudgetStates(tr, k)
+		if err != nil {
+			return false
+		}
+		bf, err := BruteForceBudgetStates(tr, k)
+		if err != nil {
+			return false
+		}
+		return math.Abs(dp.Score-bf.Score) < 1e-9 && dp.K == k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveBudgetStatesNeverBelowPlainBudget(t *testing.T) {
+	// The ±1 branch strictly extends the search space, so its optimum can
+	// only match or improve the collapsed DP's.
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 3 + rng.Intn(9)
+		tr := testTree(t, seed, n).Binarize()
+		k := 1 + rng.Intn(min(tr.NumReal(), 4))
+		plain, err := SolveBudget(tr, k)
+		if err != nil {
+			return false
+		}
+		branched, err := SolveBudgetStates(tr, k)
+		if err != nil {
+			return false
+		}
+		return branched.Score >= plain.Score-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveBudgetStatesFlipBranchWins(t *testing.T) {
+	// An unknown-state node whose imputation disagrees with its children:
+	// 0 -+-> 1(?) with two positive out-edges to -1 children. Imputation
+	// makes node 1 positive (consistent with its in-edge), so both child
+	// edges look inconsistent; cutting node 1 with the FLIPPED (-1) state
+	// re-scores both child hops as consistent.
+	b := sgraph.NewBuilder(4)
+	b.AddEdge(0, 1, sgraph.Positive, 0.9)
+	b.AddEdge(1, 2, sgraph.Positive, 0.9)
+	b.AddEdge(1, 3, sgraph.Positive, 0.9)
+	g := b.MustBuild()
+	snap, err := cascade.NewSnapshot(g, []sgraph.State{
+		sgraph.StatePositive, sgraph.StateUnknown, sgraph.StateNegative, sgraph.StateNegative,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	forest, err := cascade.Extract(snap, cascade.Config{Alpha: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := forest.Trees[0].Binarize()
+	// Locate node 1's local ID and confirm the imputation scenario.
+	var local1 int
+	for v := 0; v < tr.Len(); v++ {
+		if tr.Orig[v] == 1 {
+			local1 = v
+		}
+	}
+	if tr.State[local1] != sgraph.StatePositive {
+		t.Skipf("imputation picked %v; scenario needs +1", tr.State[local1])
+	}
+	plain, err := SolveBudget(tr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	branched, err := SolveBudgetStates(tr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if branched.Score <= plain.Score {
+		t.Errorf("flip branch did not help: %g vs %g", branched.Score, plain.Score)
+	}
+	// The flipped initiator must be node 1 with state -1.
+	found := false
+	for i, v := range branched.Initiators {
+		if v == 1 && branched.States[i] == sgraph.StateNegative {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected node 1 flipped to -1; got %v / %v", branched.Initiators, branched.States)
+	}
+}
+
+func TestSolveBudgetStatesValidation(t *testing.T) {
+	tr := pathTree(t, 0.5, 0.5)
+	if _, err := SolveBudgetStates(tr, 0); err == nil {
+		t.Error("k=0 should error")
+	}
+	if _, err := SolveBudgetStates(tr, 10); err == nil {
+		t.Error("k>n should error")
+	}
+}

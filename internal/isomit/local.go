@@ -1,0 +1,86 @@
+package isomit
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cascade"
+)
+
+// DefaultLambda is the log-likelihood normalizer of the local objective:
+// −ln of the default sign-inconsistent link floor (1e-12), so that β = 1
+// corresponds exactly to the least likely representable activation link.
+var DefaultLambda = -math.Log(1e-12)
+
+// SolveLocal optimizes the Markov (one-hop conditional) log-likelihood form
+// of the per-tree objective. Each non-initiator node contributes the log of
+// the MFC activation probability of its own in-edge given its parent is
+// active — the paper's P(u, s(u)|I, S) for a length-one path — and each
+// initiator pays the penalty β·Λ, with Λ = −log(InconsistentFloor)
+// normalizing β to the paper's [0, 1] axis:
+//
+//	objective = −Σ_v log score(v) + (k−1)·β·Λ
+//
+// The objective decomposes per node, so the exact optimum is a threshold
+// rule: besides the root, cut precisely the nodes whose in-edge score falls
+// below e^(−β·Λ). β therefore sweeps the full behavioral range on [0, 1]:
+// β = 0 shatters every tree into single nodes, β = 1 keeps extracted trees
+// whole except links at or below the inconsistency floor — matching the
+// paper's description of the parameter and its Figures 5–6 sweep.
+//
+// Compared to SolvePenalized (the literal path-product partition
+// objective), the local form is scale-free in tree depth: a long chain of
+// individually plausible activations is never cut just because the
+// compound product from the root decays. The two are compared by an
+// ablation bench.
+func SolveLocal(t *cascade.Tree, beta, lambda float64) (*Result, error) {
+	if beta < 0 {
+		return nil, fmt.Errorf("isomit: beta must be non-negative, got %g", beta)
+	}
+	if lambda == 0 {
+		lambda = DefaultLambda
+	}
+	if lambda <= 0 {
+		return nil, fmt.Errorf("isomit: lambda must be positive, got %g", lambda)
+	}
+	if t.Len() == 0 {
+		return nil, fmt.Errorf("isomit: empty tree")
+	}
+	threshold := math.Exp(-beta * lambda)
+	initiators := []int{0}
+	for v := 1; v < t.Len(); v++ {
+		if t.Dummy[v] {
+			continue
+		}
+		if t.Score[v] < threshold {
+			initiators = append(initiators, v)
+		}
+	}
+	r := buildResult(t, initiators, beta*lambda)
+	r.Score = LocalLogScore(t, initiators)
+	r.Objective = -r.Score + float64(r.K-1)*beta*lambda
+	return r, nil
+}
+
+// LocalLogScore evaluates the Markov log objective for an explicit
+// initiator set: initiators contribute 0 (their own activation is assumed),
+// other real nodes contribute log of their in-edge score, and a real
+// non-initiator root (possible in hand-built sets) contributes the log of
+// an impossible activation, -Inf; dummies contribute nothing.
+func LocalLogScore(t *cascade.Tree, initiators []int) float64 {
+	isInit := make([]bool, t.Len())
+	for _, v := range initiators {
+		isInit[v] = true
+	}
+	total := 0.0
+	for v := 0; v < t.Len(); v++ {
+		if t.Dummy[v] || isInit[v] {
+			continue
+		}
+		if v == 0 {
+			return math.Inf(-1) // ungoverned root: impossible snapshot
+		}
+		total += math.Log(t.Score[v])
+	}
+	return total
+}

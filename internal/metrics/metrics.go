@@ -1,0 +1,188 @@
+// Package metrics implements the paper's evaluation measures: identity
+// retrieval metrics (precision, recall, F1) for detected rumor initiators
+// and state-inference metrics (accuracy, MAE, R²) over the correctly
+// identified ones, plus small helpers for aggregating repeated trials.
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sgraph"
+)
+
+// Identity holds retrieval quality of a detected initiator set against the
+// ground truth.
+type Identity struct {
+	TruePositives int
+	Detected      int
+	Actual        int
+	Precision     float64
+	Recall        float64
+	F1            float64
+}
+
+// EvalIdentity compares detected initiators against the ground-truth set.
+// Duplicates in either slice are collapsed.
+func EvalIdentity(detected, actual []int) Identity {
+	det := toSet(detected)
+	act := toSet(actual)
+	id := Identity{Detected: len(det), Actual: len(act)}
+	for v := range det {
+		if act[v] {
+			id.TruePositives++
+		}
+	}
+	if id.Detected > 0 {
+		id.Precision = float64(id.TruePositives) / float64(id.Detected)
+	}
+	if id.Actual > 0 {
+		id.Recall = float64(id.TruePositives) / float64(id.Actual)
+	}
+	if id.Precision+id.Recall > 0 {
+		id.F1 = 2 * id.Precision * id.Recall / (id.Precision + id.Recall)
+	}
+	return id
+}
+
+func toSet(xs []int) map[int]bool {
+	s := make(map[int]bool, len(xs))
+	for _, x := range xs {
+		s[x] = true
+	}
+	return s
+}
+
+// States holds state-inference quality over correctly identified
+// initiators (the paper's Figure 6 metrics). R² follows the coefficient-
+// of-determination convention against the mean of the true values; with a
+// constant truth vector it degenerates to 1 when predictions are exact and
+// 0 otherwise.
+type States struct {
+	Compared int
+	Accuracy float64
+	MAE      float64
+	R2       float64
+}
+
+// EvalStates compares inferred initial states against ground truth for the
+// initiators present in both sets. detected/detStates and actual/actStates
+// are parallel slices. States must be concrete (+1/-1); others are
+// rejected.
+func EvalStates(detected []int, detStates []sgraph.State, actual []int, actStates []sgraph.State) (States, error) {
+	if len(detected) != len(detStates) {
+		return States{}, fmt.Errorf("metrics: %d detected with %d states", len(detected), len(detStates))
+	}
+	if len(actual) != len(actStates) {
+		return States{}, fmt.Errorf("metrics: %d actual with %d states", len(actual), len(actStates))
+	}
+	truth := make(map[int]float64, len(actual))
+	for i, v := range actual {
+		if !actStates[i].Active() {
+			return States{}, fmt.Errorf("metrics: non-concrete actual state %v", actStates[i])
+		}
+		truth[v] = float64(int(actStates[i]))
+	}
+	var pred, act []float64
+	correct := 0
+	for i, v := range detected {
+		tv, ok := truth[v]
+		if !ok {
+			continue // not a true initiator: identity metrics cover this
+		}
+		if !detStates[i].Active() {
+			return States{}, fmt.Errorf("metrics: non-concrete detected state %v", detStates[i])
+		}
+		pv := float64(int(detStates[i]))
+		pred = append(pred, pv)
+		act = append(act, tv)
+		if pv == tv {
+			correct++
+		}
+	}
+	st := States{Compared: len(pred)}
+	if st.Compared == 0 {
+		return st, nil
+	}
+	st.Accuracy = float64(correct) / float64(st.Compared)
+	var absErr, mean float64
+	for i := range pred {
+		absErr += math.Abs(pred[i] - act[i])
+		mean += act[i]
+	}
+	st.MAE = absErr / float64(st.Compared)
+	mean /= float64(st.Compared)
+	var ssRes, ssTot float64
+	for i := range pred {
+		ssRes += (act[i] - pred[i]) * (act[i] - pred[i])
+		ssTot += (act[i] - mean) * (act[i] - mean)
+	}
+	switch {
+	case ssTot > 0:
+		st.R2 = 1 - ssRes/ssTot
+	case ssRes == 0:
+		st.R2 = 1
+	default:
+		st.R2 = 0
+	}
+	return st, nil
+}
+
+// PrecisionAtK returns the fraction of true initiators among the first k
+// entries of a confidence-ranked detection list. k larger than the list
+// evaluates the whole list; k < 1 or an empty list yields 0.
+func PrecisionAtK(ranked, actual []int, k int) float64 {
+	if k < 1 || len(ranked) == 0 {
+		return 0
+	}
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	act := toSet(actual)
+	hits := 0
+	for _, v := range ranked[:k] {
+		if act[v] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(k)
+}
+
+// Summary aggregates a series of observations.
+type Summary struct {
+	N         int
+	Mean, Std float64
+	Min, Max  float64
+}
+
+// Summarize computes mean, sample standard deviation and extremes.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if s.N == 0 {
+		return s
+	}
+	s.Min, s.Max = xs[0], xs[0]
+	for _, x := range xs {
+		s.Mean += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean /= float64(s.N)
+	if s.N > 1 {
+		var ss float64
+		for _, x := range xs {
+			ss += (x - s.Mean) * (x - s.Mean)
+		}
+		s.Std = math.Sqrt(ss / float64(s.N-1))
+	}
+	return s
+}
+
+// String renders "mean ± std" for reports.
+func (s Summary) String() string {
+	return fmt.Sprintf("%.4f ± %.4f", s.Mean, s.Std)
+}

@@ -1,0 +1,198 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sgraph"
+	"repro/internal/xrand"
+)
+
+func TestEvalIdentity(t *testing.T) {
+	tests := []struct {
+		name             string
+		detected, actual []int
+		wantP, wantR     float64
+	}{
+		{"perfect", []int{1, 2, 3}, []int{1, 2, 3}, 1, 1},
+		{"half precision", []int{1, 2, 3, 4}, []int{1, 2}, 0.5, 1},
+		{"half recall", []int{1}, []int{1, 2}, 1, 0.5},
+		{"disjoint", []int{5, 6}, []int{1, 2}, 0, 0},
+		{"empty detected", nil, []int{1}, 0, 0},
+		{"duplicates collapsed", []int{1, 1, 2}, []int{1, 2}, 1, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			id := EvalIdentity(tt.detected, tt.actual)
+			if id.Precision != tt.wantP || id.Recall != tt.wantR {
+				t.Errorf("P/R = %g/%g, want %g/%g", id.Precision, id.Recall, tt.wantP, tt.wantR)
+			}
+			if tt.wantP+tt.wantR > 0 {
+				wantF1 := 2 * tt.wantP * tt.wantR / (tt.wantP + tt.wantR)
+				if math.Abs(id.F1-wantF1) > 1e-12 {
+					t.Errorf("F1 = %g, want %g", id.F1, wantF1)
+				}
+			} else if id.F1 != 0 {
+				t.Errorf("F1 = %g, want 0", id.F1)
+			}
+		})
+	}
+}
+
+func TestF1HarmonicMeanProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		var detected, actual []int
+		for i := 0; i < 20; i++ {
+			if rng.Bool(0.4) {
+				detected = append(detected, i)
+			}
+			if rng.Bool(0.4) {
+				actual = append(actual, i)
+			}
+		}
+		id := EvalIdentity(detected, actual)
+		if id.Precision < 0 || id.Precision > 1 || id.Recall < 0 || id.Recall > 1 {
+			return false
+		}
+		// F1 lies between min and max of P and R.
+		lo, hi := math.Min(id.Precision, id.Recall), math.Max(id.Precision, id.Recall)
+		return id.F1 >= lo-1e-12 && id.F1 <= hi+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvalStates(t *testing.T) {
+	pos, neg := sgraph.StatePositive, sgraph.StateNegative
+	detected := []int{1, 2, 3, 9}
+	detStates := []sgraph.State{pos, neg, pos, pos} // 9 is a false positive: skipped
+	actual := []int{1, 2, 3, 4}
+	actStates := []sgraph.State{pos, pos, pos, neg}
+	st, err := EvalStates(detected, detStates, actual, actStates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Compared != 3 {
+		t.Fatalf("Compared = %d, want 3", st.Compared)
+	}
+	if math.Abs(st.Accuracy-2.0/3.0) > 1e-12 {
+		t.Errorf("Accuracy = %g, want 2/3", st.Accuracy)
+	}
+	// One wrong prediction of magnitude 2 among 3: MAE = 2/3.
+	if math.Abs(st.MAE-2.0/3.0) > 1e-12 {
+		t.Errorf("MAE = %g, want 2/3", st.MAE)
+	}
+}
+
+func TestEvalStatesPerfect(t *testing.T) {
+	pos, neg := sgraph.StatePositive, sgraph.StateNegative
+	st, err := EvalStates([]int{1, 2}, []sgraph.State{pos, neg}, []int{1, 2}, []sgraph.State{pos, neg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Accuracy != 1 || st.MAE != 0 || st.R2 != 1 {
+		t.Errorf("perfect = %+v", st)
+	}
+}
+
+func TestEvalStatesR2(t *testing.T) {
+	pos, neg := sgraph.StatePositive, sgraph.StateNegative
+	// Truth: +1, +1, -1, -1; prediction: +1, +1, -1, +1.
+	st, err := EvalStates(
+		[]int{1, 2, 3, 4}, []sgraph.State{pos, pos, neg, pos},
+		[]int{1, 2, 3, 4}, []sgraph.State{pos, pos, neg, neg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// mean = 0, ssTot = 4, ssRes = 4 -> R2 = 0.
+	if math.Abs(st.R2) > 1e-12 {
+		t.Errorf("R2 = %g, want 0", st.R2)
+	}
+}
+
+func TestEvalStatesConstantTruth(t *testing.T) {
+	pos := sgraph.StatePositive
+	// All-true-positive constant truth with exact predictions: R2 = 1.
+	st, err := EvalStates([]int{1, 2}, []sgraph.State{pos, pos}, []int{1, 2}, []sgraph.State{pos, pos})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.R2 != 1 {
+		t.Errorf("constant-truth exact R2 = %g, want 1", st.R2)
+	}
+	// Constant truth with a wrong prediction: R2 = 0 by convention.
+	st, err = EvalStates([]int{1, 2}, []sgraph.State{pos, sgraph.StateNegative}, []int{1, 2}, []sgraph.State{pos, pos})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.R2 != 0 {
+		t.Errorf("constant-truth wrong R2 = %g, want 0", st.R2)
+	}
+}
+
+func TestEvalStatesNoOverlap(t *testing.T) {
+	st, err := EvalStates([]int{5}, []sgraph.State{sgraph.StatePositive}, []int{1}, []sgraph.State{sgraph.StatePositive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Compared != 0 || st.Accuracy != 0 {
+		t.Errorf("no overlap = %+v", st)
+	}
+}
+
+func TestEvalStatesValidation(t *testing.T) {
+	pos := sgraph.StatePositive
+	if _, err := EvalStates([]int{1}, nil, nil, nil); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := EvalStates(nil, nil, []int{1}, []sgraph.State{sgraph.StateUnknown}); err == nil {
+		t.Error("unknown actual state should error")
+	}
+	if _, err := EvalStates([]int{1}, []sgraph.State{sgraph.StateInactive}, []int{1}, []sgraph.State{pos}); err == nil {
+		t.Error("inactive detected state should error")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Errorf("Summarize = %+v", s)
+	}
+	wantStd := math.Sqrt((2.25 + 0.25 + 0.25 + 2.25) / 3)
+	if math.Abs(s.Std-wantStd) > 1e-12 {
+		t.Errorf("Std = %g, want %g", s.Std, wantStd)
+	}
+	if got := Summarize(nil); got.N != 0 || got.Mean != 0 {
+		t.Errorf("empty Summarize = %+v", got)
+	}
+	if got := Summarize([]float64{7}); got.Std != 0 || got.Mean != 7 {
+		t.Errorf("single Summarize = %+v", got)
+	}
+}
+
+func TestPrecisionAtK(t *testing.T) {
+	ranked := []int{5, 3, 9, 1}
+	actual := []int{5, 9}
+	tests := []struct {
+		k    int
+		want float64
+	}{
+		{1, 1},
+		{2, 0.5},
+		{3, 2.0 / 3.0},
+		{4, 0.5},
+		{10, 0.5}, // clamped to list length
+		{0, 0},
+	}
+	for _, tt := range tests {
+		if got := PrecisionAtK(ranked, actual, tt.k); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("P@%d = %g, want %g", tt.k, got, tt.want)
+		}
+	}
+	if got := PrecisionAtK(nil, actual, 3); got != 0 {
+		t.Errorf("empty ranked P@3 = %g", got)
+	}
+}

@@ -1,0 +1,157 @@
+package setcover
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/diffusion"
+	"repro/internal/sgraph"
+	"repro/internal/xrand"
+)
+
+func sample() Instance {
+	return Instance{
+		NumElements: 5,
+		Subsets: [][]int{
+			{0, 1},
+			{1, 2, 3},
+			{3, 4},
+			{0, 4},
+			{2},
+		},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := sample().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Instance{NumElements: 3, Subsets: [][]int{{0, 5}}}
+	if bad.Validate() == nil {
+		t.Error("out-of-range element should fail")
+	}
+	uncov := Instance{NumElements: 3, Subsets: [][]int{{0, 1}}}
+	if uncov.Validate() == nil {
+		t.Error("uncovered element should fail")
+	}
+}
+
+func TestGreedy(t *testing.T) {
+	chosen, err := Greedy(sample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sample().Covers(chosen) {
+		t.Fatalf("greedy pick %v does not cover", chosen)
+	}
+	// Optimal here is 2 subsets ({1,2,3} + {0,4}); greedy finds it.
+	if len(chosen) != 2 {
+		t.Errorf("greedy size = %d, want 2", len(chosen))
+	}
+}
+
+func TestGreedyAlwaysCovers(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 1 + rng.Intn(10)
+		m := 1 + rng.Intn(8)
+		in := Instance{NumElements: n, Subsets: make([][]int, m)}
+		for j := 0; j < m; j++ {
+			for e := 0; e < n; e++ {
+				if rng.Bool(0.4) {
+					in.Subsets[j] = append(in.Subsets[j], e)
+				}
+			}
+		}
+		// ensure feasibility with a catch-all subset
+		all := make([]int, n)
+		for e := range all {
+			all[e] = e
+		}
+		in.Subsets = append(in.Subsets, all)
+		chosen, err := Greedy(in)
+		return err == nil && in.Covers(chosen)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReduceStructure(t *testing.T) {
+	in := sample()
+	red, err := Reduce(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, m := in.NumElements, len(in.Subsets)
+	if red.G.NumNodes() != n+m+1 {
+		t.Fatalf("nodes = %d, want %d", red.G.NumNodes(), n+m+1)
+	}
+	// subset -> element links with weight 1
+	for j, s := range in.Subsets {
+		for _, e := range s {
+			edge, ok := red.G.HasEdge(red.SubsetNode[j], red.ElementNode[e])
+			if !ok || edge.Weight != 1 || edge.Sign != sgraph.Positive {
+				t.Errorf("missing subset->element link %d->%d", j, e)
+			}
+		}
+	}
+	// element -> dummy links with weight 1/n
+	for _, en := range red.ElementNode {
+		edge, ok := red.G.HasEdge(en, red.Dummy)
+		if !ok || edge.Weight != 1/float64(n) {
+			t.Errorf("missing element->dummy link from %d", en)
+		}
+	}
+	// dummy -> subset links with weight 1
+	for _, sn := range red.SubsetNode {
+		if _, ok := red.G.HasEdge(red.Dummy, sn); !ok {
+			t.Errorf("missing dummy->subset link to %d", sn)
+		}
+	}
+	for _, s := range red.States {
+		if s != sgraph.StatePositive {
+			t.Error("all states should be +1")
+		}
+	}
+}
+
+func TestReductionSeedsActivateCoveredElements(t *testing.T) {
+	// Seeding MFC with the greedy cover's subset nodes (weight-1 links
+	// are deterministic) must activate every element node with state +1.
+	in := sample()
+	red, err := Reduce(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chosen, err := Greedy(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := make([]int, len(chosen))
+	states := make([]sgraph.State, len(chosen))
+	for i, si := range chosen {
+		seeds[i] = red.SubsetNode[si]
+		states[i] = sgraph.StatePositive
+	}
+	c, err := diffusion.MFC(red.G, seeds, states, diffusion.MFCConfig{Alpha: 1}, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, en := range red.ElementNode {
+		if c.States[en] != sgraph.StatePositive {
+			t.Errorf("element node %d not activated", en)
+		}
+	}
+}
+
+func TestCoverFromInitiators(t *testing.T) {
+	red, err := Reduce(sample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := red.CoverFromInitiators([]int{red.SubsetNode[2], red.ElementNode[0], red.Dummy, red.SubsetNode[0]})
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("cover = %v, want [0 2]", got)
+	}
+}

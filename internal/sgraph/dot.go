@@ -1,0 +1,50 @@
+package sgraph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders the graph in Graphviz DOT format: positive links solid,
+// negative links dashed red, and — when states is non-nil (length
+// NumNodes) — nodes colored by state (+1 green, -1 red, ? gray, inactive
+// unfilled). Handy for eyeballing small infected subgraphs:
+//
+//	dot -Tsvg out.dot > out.svg
+func WriteDOT(w io.Writer, g *Graph, name string, states []State) error {
+	if states != nil && len(states) != g.NumNodes() {
+		return fmt.Errorf("sgraph: %d states for %d nodes", len(states), g.NumNodes())
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "digraph %q {\n", name)
+	fmt.Fprintf(bw, "  node [shape=circle fontsize=10];\n")
+	if states != nil {
+		for v, s := range states {
+			switch s {
+			case StatePositive:
+				fmt.Fprintf(bw, "  %d [style=filled fillcolor=palegreen];\n", v)
+			case StateNegative:
+				fmt.Fprintf(bw, "  %d [style=filled fillcolor=lightcoral];\n", v)
+			case StateUnknown:
+				fmt.Fprintf(bw, "  %d [style=filled fillcolor=lightgray label=\"%d?\"];\n", v, v)
+			}
+		}
+	}
+	var err error
+	g.Edges(func(e Edge) {
+		if err != nil {
+			return
+		}
+		attrs := fmt.Sprintf("label=\"%.2f\"", e.Weight)
+		if e.Sign == Negative {
+			attrs += " style=dashed color=red"
+		}
+		_, err = fmt.Fprintf(bw, "  %d -> %d [%s];\n", e.From, e.To, attrs)
+	})
+	if err != nil {
+		return fmt.Errorf("sgraph: %w", err)
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

@@ -1,0 +1,50 @@
+package sgraph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	g := mustGraph(t, 3, []Edge{
+		{From: 0, To: 1, Sign: Positive, Weight: 0.5},
+		{From: 1, To: 2, Sign: Negative, Weight: 0.25},
+	})
+	states := []State{StatePositive, StateNegative, StateUnknown}
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, g, "test", states); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`digraph "test"`,
+		"0 -> 1",
+		"1 -> 2",
+		"style=dashed color=red",
+		"palegreen",
+		"lightcoral",
+		"lightgray",
+		`label="0.50"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	// Without states: no fills.
+	buf.Reset()
+	if err := WriteDOT(&buf, g, "plain", nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "palegreen") {
+		t.Error("stateless DOT should not color nodes")
+	}
+}
+
+func TestWriteDOTValidation(t *testing.T) {
+	g := mustGraph(t, 2, []Edge{{From: 0, To: 1, Sign: Positive, Weight: 0.5}})
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, g, "bad", []State{StatePositive}); err == nil {
+		t.Error("state length mismatch should error")
+	}
+}

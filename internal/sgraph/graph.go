@@ -1,0 +1,321 @@
+// Package sgraph implements the weighted signed directed graph substrate of
+// the paper (Definitions 1–3): signed social networks, their reversed
+// diffusion networks, induced infected subgraphs, undirected connected
+// components, and the Jaccard-coefficient edge weighting used by the
+// experimental setup.
+//
+// Graphs are stored in a compact adjacency form: a flat edge array plus
+// per-node out-edge and in-edge index slices (CSR-like), built once by
+// Builder.Build. Node IDs are dense ints in [0, NumNodes).
+package sgraph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Sign is the polarity of a link or the belief state of a node: +1 or -1.
+// The zero value is invalid for links; node states additionally use
+// StateInactive and StateUnknown (see State).
+type Sign int8
+
+// Link polarities.
+const (
+	Positive Sign = +1
+	Negative Sign = -1
+)
+
+// String returns "+" or "-" (or "0"/"?" for non-link values).
+func (s Sign) String() string {
+	switch s {
+	case Positive:
+		return "+"
+	case Negative:
+		return "-"
+	default:
+		return fmt.Sprintf("Sign(%d)", int8(s))
+	}
+}
+
+// Edge is one directed signed weighted link u -> v.
+type Edge struct {
+	From, To int
+	Sign     Sign
+	Weight   float64
+}
+
+// Graph is an immutable weighted signed directed graph. Build one with a
+// Builder. The zero value is an empty graph.
+type Graph struct {
+	n     int
+	edges []Edge
+	// outIdx[u] lists indices into edges of u's out-links, sorted by To.
+	outIdx [][]int32
+	// inIdx[v] lists indices into edges of v's in-links, sorted by From.
+	inIdx [][]int32
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return g.n }
+
+// NumEdges returns the number of directed links.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Edge returns the i-th edge in insertion order. It panics if i is out of
+// range.
+func (g *Graph) Edge(i int) Edge { return g.edges[i] }
+
+// Edges calls fn for every edge. Iteration order is insertion order.
+func (g *Graph) Edges(fn func(Edge)) {
+	for i := range g.edges {
+		fn(g.edges[i])
+	}
+}
+
+// OutDegree returns the number of out-links of u.
+func (g *Graph) OutDegree(u int) int { return len(g.outIdx[u]) }
+
+// InDegree returns the number of in-links of v.
+func (g *Graph) InDegree(v int) int { return len(g.inIdx[v]) }
+
+// Out calls fn for each out-link of u, in ascending order of target ID.
+func (g *Graph) Out(u int, fn func(Edge)) {
+	for _, i := range g.outIdx[u] {
+		fn(g.edges[i])
+	}
+}
+
+// OutIndexed calls fn for each out-link of u with the edge's stable index
+// (as accepted by Edge), in ascending order of target ID. Simulators use
+// the index to track per-edge state in dense arrays.
+func (g *Graph) OutIndexed(u int, fn func(i int, e Edge)) {
+	for _, i := range g.outIdx[u] {
+		fn(int(i), g.edges[i])
+	}
+}
+
+// In calls fn for each in-link of v, in ascending order of source ID.
+func (g *Graph) In(v int, fn func(Edge)) {
+	for _, i := range g.inIdx[v] {
+		fn(g.edges[i])
+	}
+}
+
+// OutEdges returns a freshly allocated slice of u's out-links.
+func (g *Graph) OutEdges(u int) []Edge {
+	out := make([]Edge, 0, len(g.outIdx[u]))
+	for _, i := range g.outIdx[u] {
+		out = append(out, g.edges[i])
+	}
+	return out
+}
+
+// InEdges returns a freshly allocated slice of v's in-links.
+func (g *Graph) InEdges(v int) []Edge {
+	in := make([]Edge, 0, len(g.inIdx[v]))
+	for _, i := range g.inIdx[v] {
+		in = append(in, g.edges[i])
+	}
+	return in
+}
+
+// HasEdge reports whether a link u -> v exists and returns it.
+func (g *Graph) HasEdge(u, v int) (Edge, bool) {
+	idx := g.outIdx[u]
+	// outIdx is sorted by target; binary search.
+	lo, hi := 0, len(idx)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if g.edges[idx[mid]].To < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(idx) && g.edges[idx[lo]].To == v {
+		return g.edges[idx[lo]], true
+	}
+	return Edge{}, false
+}
+
+// Reverse returns the diffusion network of g per Definition 2: every link
+// (u, v) becomes (v, u) with the same sign and weight. Under the paper's
+// trust-centric reading, a social link "u trusts v" becomes a diffusion link
+// "information flows v -> u".
+func (g *Graph) Reverse() *Graph {
+	b := NewBuilder(g.n)
+	for i := range g.edges {
+		e := g.edges[i]
+		b.AddEdge(e.To, e.From, e.Sign, e.Weight)
+	}
+	rev, err := b.Build()
+	if err != nil {
+		// Reversing a valid graph cannot produce duplicate or invalid
+		// edges; a failure here is a programming error.
+		panic("sgraph: Reverse: " + err.Error())
+	}
+	return rev
+}
+
+// Stats summarizes a graph for reporting (Table II style).
+type Stats struct {
+	Nodes         int
+	Edges         int
+	PositiveEdges int
+	NegativeEdges int
+	PositiveRatio float64
+	MaxOutDegree  int
+	MaxInDegree   int
+	MeanWeight    float64
+}
+
+// DegreePercentiles reports out-degree order statistics (p50, p90, p99 and
+// the maximum), characterizing the heavy tail the generators must match.
+func (g *Graph) DegreePercentiles() (p50, p90, p99, max int) {
+	if g.n == 0 {
+		return 0, 0, 0, 0
+	}
+	degs := make([]int, g.n)
+	for u := 0; u < g.n; u++ {
+		degs[u] = g.OutDegree(u)
+	}
+	sort.Ints(degs)
+	at := func(q float64) int { return degs[int(q*float64(g.n-1))] }
+	return at(0.5), at(0.9), at(0.99), degs[g.n-1]
+}
+
+// Stats computes summary statistics of g.
+func (g *Graph) Stats() Stats {
+	st := Stats{Nodes: g.n, Edges: len(g.edges)}
+	var wsum float64
+	for i := range g.edges {
+		if g.edges[i].Sign == Positive {
+			st.PositiveEdges++
+		} else {
+			st.NegativeEdges++
+		}
+		wsum += g.edges[i].Weight
+	}
+	if st.Edges > 0 {
+		st.PositiveRatio = float64(st.PositiveEdges) / float64(st.Edges)
+		st.MeanWeight = wsum / float64(st.Edges)
+	}
+	for u := 0; u < g.n; u++ {
+		if d := g.OutDegree(u); d > st.MaxOutDegree {
+			st.MaxOutDegree = d
+		}
+		if d := g.InDegree(u); d > st.MaxInDegree {
+			st.MaxInDegree = d
+		}
+	}
+	return st
+}
+
+// Errors returned by Builder.Build.
+var (
+	ErrNodeRange     = errors.New("sgraph: node ID out of range")
+	ErrSelfLoop      = errors.New("sgraph: self-loop")
+	ErrDuplicateEdge = errors.New("sgraph: duplicate edge")
+	ErrBadSign       = errors.New("sgraph: sign must be +1 or -1")
+	ErrBadWeight     = errors.New("sgraph: weight must be in [0, 1]")
+)
+
+// Builder accumulates edges and produces an immutable Graph. The zero value
+// is unusable; call NewBuilder.
+type Builder struct {
+	n     int
+	edges []Edge
+	err   error
+}
+
+// NewBuilder returns a builder for a graph with n nodes (IDs 0..n-1).
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n}
+}
+
+// Grow ensures the builder admits node IDs up to n-1.
+func (b *Builder) Grow(n int) {
+	if n > b.n {
+		b.n = n
+	}
+}
+
+// AddEdge records a directed signed link u -> v. Validation errors are
+// deferred to Build so call sites can chain adds without per-call checks.
+func (b *Builder) AddEdge(u, v int, sign Sign, weight float64) {
+	if b.err != nil {
+		return
+	}
+	switch {
+	case u < 0 || u >= b.n || v < 0 || v >= b.n:
+		b.err = fmt.Errorf("%w: (%d,%d) with n=%d", ErrNodeRange, u, v, b.n)
+	case u == v:
+		b.err = fmt.Errorf("%w: node %d", ErrSelfLoop, u)
+	case sign != Positive && sign != Negative:
+		b.err = fmt.Errorf("%w: got %d on (%d,%d)", ErrBadSign, sign, u, v)
+	case weight < 0 || weight > 1:
+		b.err = fmt.Errorf("%w: got %g on (%d,%d)", ErrBadWeight, weight, u, v)
+	default:
+		b.edges = append(b.edges, Edge{From: u, To: v, Sign: sign, Weight: weight})
+	}
+}
+
+// Len returns the number of edges recorded so far.
+func (b *Builder) Len() int { return len(b.edges) }
+
+// Build validates the accumulated edges and returns the immutable graph.
+// Duplicate (u, v) pairs are rejected: the paper's model has at most one
+// signed link per ordered pair.
+func (b *Builder) Build() (*Graph, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	g := &Graph{
+		n:      b.n,
+		edges:  b.edges,
+		outIdx: make([][]int32, b.n),
+		inIdx:  make([][]int32, b.n),
+	}
+	b.edges = nil // transfer ownership
+	outDeg := make([]int32, g.n)
+	inDeg := make([]int32, g.n)
+	for i := range g.edges {
+		outDeg[g.edges[i].From]++
+		inDeg[g.edges[i].To]++
+	}
+	for u := 0; u < g.n; u++ {
+		if outDeg[u] > 0 {
+			g.outIdx[u] = make([]int32, 0, outDeg[u])
+		}
+		if inDeg[u] > 0 {
+			g.inIdx[u] = make([]int32, 0, inDeg[u])
+		}
+	}
+	for i := range g.edges {
+		e := &g.edges[i]
+		g.outIdx[e.From] = append(g.outIdx[e.From], int32(i))
+		g.inIdx[e.To] = append(g.inIdx[e.To], int32(i))
+	}
+	for u := 0; u < g.n; u++ {
+		idx := g.outIdx[u]
+		sort.Slice(idx, func(a, b int) bool { return g.edges[idx[a]].To < g.edges[idx[b]].To })
+		for j := 1; j < len(idx); j++ {
+			if g.edges[idx[j]].To == g.edges[idx[j-1]].To {
+				return nil, fmt.Errorf("%w: (%d,%d)", ErrDuplicateEdge, u, g.edges[idx[j]].To)
+			}
+		}
+		in := g.inIdx[u]
+		sort.Slice(in, func(a, b int) bool { return g.edges[in[a]].From < g.edges[in[b]].From })
+	}
+	return g, nil
+}
+
+// MustBuild is Build for static graphs known to be valid; it panics on error.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

@@ -1,0 +1,156 @@
+// Package trace serializes complete ISOMIT problem instances — the
+// diffusion network, the observed snapshot and the ground-truth initiators
+// — as JSON, so workloads can be archived, diffed and replayed across
+// tools and languages.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/cascade"
+	"repro/internal/sgraph"
+)
+
+// Version identifies the trace schema.
+const Version = 1
+
+// Trace is a self-contained ISOMIT instance.
+type Trace struct {
+	Version int    `json:"version"`
+	Name    string `json:"name,omitempty"`
+	Nodes   int    `json:"nodes"`
+	// Edges are diffusion-network links (information-flow orientation).
+	Edges []EdgeRecord `json:"edges"`
+	// Observed is the snapshot handed to detectors: one state per node,
+	// encoded as +1, -1, 0 or "?" via StateCode.
+	Observed []int8 `json:"observed"`
+	// Rounds optionally carries partial first-infection timestamps
+	// (-1 = unknown), aligned with Observed.
+	Rounds []int32 `json:"rounds,omitempty"`
+	// Seeds and SeedStates are the ground truth (optional).
+	Seeds      []int  `json:"seeds,omitempty"`
+	SeedStates []int8 `json:"seed_states,omitempty"`
+}
+
+// EdgeRecord is one diffusion link.
+type EdgeRecord struct {
+	From   int     `json:"from"`
+	To     int     `json:"to"`
+	Sign   int8    `json:"sign"`
+	Weight float64 `json:"weight"`
+}
+
+// unknownCode encodes sgraph.StateUnknown in traces (the in-memory value 2
+// is an implementation detail kept out of the format; 9 is visually
+// distinct in raw JSON).
+const unknownCode int8 = 9
+
+func stateToCode(s sgraph.State) int8 {
+	if s == sgraph.StateUnknown {
+		return unknownCode
+	}
+	return int8(s)
+}
+
+func codeToState(c int8) (sgraph.State, error) {
+	switch c {
+	case 1, -1, 0:
+		return sgraph.State(c), nil
+	case unknownCode:
+		return sgraph.StateUnknown, nil
+	default:
+		return 0, fmt.Errorf("trace: invalid state code %d", c)
+	}
+}
+
+// FromSnapshot captures a snapshot plus optional ground truth.
+func FromSnapshot(name string, snap *cascade.Snapshot, seeds []int, seedStates []sgraph.State) *Trace {
+	t := &Trace{
+		Version:  Version,
+		Name:     name,
+		Nodes:    snap.G.NumNodes(),
+		Observed: make([]int8, len(snap.States)),
+		Seeds:    append([]int(nil), seeds...),
+	}
+	snap.G.Edges(func(e sgraph.Edge) {
+		t.Edges = append(t.Edges, EdgeRecord{From: e.From, To: e.To, Sign: int8(e.Sign), Weight: e.Weight})
+	})
+	for i, s := range snap.States {
+		t.Observed[i] = stateToCode(s)
+	}
+	if snap.Rounds != nil {
+		t.Rounds = append([]int32(nil), snap.Rounds...)
+	}
+	for _, s := range seedStates {
+		t.SeedStates = append(t.SeedStates, stateToCode(s))
+	}
+	return t
+}
+
+// Snapshot reconstructs the diffusion network and observed states.
+func (t *Trace) Snapshot() (*cascade.Snapshot, error) {
+	if t.Version != Version {
+		return nil, fmt.Errorf("trace: unsupported version %d", t.Version)
+	}
+	if len(t.Observed) != t.Nodes {
+		return nil, fmt.Errorf("trace: %d observed states for %d nodes", len(t.Observed), t.Nodes)
+	}
+	b := sgraph.NewBuilder(t.Nodes)
+	for _, e := range t.Edges {
+		b.AddEdge(e.From, e.To, sgraph.Sign(e.Sign), e.Weight)
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	states := make([]sgraph.State, t.Nodes)
+	for i, c := range t.Observed {
+		states[i], err = codeToState(c)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if t.Rounds != nil {
+		return cascade.NewSnapshotWithRounds(g, states, t.Rounds)
+	}
+	return cascade.NewSnapshot(g, states)
+}
+
+// GroundTruth decodes the seed set and states, or nil if absent.
+func (t *Trace) GroundTruth() ([]int, []sgraph.State, error) {
+	if len(t.Seeds) == 0 {
+		return nil, nil, nil
+	}
+	if len(t.SeedStates) != len(t.Seeds) {
+		return nil, nil, fmt.Errorf("trace: %d seed states for %d seeds", len(t.SeedStates), len(t.Seeds))
+	}
+	states := make([]sgraph.State, len(t.SeedStates))
+	for i, c := range t.SeedStates {
+		s, err := codeToState(c)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !s.Active() {
+			return nil, nil, fmt.Errorf("trace: seed state %v not concrete", s)
+		}
+		states[i] = s
+	}
+	return append([]int(nil), t.Seeds...), states, nil
+}
+
+// Write encodes the trace as JSON.
+func Write(w io.Writer, t *Trace) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(t)
+}
+
+// Read decodes one trace from JSON.
+func Read(r io.Reader) (*Trace, error) {
+	var t Trace
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return &t, nil
+}

@@ -1,0 +1,179 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/cascade"
+	"repro/internal/diffusion"
+	"repro/internal/gen"
+	"repro/internal/sgraph"
+	"repro/internal/xrand"
+)
+
+func sampleInstance(t *testing.T) (*cascade.Snapshot, []int, []sgraph.State) {
+	t.Helper()
+	rng := xrand.New(3)
+	g, err := gen.PreferentialAttachment(gen.Config{Nodes: 200, Edges: 1000, PositiveRatio: 0.8}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dif := g.Reverse()
+	seeds, states, err := diffusion.SampleInitiators(dif.NumNodes(), 5, 0.5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := diffusion.MFC(dif, seeds, states, diffusion.MFCConfig{Alpha: 3}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed := diffusion.MaskStates(c.States, 0.2, rng)
+	snap, err := cascade.NewSnapshot(dif, observed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap, seeds, states
+}
+
+func TestRoundTrip(t *testing.T) {
+	snap, seeds, seedStates := sampleInstance(t)
+	tr := FromSnapshot("unit", snap, seeds, seedStates)
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "unit" || back.Version != Version {
+		t.Errorf("meta = %q v%d", back.Name, back.Version)
+	}
+	snap2, err := back.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap2.G.NumNodes() != snap.G.NumNodes() || snap2.G.NumEdges() != snap.G.NumEdges() {
+		t.Fatalf("graph size changed: %d/%d vs %d/%d",
+			snap2.G.NumNodes(), snap2.G.NumEdges(), snap.G.NumNodes(), snap.G.NumEdges())
+	}
+	for v := range snap.States {
+		if snap.States[v] != snap2.States[v] {
+			t.Fatalf("state[%d] = %v vs %v", v, snap.States[v], snap2.States[v])
+		}
+	}
+	snap.G.Edges(func(e sgraph.Edge) {
+		got, ok := snap2.G.HasEdge(e.From, e.To)
+		if !ok || got.Sign != e.Sign || got.Weight != e.Weight {
+			t.Fatalf("edge (%d,%d) changed", e.From, e.To)
+		}
+	})
+	gotSeeds, gotStates, err := back.GroundTruth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seeds {
+		if gotSeeds[i] != seeds[i] || gotStates[i] != seedStates[i] {
+			t.Fatalf("ground truth changed at %d", i)
+		}
+	}
+}
+
+func TestUnknownStateEncoding(t *testing.T) {
+	b := sgraph.NewBuilder(2)
+	b.AddEdge(0, 1, sgraph.Positive, 0.5)
+	g := b.MustBuild()
+	snap, err := cascade.NewSnapshot(g, []sgraph.State{sgraph.StatePositive, sgraph.StateUnknown})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := FromSnapshot("", snap, nil, nil)
+	if tr.Observed[1] != 9 {
+		t.Errorf("unknown encoded as %d, want 9", tr.Observed[1])
+	}
+	snap2, err := tr.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap2.States[1] != sgraph.StateUnknown {
+		t.Errorf("unknown decoded as %v", snap2.States[1])
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := (&Trace{Version: 99}).Snapshot(); err == nil {
+		t.Error("bad version should error")
+	}
+	if _, err := (&Trace{Version: Version, Nodes: 2, Observed: []int8{1}}).Snapshot(); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := (&Trace{Version: Version, Nodes: 1, Observed: []int8{5}}).Snapshot(); err == nil {
+		t.Error("bad state code should error")
+	}
+	bad := &Trace{Seeds: []int{1}, SeedStates: nil}
+	if _, _, err := bad.GroundTruth(); err == nil {
+		t.Error("seed/state mismatch should error")
+	}
+	none := &Trace{}
+	if s, st, err := none.GroundTruth(); s != nil || st != nil || err != nil {
+		t.Error("absent ground truth should return nils")
+	}
+	if _, err := Read(bytes.NewBufferString("{broken")); err == nil {
+		t.Error("broken JSON should error")
+	}
+}
+
+func TestRoundsRoundTrip(t *testing.T) {
+	b := sgraph.NewBuilder(2)
+	b.AddEdge(0, 1, sgraph.Positive, 0.5)
+	g := b.MustBuild()
+	snap, err := cascade.NewSnapshotWithRounds(g,
+		[]sgraph.State{sgraph.StatePositive, sgraph.StatePositive}, []int32{0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := FromSnapshot("timed", snap, nil, nil)
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap2, err := back.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap2.Rounds == nil || snap2.Rounds[1] != 3 {
+		t.Errorf("rounds lost: %v", snap2.Rounds)
+	}
+}
+
+func FuzzTraceRead(f *testing.F) {
+	snap, seeds, states := func() (*cascade.Snapshot, []int, []sgraph.State) {
+		b := sgraph.NewBuilder(2)
+		b.AddEdge(0, 1, sgraph.Positive, 0.5)
+		g := b.MustBuild()
+		s, _ := cascade.NewSnapshot(g, []sgraph.State{sgraph.StatePositive, sgraph.StateNegative})
+		return s, []int{0}, []sgraph.State{sgraph.StatePositive}
+	}()
+	var seed bytes.Buffer
+	if err := Write(&seed, FromSnapshot("fuzz", snap, seeds, states)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add("{}")
+	f.Add(`{"version":1,"nodes":1,"observed":[9]}`)
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := Read(bytes.NewBufferString(input))
+		if err != nil {
+			return
+		}
+		// Decoded traces must never panic downstream; errors are fine.
+		if _, err := tr.Snapshot(); err != nil {
+			return
+		}
+		_, _, _ = tr.GroundTruth()
+	})
+}

@@ -1,0 +1,86 @@
+// Package viz renders tiny text visualizations — horizontal bars and
+// sparklines — used by the experiment reports and examples to make sweep
+// shapes legible directly in terminal output.
+package viz
+
+import (
+	"math"
+	"strings"
+)
+
+// Bar renders value as a bar of '#' runes scaled so that max fills width.
+// Values outside [0, max] are clamped; a non-positive max yields an empty
+// bar.
+func Bar(value, max float64, width int) string {
+	if width <= 0 || max <= 0 {
+		return ""
+	}
+	frac := value / max
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	return strings.Repeat("#", int(frac*float64(width)+0.5))
+}
+
+// sparkLevels are the classic eighth-block spark characters.
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// Spark renders the series as a sparkline, auto-scaled to its own min and
+// max. NaN entries render as spaces; a constant series renders mid-level.
+func Spark(series []float64) string {
+	if len(series) == 0 {
+		return ""
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range series {
+		if math.IsNaN(v) {
+			continue
+		}
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if math.IsInf(lo, 1) { // all NaN
+		return strings.Repeat(" ", len(series))
+	}
+	var b strings.Builder
+	for _, v := range series {
+		switch {
+		case math.IsNaN(v):
+			b.WriteRune(' ')
+		case hi == lo:
+			b.WriteRune(sparkLevels[len(sparkLevels)/2])
+		default:
+			idx := int((v - lo) / (hi - lo) * float64(len(sparkLevels)-1))
+			b.WriteRune(sparkLevels[idx])
+		}
+	}
+	return b.String()
+}
+
+// Histogram renders labeled values as aligned bars, one per line, scaled
+// to the largest value.
+func Histogram(labels []string, values []float64, width int) string {
+	if len(labels) != len(values) || len(labels) == 0 {
+		return ""
+	}
+	labelW, max := 0, 0.0
+	for i, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+		if values[i] > max {
+			max = values[i]
+		}
+	}
+	var b strings.Builder
+	for i, l := range labels {
+		b.WriteString(l)
+		b.WriteString(strings.Repeat(" ", labelW-len(l)+1))
+		b.WriteString(Bar(values[i], max, width))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

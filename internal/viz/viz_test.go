@@ -1,0 +1,105 @@
+package viz
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBar(t *testing.T) {
+	tests := []struct {
+		name       string
+		value, max float64
+		width      int
+		want       string
+	}{
+		{"full", 1, 1, 4, "####"},
+		{"half", 0.5, 1, 4, "##"},
+		{"zero", 0, 1, 4, ""},
+		{"clamped high", 2, 1, 3, "###"},
+		{"clamped low", -1, 1, 3, ""},
+		{"zero max", 1, 0, 3, ""},
+		{"zero width", 1, 1, 0, ""},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Bar(tt.value, tt.max, tt.width); got != tt.want {
+				t.Errorf("Bar = %q, want %q", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestBarNeverOverflows(t *testing.T) {
+	f := func(v, max float64, w int) bool {
+		width := w % 50
+		if width < 0 {
+			width = -width
+		}
+		return len(Bar(v, max, width)) <= width
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpark(t *testing.T) {
+	if got := Spark(nil); got != "" {
+		t.Errorf("empty Spark = %q", got)
+	}
+	s := Spark([]float64{0, 1, 2, 3})
+	if len([]rune(s)) != 4 {
+		t.Fatalf("Spark length = %d", len([]rune(s)))
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[3] != '█' {
+		t.Errorf("Spark endpoints = %q", s)
+	}
+	// Constant series: mid-level blocks.
+	c := []rune(Spark([]float64{5, 5, 5}))
+	for _, r := range c {
+		if r != '▅' {
+			t.Errorf("constant Spark = %q", string(c))
+		}
+	}
+	// NaNs become spaces.
+	withNaN := []rune(Spark([]float64{0, math.NaN(), 1}))
+	if withNaN[1] != ' ' {
+		t.Errorf("NaN Spark = %q", string(withNaN))
+	}
+	allNaN := Spark([]float64{math.NaN(), math.NaN()})
+	if allNaN != "  " {
+		t.Errorf("all-NaN Spark = %q", allNaN)
+	}
+}
+
+func TestSparkMonotone(t *testing.T) {
+	// A rising series produces non-decreasing levels.
+	s := []rune(Spark([]float64{1, 2, 3, 4, 5, 6, 7, 8}))
+	for i := 1; i < len(s); i++ {
+		if s[i] < s[i-1] {
+			t.Fatalf("Spark not monotone: %q", string(s))
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	out := Histogram([]string{"aa", "b"}, []float64{2, 1}, 4)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if lines[0] != "aa ####" {
+		t.Errorf("line 0 = %q", lines[0])
+	}
+	if lines[1] != "b  ##" {
+		t.Errorf("line 1 = %q", lines[1])
+	}
+	if Histogram([]string{"a"}, []float64{1, 2}, 3) != "" {
+		t.Error("mismatched lengths should return empty")
+	}
+	if Histogram(nil, nil, 3) != "" {
+		t.Error("empty input should return empty")
+	}
+}
