@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench check fmt vet experiments report clean
+.PHONY: all build test race bench check fmt vet serve experiments report clean
 
 all: check
 
@@ -11,7 +11,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/influence/ ./internal/experiment/ .
+	$(GO) test -race ./internal/influence/ ./internal/experiment/ ./internal/server/ .
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime 1x .
@@ -23,6 +23,9 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+serve:
+	$(GO) run ./cmd/ridserve
 
 experiments:
 	$(GO) run ./cmd/experiments

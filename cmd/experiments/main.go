@@ -18,6 +18,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/experiment"
 )
 
@@ -36,9 +37,9 @@ func main() {
 		mdFile   = flag.String("md", "", "write all results as one markdown report (optional)")
 	)
 	flag.Parse()
+	cli.NoPositionalArgs("experiments")
 	if err := run(*exp, *ds, *scale, *trials, *seedFrac, *theta, *alpha, *mask, *seed, *csvDir, *mdFile); err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
+		cli.Fatal("experiments", err)
 	}
 }
 
@@ -220,7 +221,7 @@ func run(exp, ds string, scale float64, trials int, seedFrac, theta, alpha, mask
 		}
 	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q", exp)
+		return cli.Usagef("unknown experiment %q", exp)
 	}
 	if mdFile != "" {
 		f, err := os.Create(mdFile)

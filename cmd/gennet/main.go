@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cli"
 	"repro/internal/dataset"
 	"repro/internal/gen"
 	"repro/internal/sgraph"
@@ -31,15 +32,15 @@ func main() {
 		seed   = flag.Uint64("seed", 1, "RNG seed")
 	)
 	flag.Parse()
+	cli.NoPositionalArgs("gennet")
 	if err := run(*out, *preset, *scale, *nodes, *edges, *pos, *model, *seed); err != nil {
-		fmt.Fprintln(os.Stderr, "gennet:", err)
-		os.Exit(1)
+		cli.Fatal("gennet", err)
 	}
 }
 
 func run(out, preset string, scale float64, nodes, edges int, pos float64, model string, seed uint64) error {
 	if out == "" {
-		return fmt.Errorf("missing -out")
+		return cli.Usagef("missing -out")
 	}
 	rng := xrand.New(seed)
 	var (
@@ -60,13 +61,13 @@ func run(out, preset string, scale float64, nodes, edges int, pos float64, model
 		case "er":
 			g, err = gen.ErdosRenyi(cfg, rng)
 		default:
-			return fmt.Errorf("unknown model %q", model)
+			return cli.Usagef("unknown model %q", model)
 		}
 		if err == nil {
 			g = sgraph.WeightByJaccard(g, 0.1, rng)
 		}
 	default:
-		return fmt.Errorf("pass -preset or -nodes/-edges")
+		return cli.Usagef("pass -preset or -nodes/-edges")
 	}
 	if err != nil {
 		return err

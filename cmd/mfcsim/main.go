@@ -14,9 +14,9 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/dataset"
 	"repro/internal/diffusion"
 	"repro/internal/sgraph"
@@ -40,9 +40,9 @@ func main() {
 		curves   = flag.Bool("curves", true, "print spread curves as sparklines")
 	)
 	flag.Parse()
+	cli.NoPositionalArgs("mfcsim")
 	if err := run(*ds, *scale, *model, *alpha, *n, *seedFrac, *theta, *rounds, *sirBeta, *sirGamma, *seed, *curves); err != nil {
-		fmt.Fprintln(os.Stderr, "mfcsim:", err)
-		os.Exit(1)
+		cli.Fatal("mfcsim", err)
 	}
 }
 
@@ -97,7 +97,7 @@ func run(ds string, scale float64, model string, alpha float64, n int, seedFrac,
 	} else if _, ok := selected[model]; ok {
 		selected[model] = true
 	} else {
-		return fmt.Errorf("unknown model %q", model)
+		return cli.Usagef("unknown model %q", model)
 	}
 
 	for _, m := range models {

@@ -22,6 +22,7 @@ import (
 	"os"
 
 	"repro/internal/cascade"
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/diffusion"
@@ -58,9 +59,9 @@ func main() {
 	flag.Uint64Var(&o.seed, "seed", 1, "RNG seed")
 	flag.BoolVar(&o.verbose, "v", false, "print forest statistics and per-initiator detail")
 	flag.Parse()
+	cli.NoPositionalArgs("ridlab")
 	if err := run(o); err != nil {
-		fmt.Fprintln(os.Stderr, "ridlab:", err)
-		os.Exit(1)
+		cli.Fatal("ridlab", err)
 	}
 }
 
@@ -251,6 +252,6 @@ func detector(method string, alpha, beta float64) (core.Detector, error) {
 	case "ensemble":
 		return core.NewEnsemble(alpha, []float64{0.5 * beta, beta, 2 * beta}, 2)
 	default:
-		return nil, fmt.Errorf("unknown method %q", method)
+		return nil, cli.Usagef("unknown method %q", method)
 	}
 }

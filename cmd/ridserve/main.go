@@ -1,0 +1,103 @@
+// Command ridserve serves rumor-initiator detection and MFC simulation
+// over HTTP: POST a wire-format trace (internal/trace JSON, as written by
+// ridlab -save-trace) to /v1/detect and get ranked initiators with scores;
+// POST a network plus seeds to /v1/simulate to run a cascade; GET /metrics
+// for request counts, per-detector latency histograms, queue depth and
+// graph-cache hit rate; GET /healthz for liveness.
+//
+// The server runs a bounded worker pool (default GOMAXPROCS workers) with
+// a fixed-depth queue — saturation answers 429 with Retry-After instead of
+// queueing without bound — and every request carries a deadline that
+// propagates into the detector loops. Repeat queries over the same network
+// skip graph construction via a content-addressed LRU cache. SIGINT or
+// SIGTERM triggers a graceful drain.
+//
+// Usage:
+//
+//	ridserve [-addr :8080] [-workers 0] [-queue 0] [-cache 64]
+//	         [-timeout 30s] [-drain 15s] [-max-body-mb 32]
+//
+// Example:
+//
+//	ridserve &
+//	ridlab -save-trace t.json
+//	curl -s -X POST localhost:8080/v1/detect \
+//	     -d "{\"trace\": $(cat t.json), \"detector\": \"rid\", \"beta\": 0.3}"
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+		queue     = flag.Int("queue", 0, "job-queue depth (0 = 4x workers)")
+		cacheSize = flag.Int("cache", 64, "graph-cache capacity (networks)")
+		timeout   = flag.Duration("timeout", 30*time.Second, "per-request deadline ceiling")
+		drain     = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain budget")
+		maxBodyMB = flag.Int64("max-body-mb", 32, "request body cap in MiB")
+	)
+	flag.Parse()
+	cli.NoPositionalArgs("ridserve")
+	if err := validate(*workers, *queue, *cacheSize, *timeout, *drain, *maxBodyMB); err != nil {
+		cli.Fatal("ridserve", err)
+	}
+	if err := run(*addr, *workers, *queue, *cacheSize, *timeout, *drain, *maxBodyMB); err != nil {
+		cli.Fatal("ridserve", err)
+	}
+}
+
+func validate(workers, queue, cacheSize int, timeout, drain time.Duration, maxBodyMB int64) error {
+	switch {
+	case workers < 0:
+		return cli.Usagef("-workers must be non-negative, got %d", workers)
+	case queue < 0:
+		return cli.Usagef("-queue must be non-negative, got %d", queue)
+	case cacheSize < 1:
+		return cli.Usagef("-cache must be positive, got %d", cacheSize)
+	case timeout <= 0:
+		return cli.Usagef("-timeout must be positive, got %v", timeout)
+	case drain <= 0:
+		return cli.Usagef("-drain must be positive, got %v", drain)
+	case maxBodyMB < 1:
+		return cli.Usagef("-max-body-mb must be positive, got %d", maxBodyMB)
+	}
+	return nil
+}
+
+func run(addr string, workers, queue, cacheSize int, timeout, drain time.Duration, maxBodyMB int64) error {
+	s := server.New(server.Config{
+		Addr:           addr,
+		Workers:        workers,
+		QueueDepth:     queue,
+		CacheSize:      cacheSize,
+		DefaultTimeout: timeout,
+		MaxBodyBytes:   maxBodyMB << 20,
+	})
+	errc := make(chan error, 1)
+	go func() { errc <- s.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "ridserve: listening on %s\n", addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case got := <-sig:
+		fmt.Fprintf(os.Stderr, "ridserve: %v, draining (up to %v)\n", got, drain)
+		ctx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		return s.Shutdown(ctx)
+	}
+}

@@ -1,0 +1,56 @@
+// Package cli unifies error handling across the cmd/ tools so every
+// binary behaves the same: runtime failures print "tool: error" on stderr
+// and exit 1; bad arguments additionally print the flag usage and exit 2,
+// following the Unix convention (sysexits' EX_USAGE / Go flag's own
+// bad-flag exit code).
+package cli
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// UsageError marks an error caused by bad command-line arguments, as
+// opposed to a runtime failure. Fatal prints usage and exits 2 for these.
+type UsageError struct{ Err error }
+
+// Error implements error.
+func (e *UsageError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the wrapped error to errors.Is/As.
+func (e *UsageError) Unwrap() error { return e.Err }
+
+// Usagef formats a UsageError, the way fmt.Errorf formats an error.
+func Usagef(format string, args ...any) error {
+	return &UsageError{Err: fmt.Errorf(format, args...)}
+}
+
+// exit is swapped out by tests.
+var exit = os.Exit
+
+// Fatal reports err for the named tool and terminates with the
+// conventional exit code: 2 (after printing flag usage) when err is a
+// UsageError, 1 otherwise. It must only be called with a non-nil error.
+func Fatal(tool string, err error) {
+	var ue *UsageError
+	if errors.As(err, &ue) {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+		flag.Usage()
+		exit(2)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+	exit(1)
+}
+
+// NoPositionalArgs exits with a usage error when the command line carries
+// positional arguments after flag parsing — none of the cmd/ tools take
+// any, and a stray argument usually means a mistyped flag.
+func NoPositionalArgs(tool string) {
+	if flag.NArg() > 0 {
+		Fatal(tool, Usagef("unexpected arguments: %s", strings.Join(flag.Args(), " ")))
+	}
+}

@@ -1,0 +1,45 @@
+package cli
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+)
+
+func TestFatalExitCodes(t *testing.T) {
+	var code int
+	exit = func(c int) { code = c }
+	prevUsage := flag.Usage
+	flag.Usage = func() {}
+	defer func() {
+		exit = os.Exit
+		flag.Usage = prevUsage
+	}()
+
+	Fatal("tool", errors.New("boom"))
+	if code != 1 {
+		t.Errorf("runtime error exit = %d, want 1", code)
+	}
+	Fatal("tool", Usagef("missing -out"))
+	if code != 2 {
+		t.Errorf("usage error exit = %d, want 2", code)
+	}
+	// Wrapped usage errors still classify as usage.
+	Fatal("tool", fmt.Errorf("while parsing: %w", Usagef("bad flag")))
+	if code != 2 {
+		t.Errorf("wrapped usage error exit = %d, want 2", code)
+	}
+}
+
+func TestUsagefFormatsAndUnwraps(t *testing.T) {
+	err := Usagef("unknown model %q", "warp")
+	if err.Error() != `unknown model "warp"` {
+		t.Errorf("message = %q", err.Error())
+	}
+	var ue *UsageError
+	if !errors.As(err, &ue) {
+		t.Error("Usagef should produce a *UsageError")
+	}
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestRIDDetectContextCancelled(t *testing.T) {
+	sim := simulate(t, 5, 400, 2400, 8)
+	rid := mustRID(t, 0.3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if _, err := rid.DetectContext(ctx, sim.snap); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancelled detect still took %v", elapsed)
+	}
+	// The same detector still works under a live context.
+	det, err := rid.DetectContext(context.Background(), sim.snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(det.Initiators) == 0 {
+		t.Fatal("no initiators detected")
+	}
+}
+
+func TestDetectForestContextCancelsBetweenTrees(t *testing.T) {
+	sim := simulate(t, 6, 300, 1800, 6)
+	rid := mustRID(t, 0.3)
+	forest, err := rid.Extract(sim.snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := rid.DetectForestContext(ctx, forest); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestDetectWithContextFallback(t *testing.T) {
+	sim := simulate(t, 7, 200, 1200, 4)
+	// RID-Tree has no context path: DetectWithContext must still honor a
+	// cancelled context via the up-front check...
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := DetectWithContext(ctx, mustRIDTree(t), sim.snap); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// ...and pass through to Detect under a live one.
+	det, err := DetectWithContext(context.Background(), mustRIDTree(t), sim.snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(det.Initiators) == 0 {
+		t.Fatal("no initiators detected")
+	}
+	// RID is a ContextDetector: the interface dispatch must find it.
+	if _, ok := interface{}(mustRID(t, 0.1)).(ContextDetector); !ok {
+		t.Fatal("RID should implement ContextDetector")
+	}
+}

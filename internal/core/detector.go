@@ -10,6 +10,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/cascade"
 	"repro/internal/sgraph"
 )
@@ -57,4 +59,26 @@ type Detector interface {
 	Name() string
 	// Detect infers the rumor initiators from the snapshot.
 	Detect(snap *cascade.Snapshot) (*Detection, error)
+}
+
+// ContextDetector is a Detector whose hot loops honor cooperative
+// cancellation. RID implements it; serving layers use it to enforce
+// per-request deadlines.
+type ContextDetector interface {
+	Detector
+	DetectContext(ctx context.Context, snap *cascade.Snapshot) (*Detection, error)
+}
+
+// DetectWithContext runs d under ctx when it supports cancellation and
+// falls back to a plain Detect (with a single up-front ctx check)
+// otherwise. The fast baselines finish in microseconds, so the up-front
+// check is the only deadline enforcement they need.
+func DetectWithContext(ctx context.Context, d Detector, snap *cascade.Snapshot) (*Detection, error) {
+	if cd, ok := d.(ContextDetector); ok {
+		return cd.DetectContext(ctx, snap)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return d.Detect(snap)
 }

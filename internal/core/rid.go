@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -101,11 +102,21 @@ func (r *RID) Name() string { return fmt.Sprintf("RID(%g)", r.cfg.Beta) }
 
 // Detect implements Detector.
 func (r *RID) Detect(snap *cascade.Snapshot) (*Detection, error) {
+	return r.DetectContext(context.Background(), snap)
+}
+
+// DetectContext implements ContextDetector: the full RID pipeline with
+// cooperative cancellation, checked between extraction and per-tree
+// inference so a cancelled request stops paying for the remaining trees.
+func (r *RID) DetectContext(ctx context.Context, snap *cascade.Snapshot) (*Detection, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	forest, err := r.Extract(snap)
 	if err != nil {
 		return nil, err
 	}
-	return r.DetectForest(forest)
+	return r.DetectForestContext(ctx, forest)
 }
 
 // Extract runs the β-independent half of the pipeline — infected component
@@ -125,8 +136,18 @@ func (r *RID) Extract(snap *cascade.Snapshot) (*cascade.Forest, error) {
 // and Extraction settings; the per-tree solvers only read β and the
 // objective from this detector.
 func (r *RID) DetectForest(forest *cascade.Forest) (*Detection, error) {
+	return r.DetectForestContext(context.Background(), forest)
+}
+
+// DetectForestContext is DetectForest with cooperative cancellation,
+// checked before every per-tree solve: large snapshots decompose into many
+// trees, so a cancelled deadline aborts within one tree's work.
+func (r *RID) DetectForestContext(ctx context.Context, forest *cascade.Forest) (*Detection, error) {
 	det := &Detection{Trees: len(forest.Trees), Components: forest.Components}
 	for _, tree := range forest.Trees {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		res, solved, err := r.solveTree(tree)
 		if err != nil {
 			return nil, err

@@ -1,6 +1,7 @@
 package isomit
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -12,6 +13,13 @@ import (
 // nodes and returns the one minimizing −OPT + (k−1)·β. Exponential — use
 // only on tiny trees; it exists to verify the dynamic programs.
 func BruteForce(t *cascade.Tree, beta float64) (*Result, error) {
+	return BruteForceContext(context.Background(), t, beta)
+}
+
+// BruteForceContext is BruteForce with cooperative cancellation: the subset
+// enumeration checks ctx periodically and returns ctx.Err() once the caller
+// cancels or the deadline passes.
+func BruteForceContext(ctx context.Context, t *cascade.Tree, beta float64) (*Result, error) {
 	real := realNodes(t)
 	if len(real) > 20 {
 		return nil, fmt.Errorf("isomit: BruteForce limited to 20 real nodes, got %d", len(real))
@@ -22,6 +30,11 @@ func BruteForce(t *cascade.Tree, beta float64) (*Result, error) {
 	bestObj := math.Inf(1)
 	var bestSet []int
 	for mask := 1; mask < 1<<len(real); mask++ {
+		if mask%cancelCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		set := setOf(real, mask)
 		obj := -PartitionScore(t, set) + float64(len(set)-1)*beta
 		if obj < bestObj {

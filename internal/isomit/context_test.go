@@ -1,0 +1,81 @@
+package isomit
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/sgraph"
+)
+
+// chainGraph builds a positive chain 0 -> 1 -> ... -> n-1 with all nodes
+// infected positive — enough infected nodes to make the exponential solvers
+// enumerate far past the first cancellation checkpoint.
+func chainGraph(t *testing.T, n int) (*sgraph.Graph, []sgraph.State) {
+	t.Helper()
+	b := sgraph.NewBuilder(n)
+	for v := 0; v+1 < n; v++ {
+		b.AddEdge(v, v+1, sgraph.Positive, 0.5)
+	}
+	states := make([]sgraph.State, n)
+	for v := range states {
+		states[v] = sgraph.StatePositive
+	}
+	return b.MustBuild(), states
+}
+
+func TestExactSmallContextCancelled(t *testing.T) {
+	g, states := chainGraph(t, 12)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := ExactSmallContext(ctx, g, states, ExactConfig{Beta: 0.1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The full 2^12-subset enumeration with path likelihoods takes orders
+	// of magnitude longer than the first few hundred cheap masks.
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancelled solve still took %v", elapsed)
+	}
+}
+
+func TestExactSmallContextDeadline(t *testing.T) {
+	g, states := chainGraph(t, 14)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	_, err := ExactSmallContext(ctx, g, states, ExactConfig{Beta: 0.1})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestExactSmallBackgroundUnaffected(t *testing.T) {
+	g, states := chainGraph(t, 6)
+	got, err := ExactSmall(g, states, ExactConfig{Beta: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Initiators) == 0 {
+		t.Fatal("no initiators found")
+	}
+}
+
+func TestBruteForceContextCancelled(t *testing.T) {
+	tr := testTree(t, 11, 18)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := BruteForceContext(ctx, tr, 0.1)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancelled solve still took %v", elapsed)
+	}
+	// Sanity: the uncancelled call still solves the same tree.
+	if _, err := BruteForce(tr, 0.1); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,6 +1,7 @@
 package isomit
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -40,6 +41,19 @@ type ExactResult struct {
 // problem is NP-hard (Lemma 3.1) — it exists as the ground truth the
 // heuristics are compared against on tiny instances.
 func ExactSmall(g *sgraph.Graph, states []sgraph.State, cfg ExactConfig) (*ExactResult, error) {
+	return ExactSmallContext(context.Background(), g, states, cfg)
+}
+
+// cancelCheckInterval is how many enumeration steps the exponential solvers
+// run between context checks — frequent enough that cancellation lands
+// within microseconds, rare enough to stay off the profile.
+const cancelCheckInterval = 256
+
+// ExactSmallContext is ExactSmall with cooperative cancellation: the subset
+// enumeration checks ctx periodically and returns ctx.Err() as soon as the
+// deadline passes or the caller cancels. Serving layers use this to bound
+// the exponential solver with a per-request deadline.
+func ExactSmallContext(ctx context.Context, g *sgraph.Graph, states []sgraph.State, cfg ExactConfig) (*ExactResult, error) {
 	if len(states) != g.NumNodes() {
 		return nil, fmt.Errorf("isomit: %d states for %d nodes", len(states), g.NumNodes())
 	}
@@ -80,6 +94,11 @@ func ExactSmall(g *sgraph.Graph, states []sgraph.State, cfg ExactConfig) (*Exact
 	}
 	// Enumerate subsets; for each, enumerate states of unknown members.
 	for mask := 1; mask < 1<<len(infected); mask++ {
+		if mask%cancelCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		var set []int
 		var unknownIdx []int
 		for i, v := range infected {

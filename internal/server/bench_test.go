@@ -1,0 +1,64 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// BenchmarkDetectHandler measures one full /v1/detect round trip — JSON
+// decode, validation, cache lookup, RID, ranking, JSON encode — through
+// the real route table (pool and instrumentation included). After the
+// first iteration every request is a graph-cache hit, so this is the
+// steady-state serving cost.
+func BenchmarkDetectHandler(b *testing.B) {
+	s := New(Config{})
+	defer s.Shutdown(context.Background())
+	tr := sampleTrace(b, 42, 2000, 12000, 40)
+	payload, err := json.Marshal(DetectRequest{Trace: tr, Detector: "rid", Beta: 0.3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	handler := s.Handler()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v1/detect", bytes.NewReader(payload))
+		rr := httptest.NewRecorder()
+		handler.ServeHTTP(rr, req)
+		if rr.Code != http.StatusOK {
+			b.Fatalf("status = %d, body %s", rr.Code, rr.Body.Bytes())
+		}
+	}
+}
+
+// BenchmarkDetectHandlerColdCache forces a graph-cache miss on every
+// request by alternating two networks through a size-1 cache — the delta
+// against BenchmarkDetectHandler is what the cache saves.
+func BenchmarkDetectHandlerColdCache(b *testing.B) {
+	s := New(Config{CacheSize: 1})
+	defer s.Shutdown(context.Background())
+	payloads := make([][]byte, 2)
+	for i := range payloads {
+		tr := sampleTrace(b, uint64(42+i), 2000, 12000, 40)
+		p, err := json.Marshal(DetectRequest{Trace: tr, Detector: "rid", Beta: 0.3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		payloads[i] = p
+	}
+	handler := s.Handler()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v1/detect", bytes.NewReader(payloads[i%2]))
+		rr := httptest.NewRecorder()
+		handler.ServeHTTP(rr, req)
+		if rr.Code != http.StatusOK {
+			b.Fatalf("status = %d, body %s", rr.Code, rr.Body.Bytes())
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/sgraph"
+)
+
+// GraphCache is an LRU cache of built diffusion networks keyed by
+// trace.NetworkHash. Building a graph from a wire trace pays edge
+// validation, CSR assembly and per-node index sorting; repeat queries over
+// the same network (fresh snapshots, β sweeps, simulate-then-detect loops)
+// skip all of it. Graphs are immutable after Build, so cached values are
+// shared across requests without copying.
+type GraphCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	g   *sgraph.Graph
+}
+
+// NewGraphCache returns a cache holding up to capacity graphs; capacity
+// must be positive.
+func NewGraphCache(capacity int) *GraphCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &GraphCache{
+		cap:   capacity,
+		order: list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+// Get returns the cached graph for key and marks it most recently used.
+func (c *GraphCache) Get(key string) (*sgraph.Graph, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).g, true
+}
+
+// Put inserts (or refreshes) a graph, evicting the least recently used
+// entry when over capacity.
+func (c *GraphCache) Put(key string, g *sgraph.Graph) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).g = g
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&cacheEntry{key: key, g: g})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the number of cached graphs.
+func (c *GraphCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Capacity returns the configured limit.
+func (c *GraphCache) Capacity() int { return c.cap }

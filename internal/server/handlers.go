@@ -1,0 +1,417 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/diffusion"
+	"repro/internal/metrics"
+	"repro/internal/sgraph"
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+// DetectRequest is the POST /v1/detect payload: a complete wire-format
+// ISOMIT instance plus detector options.
+type DetectRequest struct {
+	// Trace is the instance to solve (internal/trace schema, version 1).
+	Trace *trace.Trace `json:"trace"`
+	// Detector selects the method: rid (default), rid-tree, rid-positive,
+	// rumor-centrality, jordan-center, degree-max or ensemble.
+	Detector string `json:"detector,omitempty"`
+	// Beta is RID's per-extra-initiator penalty; zero defaults to 0.3.
+	Beta float64 `json:"beta,omitempty"`
+	// Alpha is the MFC boosting coefficient; zero defaults to 3.
+	Alpha float64 `json:"alpha,omitempty"`
+	// K optionally truncates the response to the top-k ranked initiators.
+	K int `json:"k,omitempty"`
+	// TimeoutMS optionally tightens the per-request deadline below the
+	// server default; it can never extend past it.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// RankedInitiator is one detected initiator, ranked by score.
+type RankedInitiator struct {
+	Node int `json:"node"`
+	// State is the inferred initial opinion as a trace state code (+1,
+	// -1), 0 for identity-only detectors.
+	State int8 `json:"state,omitempty"`
+	// Score is the detector's confidence in [0, 1]; 0 for detectors
+	// without a natural score (those rank by node ID).
+	Score float64 `json:"score"`
+}
+
+// TruthReport scores the detection against the trace's ground truth.
+type TruthReport struct {
+	Precision float64 `json:"precision"`
+	Recall    float64 `json:"recall"`
+	F1        float64 `json:"f1"`
+}
+
+// DetectResponse is the POST /v1/detect result.
+type DetectResponse struct {
+	Detector   string            `json:"detector"`
+	Initiators []RankedInitiator `json:"initiators"`
+	Trees      int               `json:"trees"`
+	Components int               `json:"components"`
+	GraphHash  string            `json:"graph_hash"`
+	Cache      string            `json:"cache"` // "hit" or "miss"
+	ElapsedMS  float64           `json:"elapsed_ms"`
+	// Truth is present when the trace carries ground-truth seeds.
+	Truth *TruthReport `json:"truth,omitempty"`
+}
+
+// SimulateRequest is the POST /v1/simulate payload: an MFC cascade over a
+// submitted network or a previously cached one.
+type SimulateRequest struct {
+	// Trace supplies the network (its snapshot and ground truth are
+	// ignored). Mutually exclusive with GraphHash.
+	Trace *trace.Trace `json:"trace,omitempty"`
+	// GraphHash reuses a network already in the server's cache (as
+	// returned in DetectResponse.GraphHash / SimulateResponse.GraphHash).
+	GraphHash string `json:"graph_hash,omitempty"`
+	// Initiators and States seed the cascade; states are trace codes
+	// (+1, -1), defaulting to all +1 when omitted.
+	Initiators []int  `json:"initiators"`
+	States     []int8 `json:"states,omitempty"`
+	// Alpha is the MFC boosting coefficient; zero defaults to 3.
+	Alpha float64 `json:"alpha,omitempty"`
+	// DisableFlip degrades MFC to a signed independent cascade.
+	DisableFlip bool `json:"disable_flip,omitempty"`
+	// Seed makes the run reproducible; zero defaults to 1.
+	Seed uint64 `json:"seed,omitempty"`
+	// TimeoutMS optionally tightens the per-request deadline.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// SimulateResponse is the POST /v1/simulate result.
+type SimulateResponse struct {
+	Infected    int     `json:"infected"`
+	Positive    int     `json:"positive"`
+	Negative    int     `json:"negative"`
+	Flips       int     `json:"flips"`
+	Rounds      int     `json:"rounds"`
+	SpreadCurve []int   `json:"spread_curve"`
+	Observed    []int8  `json:"observed"` // final states as trace codes
+	GraphHash   string  `json:"graph_hash"`
+	Cache       string  `json:"cache"`
+	ElapsedMS   float64 `json:"elapsed_ms"`
+}
+
+// errorResponse is the JSON body of every non-2xx response.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// httpError carries a status code with a client-facing message.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	var he *httpError
+	switch {
+	case errors.As(err, &he):
+		status = he.status
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// Client went away; the status is for the access log only.
+		status = 499
+	}
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// buildDetector mirrors the ridlab CLI's method names so traces move
+// between the batch tools and the service without renaming anything.
+func buildDetector(name string, alpha, beta float64) (core.Detector, error) {
+	if name == "" {
+		name = "rid"
+	}
+	if alpha == 0 {
+		alpha = 3
+	}
+	if beta == 0 {
+		beta = 0.3
+	}
+	switch name {
+	case "rid":
+		return core.NewRID(core.RIDConfig{Alpha: alpha, Beta: beta})
+	case "rid-tree":
+		return core.NewRIDTree(alpha)
+	case "rid-positive":
+		return core.RIDPositive{}, nil
+	case "rumor-centrality":
+		return core.RumorCentrality{}, nil
+	case "jordan-center":
+		return core.JordanCenter{}, nil
+	case "degree-max":
+		return core.DegreeMax{}, nil
+	case "ensemble":
+		return core.NewEnsemble(alpha, []float64{0.5 * beta, beta, 2 * beta}, 2)
+	default:
+		return nil, badRequest("unknown detector %q", name)
+	}
+}
+
+// resolveGraph returns the built network for a trace, going through the
+// LRU cache, and records the hit/miss. The trace must be pre-validated.
+func (s *Server) resolveGraph(t *trace.Trace) (*sgraph.Graph, string, string, error) {
+	hash := t.NetworkHash()
+	if g, ok := s.cache.Get(hash); ok {
+		s.reg.CountCache(true)
+		return g, hash, "hit", nil
+	}
+	s.reg.CountCache(false)
+	g, err := t.BuildGraph()
+	if err != nil {
+		return nil, "", "", badRequest("%v", err)
+	}
+	s.cache.Put(hash, g)
+	return g, hash, "miss", nil
+}
+
+// handleDetect runs one detection inside the worker pool under the
+// request deadline.
+func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
+	var req DetectRequest
+	if err := decodeBody(w, r, &req, s.cfg.MaxBodyBytes); err != nil {
+		writeError(w, err)
+		return
+	}
+	if req.Trace == nil {
+		writeError(w, badRequest("missing trace"))
+		return
+	}
+	if err := req.Trace.Validate(); err != nil {
+		writeError(w, badRequest("%v", err))
+		return
+	}
+	if req.K < 0 {
+		writeError(w, badRequest("k must be non-negative, got %d", req.K))
+		return
+	}
+	detector, err := buildDetector(req.Detector, req.Alpha, req.Beta)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	s.runPooled(w, r, req.TimeoutMS, func(ctx context.Context) (any, error) {
+		return s.detect(ctx, &req, detector)
+	})
+}
+
+func (s *Server) detect(ctx context.Context, req *DetectRequest, detector core.Detector) (*DetectResponse, error) {
+	start := time.Now()
+	g, hash, cacheState, err := s.resolveGraph(req.Trace)
+	if err != nil {
+		return nil, err
+	}
+	snap, err := req.Trace.SnapshotOn(g)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	det, err := core.DetectWithContext(ctx, detector, snap)
+	if err != nil {
+		return nil, err
+	}
+	resp := &DetectResponse{
+		Detector:   detector.Name(),
+		Initiators: rankInitiators(det, req.K),
+		Trees:      det.Trees,
+		Components: det.Components,
+		GraphHash:  hash,
+		Cache:      cacheState,
+		ElapsedMS:  float64(time.Since(start)) / float64(time.Millisecond),
+	}
+	if seeds, _, err := req.Trace.GroundTruth(); err == nil && len(seeds) > 0 {
+		detected := make([]int, len(resp.Initiators))
+		for i, ri := range resp.Initiators {
+			detected[i] = ri.Node
+		}
+		id := metrics.EvalIdentity(detected, seeds)
+		resp.Truth = &TruthReport{Precision: id.Precision, Recall: id.Recall, F1: id.F1}
+	}
+	s.reg.Observe("detect."+detector.Name(), time.Since(start))
+	return resp, nil
+}
+
+// rankInitiators orders a detection by descending confidence (ties and
+// unscored detectors by ascending node ID) and truncates to k when k > 0.
+func rankInitiators(det *core.Detection, k int) []RankedInitiator {
+	out := make([]RankedInitiator, len(det.Initiators))
+	for i, v := range det.Initiators {
+		out[i] = RankedInitiator{Node: v}
+		if det.States != nil {
+			out[i].State = int8(det.States[i])
+		}
+		if det.Confidence != nil {
+			out[i].Score = det.Confidence[i]
+		}
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].Score != out[b].Score {
+			return out[a].Score > out[b].Score
+		}
+		return out[a].Node < out[b].Node
+	})
+	if k > 0 && k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// handleSimulate runs one MFC cascade inside the worker pool.
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req SimulateRequest
+	if err := decodeBody(w, r, &req, s.cfg.MaxBodyBytes); err != nil {
+		writeError(w, err)
+		return
+	}
+	if (req.Trace == nil) == (req.GraphHash == "") {
+		writeError(w, badRequest("exactly one of trace or graph_hash is required"))
+		return
+	}
+	if req.Trace != nil {
+		if err := req.Trace.Validate(); err != nil {
+			writeError(w, badRequest("%v", err))
+			return
+		}
+	}
+	if len(req.Initiators) == 0 {
+		writeError(w, badRequest("missing initiators"))
+		return
+	}
+	if len(req.States) != 0 && len(req.States) != len(req.Initiators) {
+		writeError(w, badRequest("%d states for %d initiators", len(req.States), len(req.Initiators)))
+		return
+	}
+	s.runPooled(w, r, req.TimeoutMS, func(ctx context.Context) (any, error) {
+		return s.simulate(&req)
+	})
+}
+
+func (s *Server) simulate(req *SimulateRequest) (*SimulateResponse, error) {
+	start := time.Now()
+	var (
+		g          *sgraph.Graph
+		hash       string
+		cacheState string
+	)
+	if req.Trace != nil {
+		var err error
+		g, hash, cacheState, err = s.resolveGraph(req.Trace)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		var ok bool
+		g, ok = s.cache.Get(req.GraphHash)
+		if !ok {
+			s.reg.CountCache(false)
+			return nil, &httpError{status: http.StatusNotFound,
+				msg: fmt.Sprintf("graph %s not cached; resubmit the trace", req.GraphHash)}
+		}
+		s.reg.CountCache(true)
+		hash, cacheState = req.GraphHash, "hit"
+	}
+	states := make([]sgraph.State, len(req.Initiators))
+	for i := range states {
+		states[i] = sgraph.StatePositive
+		if i < len(req.States) {
+			switch req.States[i] {
+			case 1:
+			case -1:
+				states[i] = sgraph.StateNegative
+			default:
+				return nil, badRequest("states[%d]: code %d not concrete (want +1 or -1)", i, req.States[i])
+			}
+		}
+	}
+	alpha := req.Alpha
+	if alpha == 0 {
+		alpha = 3
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	cfg := diffusion.MFCConfig{Alpha: alpha, DisableFlip: req.DisableFlip}
+	c, err := diffusion.MFC(g, req.Initiators, states, cfg, xrand.New(seed))
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	resp := &SimulateResponse{
+		Infected:    c.NumInfected(),
+		Flips:       c.Flips,
+		Rounds:      c.Rounds,
+		SpreadCurve: c.SpreadCurve(),
+		Observed:    make([]int8, len(c.States)),
+		GraphHash:   hash,
+		Cache:       cacheState,
+		ElapsedMS:   float64(time.Since(start)) / float64(time.Millisecond),
+	}
+	for v, st := range c.States {
+		resp.Observed[v] = int8(st)
+		switch st {
+		case sgraph.StatePositive:
+			resp.Positive++
+		case sgraph.StateNegative:
+			resp.Negative++
+		}
+	}
+	s.reg.Observe("simulate", time.Since(start))
+	return resp, nil
+}
+
+// handleHealthz bypasses the pool: liveness must answer even under full
+// saturation.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleMetrics serves the registry snapshot plus live gauges as JSON.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	snap := s.reg.Snapshot(QueueSnapshot{
+		Depth:    s.pool.Depth(),
+		Capacity: s.pool.Capacity(),
+		Workers:  s.pool.Workers(),
+	}, s.cache.Len(), s.cache.Capacity())
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// decodeBody strictly decodes one JSON value from a size-capped body.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any, maxBytes int64) error {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return &httpError{status: http.StatusRequestEntityTooLarge,
+				msg: fmt.Sprintf("body exceeds %d bytes", tooLarge.Limit)}
+		}
+		return badRequest("invalid JSON: %v", err)
+	}
+	return nil
+}

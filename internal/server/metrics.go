@@ -1,0 +1,192 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyBucketsMS are the upper bounds (milliseconds, inclusive) of the
+// latency histogram buckets; observations above the last bound land in the
+// implicit +Inf bucket.
+var latencyBucketsMS = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
+
+// Histogram is a fixed-bucket latency histogram. Not safe for concurrent
+// use on its own; the Registry serializes access.
+type Histogram struct {
+	Count   int64   `json:"count"`
+	SumMS   float64 `json:"sum_ms"`
+	MaxMS   float64 `json:"max_ms"`
+	Buckets []int64 `json:"buckets"` // cumulative counts per latencyBucketsMS bound, +Inf last
+}
+
+func newHistogram() *Histogram {
+	return &Histogram{Buckets: make([]int64, len(latencyBucketsMS)+1)}
+}
+
+func (h *Histogram) observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	h.Count++
+	h.SumMS += ms
+	if ms > h.MaxMS {
+		h.MaxMS = ms
+	}
+	i := sort.SearchFloat64s(latencyBucketsMS, ms)
+	for ; i < len(h.Buckets); i++ {
+		h.Buckets[i]++
+	}
+}
+
+// MeanMS returns the mean observed latency in milliseconds.
+func (h *Histogram) MeanMS() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.SumMS / float64(h.Count)
+}
+
+// Registry is the server's in-process metrics store: request counts per
+// route and status, latency histograms per operation label (routes and
+// detector names), queue rejections and cache hit/miss counters. Gauges
+// that live elsewhere (queue depth, cache size) are sampled at snapshot
+// time via callbacks registered by the server.
+type Registry struct {
+	mu       sync.Mutex
+	start    time.Time
+	requests map[string]map[int]int64
+	latency  map[string]*Histogram
+	rejected int64
+	hits     int64
+	misses   int64
+}
+
+// NewRegistry returns an empty registry with the uptime clock started.
+func NewRegistry() *Registry {
+	return &Registry{
+		start:    time.Now(),
+		requests: make(map[string]map[int]int64),
+		latency:  make(map[string]*Histogram),
+	}
+}
+
+// CountRequest records one request on a route with its response status.
+func (r *Registry) CountRequest(route string, status int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	byStatus := r.requests[route]
+	if byStatus == nil {
+		byStatus = make(map[int]int64)
+		r.requests[route] = byStatus
+	}
+	byStatus[status]++
+}
+
+// Observe records a latency observation under a label.
+func (r *Registry) Observe(label string, d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.latency[label]
+	if h == nil {
+		h = newHistogram()
+		r.latency[label] = h
+	}
+	h.observe(d)
+}
+
+// CountRejected records one request shed by queue backpressure.
+func (r *Registry) CountRejected() {
+	r.mu.Lock()
+	r.rejected++
+	r.mu.Unlock()
+}
+
+// CountCache records one graph-cache lookup.
+func (r *Registry) CountCache(hit bool) {
+	r.mu.Lock()
+	if hit {
+		r.hits++
+	} else {
+		r.misses++
+	}
+	r.mu.Unlock()
+}
+
+// HistogramSnapshot is one labelled latency histogram in a Snapshot.
+type HistogramSnapshot struct {
+	Count    int64     `json:"count"`
+	MeanMS   float64   `json:"mean_ms"`
+	MaxMS    float64   `json:"max_ms"`
+	SumMS    float64   `json:"sum_ms"`
+	Buckets  []int64   `json:"buckets"`
+	BoundsMS []float64 `json:"bounds_ms"`
+}
+
+// QueueSnapshot reports worker-pool state.
+type QueueSnapshot struct {
+	Depth    int   `json:"depth"`
+	Capacity int   `json:"capacity"`
+	Workers  int   `json:"workers"`
+	Rejected int64 `json:"rejected"`
+}
+
+// CacheSnapshot reports graph-cache state.
+type CacheSnapshot struct {
+	Hits     int64   `json:"hits"`
+	Misses   int64   `json:"misses"`
+	HitRate  float64 `json:"hit_rate"`
+	Size     int     `json:"size"`
+	Capacity int     `json:"capacity"`
+}
+
+// Snapshot is the JSON document served on /metrics.
+type Snapshot struct {
+	UptimeS   float64                       `json:"uptime_s"`
+	Requests  map[string]map[string]int64   `json:"requests"`
+	LatencyMS map[string]*HistogramSnapshot `json:"latency_ms"`
+	Queue     QueueSnapshot                 `json:"queue"`
+	Cache     CacheSnapshot                 `json:"cache"`
+}
+
+// Snapshot captures the registry contents plus the supplied live gauges.
+func (r *Registry) Snapshot(queue QueueSnapshot, cacheSize, cacheCap int) *Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := &Snapshot{
+		UptimeS:   time.Since(r.start).Seconds(),
+		Requests:  make(map[string]map[string]int64, len(r.requests)),
+		LatencyMS: make(map[string]*HistogramSnapshot, len(r.latency)),
+	}
+	for route, byStatus := range r.requests {
+		m := make(map[string]int64, len(byStatus))
+		for status, n := range byStatus {
+			m[statusKey(status)] = n
+		}
+		s.Requests[route] = m
+	}
+	for label, h := range r.latency {
+		s.LatencyMS[label] = &HistogramSnapshot{
+			Count:    h.Count,
+			MeanMS:   h.MeanMS(),
+			MaxMS:    h.MaxMS,
+			SumMS:    h.SumMS,
+			Buckets:  append([]int64(nil), h.Buckets...),
+			BoundsMS: latencyBucketsMS,
+		}
+	}
+	queue.Rejected = r.rejected
+	s.Queue = queue
+	s.Cache = CacheSnapshot{Hits: r.hits, Misses: r.misses, Size: cacheSize, Capacity: cacheCap}
+	if total := r.hits + r.misses; total > 0 {
+		s.Cache.HitRate = float64(r.hits) / float64(total)
+	}
+	return s
+}
+
+func statusKey(status int) string {
+	// Small, allocation-free itoa for the handful of HTTP statuses we emit.
+	if status < 100 || status > 999 {
+		return "other"
+	}
+	buf := [3]byte{byte('0' + status/100), byte('0' + status/10%10), byte('0' + status%10)}
+	return string(buf[:])
+}

@@ -1,0 +1,78 @@
+package server
+
+import (
+	"sync"
+)
+
+// Pool is a bounded worker pool: a fixed number of workers drain a
+// fixed-depth job queue. Submission never blocks — when the queue is full
+// the job is refused, which the HTTP layer turns into 429 + Retry-After.
+// This is the server's backpressure mechanism: concurrent detection work is
+// capped at Workers regardless of how many requests arrive, and memory is
+// capped by the queue depth instead of one goroutine per request.
+type Pool struct {
+	mu      sync.RWMutex
+	jobs    chan func()
+	closed  bool
+	wg      sync.WaitGroup
+	workers int
+}
+
+// NewPool starts workers goroutines draining a queue of the given depth.
+// Both must be positive.
+func NewPool(workers, depth int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	p := &Pool{jobs: make(chan func(), depth), workers: workers}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for job := range p.jobs {
+				job()
+			}
+		}()
+	}
+	return p
+}
+
+// TrySubmit enqueues job if the queue has room. It returns false — without
+// blocking — when the queue is full or the pool is closed.
+func (p *Pool) TrySubmit(job func()) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return false
+	}
+	select {
+	case p.jobs <- job:
+		return true
+	default:
+		return false
+	}
+}
+
+// Close stops accepting work, lets the workers drain every queued job, and
+// waits for them to finish. Safe to call more than once.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.jobs)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// Depth returns the number of queued (not yet started) jobs.
+func (p *Pool) Depth() int { return len(p.jobs) }
+
+// Capacity returns the queue depth limit.
+func (p *Pool) Capacity() int { return cap(p.jobs) }
+
+// Workers returns the worker count.
+func (p *Pool) Workers() int { return p.workers }

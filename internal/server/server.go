@@ -1,0 +1,194 @@
+// Package server is the serving subsystem: rumor-initiator detection and
+// MFC simulation as an HTTP service over the internal/trace wire format.
+//
+// Architecture: every compute endpoint routes through one bounded worker
+// pool (sized to GOMAXPROCS) with a fixed-depth queue — a full queue sheds
+// load with 429 + Retry-After instead of spawning unbounded goroutines.
+// Per-request deadlines propagate via context.Context into the detector
+// hot loops (core.ContextDetector), so a timed-out request stops burning
+// CPU mid-solve. Built diffusion networks are LRU-cached by content hash
+// (trace.NetworkHash), letting repeat queries on the same network skip
+// edge validation and adjacency construction. An in-process registry
+// tracks request counts, per-detector latency histograms, queue depth and
+// cache hit rate, served as JSON on /metrics. Shutdown drains: in-flight
+// HTTP requests finish, then queued jobs run to completion.
+package server
+
+import (
+	"context"
+	"net/http"
+	"runtime"
+	"strconv"
+	"time"
+)
+
+// Config parameterizes the server. The zero value serves on :8080 with
+// GOMAXPROCS workers.
+type Config struct {
+	// Addr is the listen address; empty defaults to ":8080".
+	Addr string
+	// Workers is the worker-pool size; zero defaults to GOMAXPROCS.
+	Workers int
+	// QueueDepth is the job-queue capacity; zero defaults to 4×Workers.
+	QueueDepth int
+	// CacheSize is the graph-cache capacity; zero defaults to 64.
+	CacheSize int
+	// DefaultTimeout bounds each compute request; zero defaults to 30s.
+	// A request's timeout_ms can tighten it but never extend it.
+	DefaultTimeout time.Duration
+	// MaxBodyBytes caps request bodies; zero defaults to 32 MiB.
+	MaxBodyBytes int64
+	// RetryAfter is the Retry-After value sent with 429s; zero defaults
+	// to 1s.
+	RetryAfter time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = ":8080"
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 64
+	}
+	if c.DefaultTimeout == 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	if c.RetryAfter == 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// Server is the detection service. Create one with New, serve with
+// ListenAndServe (or mount Handler in a test server), stop with Shutdown.
+type Server struct {
+	cfg   Config
+	pool  *Pool
+	cache *GraphCache
+	reg   *Registry
+	mux   *http.ServeMux
+	http  *http.Server
+}
+
+// New wires a server from the configuration.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		pool:  NewPool(cfg.Workers, cfg.QueueDepth),
+		cache: NewGraphCache(cfg.CacheSize),
+		reg:   NewRegistry(),
+		mux:   http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/detect", s.instrument("detect", s.handleDetect))
+	s.mux.HandleFunc("POST /v1/simulate", s.instrument("simulate", s.handleSimulate))
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	s.http = &http.Server{
+		Addr:              cfg.Addr,
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return s
+}
+
+// Handler exposes the route table (for httptest and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics exposes the registry (for embedding the server elsewhere).
+func (s *Server) Metrics() *Registry { return s.reg }
+
+// ListenAndServe blocks serving on the configured address until Shutdown.
+func (s *Server) ListenAndServe() error {
+	err := s.http.ListenAndServe()
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}
+
+// Shutdown drains the server: stop accepting connections, wait for
+// in-flight requests up to ctx's deadline, then let the worker pool finish
+// every queued job.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.http.Shutdown(ctx)
+	s.pool.Close()
+	return err
+}
+
+// statusRecorder captures the response status for the request counters.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(status int) {
+	r.status = status
+	r.ResponseWriter.WriteHeader(status)
+}
+
+// instrument wraps a handler with request counting and route latency.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(rec, r)
+		s.reg.CountRequest(route, rec.status)
+		s.reg.Observe("route."+route, time.Since(start))
+	}
+}
+
+// poolResult is what a pooled job hands back to its waiting handler.
+type poolResult struct {
+	value any
+	err   error
+}
+
+// runPooled executes fn on the worker pool under the request deadline and
+// writes the outcome. A full queue is answered immediately with 429 +
+// Retry-After; a deadline that expires while the job is still queued or
+// running is answered with 504, and the context handed to fn aborts the
+// underlying solve so the worker frees up promptly.
+func (s *Server) runPooled(w http.ResponseWriter, r *http.Request, timeoutMS int, fn func(context.Context) (any, error)) {
+	timeout := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		if d := time.Duration(timeoutMS) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	done := make(chan poolResult, 1)
+	accepted := s.pool.TrySubmit(func() {
+		// The client may be gone by the time this job is dequeued; the
+		// cancelled context makes fn return immediately in that case.
+		v, err := fn(ctx)
+		done <- poolResult{value: v, err: err}
+	})
+	if !accepted {
+		s.reg.CountRejected()
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "queue full; retry later"})
+		return
+	}
+	select {
+	case res := <-done:
+		if res.err != nil {
+			writeError(w, res.err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res.value)
+	case <-ctx.Done():
+		writeError(w, ctx.Err())
+	}
+}

@@ -5,9 +5,13 @@
 package trace
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 
 	"repro/internal/cascade"
 	"repro/internal/sgraph"
@@ -89,14 +93,79 @@ func FromSnapshot(name string, snap *cascade.Snapshot, seeds []int, seedStates [
 	return t
 }
 
-// Snapshot reconstructs the diffusion network and observed states.
-func (t *Trace) Snapshot() (*cascade.Snapshot, error) {
+// Validate checks the instance for structural defects a decoder can detect
+// without building anything: wrong version, misaligned slices, out-of-range
+// state codes, out-of-range / self-loop / duplicate edges, bad signs or
+// weights, and malformed ground truth. It returns a descriptive error for
+// the first defect found, so transport layers (the HTTP server's 400
+// responses, CLI replay) can reject bad payloads instead of panicking
+// downstream.
+func (t *Trace) Validate() error {
 	if t.Version != Version {
-		return nil, fmt.Errorf("trace: unsupported version %d", t.Version)
+		return fmt.Errorf("trace: unsupported version %d (want %d)", t.Version, Version)
+	}
+	if t.Nodes < 0 {
+		return fmt.Errorf("trace: negative node count %d", t.Nodes)
 	}
 	if len(t.Observed) != t.Nodes {
-		return nil, fmt.Errorf("trace: %d observed states for %d nodes", len(t.Observed), t.Nodes)
+		return fmt.Errorf("trace: %d observed states for %d nodes", len(t.Observed), t.Nodes)
 	}
+	for i, c := range t.Observed {
+		if _, err := codeToState(c); err != nil {
+			return fmt.Errorf("trace: observed[%d]: invalid state code %d (want +1, -1, 0 or %d)", i, c, unknownCode)
+		}
+	}
+	if t.Rounds != nil && len(t.Rounds) != t.Nodes {
+		return fmt.Errorf("trace: %d rounds for %d nodes", len(t.Rounds), t.Nodes)
+	}
+	for i, r := range t.Rounds {
+		if r < -1 {
+			return fmt.Errorf("trace: rounds[%d]: invalid round %d (want -1 or >= 0)", i, r)
+		}
+	}
+	seen := make(map[[2]int]bool, len(t.Edges))
+	for i, e := range t.Edges {
+		switch {
+		case e.From < 0 || e.From >= t.Nodes || e.To < 0 || e.To >= t.Nodes:
+			return fmt.Errorf("trace: edges[%d]: endpoint (%d,%d) out of range for %d nodes", i, e.From, e.To, t.Nodes)
+		case e.From == e.To:
+			return fmt.Errorf("trace: edges[%d]: self-loop on node %d", i, e.From)
+		case e.Sign != 1 && e.Sign != -1:
+			return fmt.Errorf("trace: edges[%d]: invalid sign %d (want +1 or -1)", i, e.Sign)
+		case e.Weight < 0 || e.Weight > 1 || math.IsNaN(e.Weight):
+			return fmt.Errorf("trace: edges[%d]: weight %g outside [0, 1]", i, e.Weight)
+		}
+		key := [2]int{e.From, e.To}
+		if seen[key] {
+			return fmt.Errorf("trace: edges[%d]: duplicate edge (%d,%d)", i, e.From, e.To)
+		}
+		seen[key] = true
+	}
+	if len(t.Seeds) > 0 && len(t.SeedStates) != 0 && len(t.SeedStates) != len(t.Seeds) {
+		return fmt.Errorf("trace: %d seed states for %d seeds", len(t.SeedStates), len(t.Seeds))
+	}
+	seenSeed := make(map[int]bool, len(t.Seeds))
+	for i, s := range t.Seeds {
+		if s < 0 || s >= t.Nodes {
+			return fmt.Errorf("trace: seeds[%d]: node %d out of range for %d nodes", i, s, t.Nodes)
+		}
+		if seenSeed[s] {
+			return fmt.Errorf("trace: seeds[%d]: duplicate seed %d", i, s)
+		}
+		seenSeed[s] = true
+	}
+	for i, c := range t.SeedStates {
+		if c != 1 && c != -1 {
+			return fmt.Errorf("trace: seed_states[%d]: state code %d not concrete (want +1 or -1)", i, c)
+		}
+	}
+	return nil
+}
+
+// BuildGraph constructs the diffusion network alone. Callers holding a
+// graph cache use this together with States to rebuild snapshots without
+// re-validating edges (see NetworkHash).
+func (t *Trace) BuildGraph() (*sgraph.Graph, error) {
 	b := sgraph.NewBuilder(t.Nodes)
 	for _, e := range t.Edges {
 		b.AddEdge(e.From, e.To, sgraph.Sign(e.Sign), e.Weight)
@@ -105,17 +174,74 @@ func (t *Trace) Snapshot() (*cascade.Snapshot, error) {
 	if err != nil {
 		return nil, fmt.Errorf("trace: %w", err)
 	}
-	states := make([]sgraph.State, t.Nodes)
+	return g, nil
+}
+
+// States decodes the observed snapshot states.
+func (t *Trace) States() ([]sgraph.State, error) {
+	states := make([]sgraph.State, len(t.Observed))
 	for i, c := range t.Observed {
-		states[i], err = codeToState(c)
+		s, err := codeToState(c)
 		if err != nil {
 			return nil, err
 		}
+		states[i] = s
+	}
+	return states, nil
+}
+
+// SnapshotOn assembles a snapshot from this trace's observed states over an
+// already-built graph — the cache-hit path: g must be BuildGraph's result
+// for a trace with identical NetworkHash.
+func (t *Trace) SnapshotOn(g *sgraph.Graph) (*cascade.Snapshot, error) {
+	if g.NumNodes() != t.Nodes {
+		return nil, fmt.Errorf("trace: graph has %d nodes, trace %d", g.NumNodes(), t.Nodes)
+	}
+	states, err := t.States()
+	if err != nil {
+		return nil, err
 	}
 	if t.Rounds != nil {
 		return cascade.NewSnapshotWithRounds(g, states, t.Rounds)
 	}
 	return cascade.NewSnapshot(g, states)
+}
+
+// Snapshot validates the trace and reconstructs the diffusion network and
+// observed states.
+func (t *Trace) Snapshot() (*cascade.Snapshot, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	g, err := t.BuildGraph()
+	if err != nil {
+		return nil, err
+	}
+	return t.SnapshotOn(g)
+}
+
+// NetworkHash returns a hex content hash of the diffusion network alone —
+// node count plus every edge in insertion order — ignoring the snapshot and
+// ground truth. Two traces over the same network (repeat queries, fresh
+// cascades on a shared graph) hash equal, which is what graph caches key
+// on.
+func (t *Trace) NetworkHash() string {
+	h := sha256.New()
+	var buf [8]byte
+	writeInt := func(v int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	writeInt(t.Nodes)
+	writeInt(len(t.Edges))
+	for _, e := range t.Edges {
+		writeInt(e.From)
+		writeInt(e.To)
+		writeInt(int(e.Sign))
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(e.Weight))
+		h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // GroundTruth decodes the seed set and states, or nil if absent.

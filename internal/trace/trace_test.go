@@ -123,6 +123,106 @@ func TestValidation(t *testing.T) {
 	}
 }
 
+func TestValidateRejectsMalformedInstances(t *testing.T) {
+	valid := func() *Trace {
+		return &Trace{
+			Version:  Version,
+			Nodes:    3,
+			Edges:    []EdgeRecord{{From: 0, To: 1, Sign: 1, Weight: 0.5}, {From: 1, To: 2, Sign: -1, Weight: 0.3}},
+			Observed: []int8{1, -1, 0},
+		}
+	}
+	if err := valid().Validate(); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Trace)
+	}{
+		{"bad version", func(tr *Trace) { tr.Version = 7 }},
+		{"negative nodes", func(tr *Trace) { tr.Nodes = -1; tr.Observed = nil }},
+		{"observed length", func(tr *Trace) { tr.Observed = tr.Observed[:2] }},
+		{"bad state code", func(tr *Trace) { tr.Observed[0] = 5 }},
+		{"rounds length", func(tr *Trace) { tr.Rounds = []int32{0} }},
+		{"bad round", func(tr *Trace) { tr.Rounds = []int32{0, -2, 1} }},
+		{"edge out of range", func(tr *Trace) { tr.Edges[0].To = 3 }},
+		{"negative endpoint", func(tr *Trace) { tr.Edges[0].From = -1 }},
+		{"self-loop", func(tr *Trace) { tr.Edges[1].To = 1 }},
+		{"bad sign", func(tr *Trace) { tr.Edges[0].Sign = 0 }},
+		{"bad weight", func(tr *Trace) { tr.Edges[0].Weight = 1.5 }},
+		{"duplicate edge", func(tr *Trace) { tr.Edges[1] = tr.Edges[0] }},
+		{"seed out of range", func(tr *Trace) { tr.Seeds = []int{3}; tr.SeedStates = []int8{1} }},
+		{"duplicate seed", func(tr *Trace) { tr.Seeds = []int{1, 1}; tr.SeedStates = []int8{1, 1} }},
+		{"seed state mismatch", func(tr *Trace) { tr.Seeds = []int{0, 1}; tr.SeedStates = []int8{1} }},
+		{"seed state not concrete", func(tr *Trace) { tr.Seeds = []int{0}; tr.SeedStates = []int8{9} }},
+	}
+	for _, tc := range cases {
+		tr := valid()
+		tc.mutate(tr)
+		if err := tr.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted malformed trace", tc.name)
+		}
+		if _, err := tr.Snapshot(); err == nil {
+			t.Errorf("%s: Snapshot accepted malformed trace", tc.name)
+		}
+	}
+}
+
+func TestNetworkHash(t *testing.T) {
+	snap, seeds, seedStates := sampleInstance(t)
+	a := FromSnapshot("a", snap, seeds, seedStates)
+	b := FromSnapshot("b", snap, nil, nil)
+	if a.NetworkHash() != b.NetworkHash() {
+		t.Error("same network with different metadata should hash equal")
+	}
+	// A different snapshot over the same graph keeps the network hash.
+	c := FromSnapshot("c", snap, seeds, seedStates)
+	c.Observed[0] = unknownCode
+	if a.NetworkHash() != c.NetworkHash() {
+		t.Error("observed states must not affect the network hash")
+	}
+	// Any edge perturbation changes it.
+	d := FromSnapshot("d", snap, nil, nil)
+	d.Edges[0].Weight += 1e-9
+	if a.NetworkHash() == d.NetworkHash() {
+		t.Error("edge weight change should change the network hash")
+	}
+	e := FromSnapshot("e", snap, nil, nil)
+	e.Nodes++
+	e.Observed = append(e.Observed, 0)
+	if a.NetworkHash() == e.NetworkHash() {
+		t.Error("node count change should change the network hash")
+	}
+}
+
+func TestSnapshotOnCachedGraph(t *testing.T) {
+	snap, seeds, seedStates := sampleInstance(t)
+	tr := FromSnapshot("cached", snap, seeds, seedStates)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := tr.BuildGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap2, err := tr.SnapshotOn(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap2.G != g {
+		t.Error("SnapshotOn should reuse the supplied graph")
+	}
+	for v := range snap.States {
+		if snap.States[v] != snap2.States[v] {
+			t.Fatalf("state[%d] changed", v)
+		}
+	}
+	small := sgraph.NewBuilder(1).MustBuild()
+	if _, err := tr.SnapshotOn(small); err == nil {
+		t.Error("node-count mismatch should error")
+	}
+}
+
 func TestRoundsRoundTrip(t *testing.T) {
 	b := sgraph.NewBuilder(2)
 	b.AddEdge(0, 1, sgraph.Positive, 0.5)
