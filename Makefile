@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench check fmt vet serve experiments report clean
+.PHONY: all build test race bench profile check fmt vet serve experiments report clean
 
 all: check
 
@@ -11,10 +11,16 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/influence/ ./internal/experiment/ ./internal/server/ .
+	$(GO) test -race ./internal/obs/ ./internal/core/ ./internal/influence/ ./internal/experiment/ ./internal/server/ .
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime 1x .
+
+# profile runs the end-to-end detect benchmark under the CPU profiler and
+# prints the hottest functions.
+profile:
+	$(GO) test -bench=BenchmarkRIDEndToEnd -benchtime 5x -cpuprofile cpu.prof -o rid.test .
+	$(GO) tool pprof -top -nodecount 15 rid.test cpu.prof
 
 check: fmt vet test
 
@@ -34,4 +40,4 @@ report:
 	$(GO) run ./cmd/experiments -md report.md -csv csv-out
 
 clean:
-	rm -rf csv-out report.md test_output.txt bench_output.txt
+	rm -rf csv-out report.md test_output.txt bench_output.txt cpu.prof rid.test

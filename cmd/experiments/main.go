@@ -7,6 +7,7 @@
 //	experiments [-exp all|table2|fig4|fig5|fig6|diffusion] [-dataset Epinions|Slashdot|both]
 //	            [-scale 0.02] [-trials 3] [-seed-frac 0.05] [-theta 0.5] [-alpha 3]
 //	            [-mask 0] [-seed 20170605] [-csv dir]
+//	            [-log-level info] [-log-format text] [-cpuprofile f] [-memprofile f]
 //
 // With -csv, each experiment also writes a CSV series into the directory.
 package main
@@ -14,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strings"
@@ -35,15 +37,36 @@ func main() {
 		seed     = flag.Uint64("seed", 0, "base RNG seed (0 = built-in default)")
 		csvDir   = flag.String("csv", "", "directory for CSV output (optional)")
 		mdFile   = flag.String("md", "", "write all results as one markdown report (optional)")
+		logCfg   = cli.LogFlags()
+		profCfg  = cli.ProfileFlags()
 	)
 	flag.Parse()
 	cli.NoPositionalArgs("experiments")
-	if err := run(*exp, *ds, *scale, *trials, *seedFrac, *theta, *alpha, *mask, *seed, *csvDir, *mdFile); err != nil {
+	if err := logCfg.Setup(); err != nil {
+		cli.Fatal("experiments", err)
+	}
+	if err := run(*exp, *ds, *scale, *trials, *seedFrac, *theta, *alpha, *mask, *seed, *csvDir, *mdFile, profCfg); err != nil {
 		cli.Fatal("experiments", err)
 	}
 }
 
-func run(exp, ds string, scale float64, trials int, seedFrac, theta, alpha, mask float64, seed uint64, csvDir, mdFile string) error {
+func run(exp, ds string, scale float64, trials int, seedFrac, theta, alpha, mask float64, seed uint64, csvDir, mdFile string, profCfg *cli.ProfileConfig) error {
+	stopProfile, err := profCfg.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProfile(); err != nil {
+			slog.Error("experiments: profile write failed", "err", err)
+		}
+	}()
+
+	effectiveSeed := seed
+	if effectiveSeed == 0 {
+		effectiveSeed = experiment.DefaultBaseSeed
+	}
+	slog.Info("experiments: starting", "seed", effectiveSeed, "exp", exp, "dataset", ds, "scale", scale, "trials", trials)
+
 	report := &experiment.Report{Title: "Reproduction report — Rumor Initiator Detection in Infected Signed Networks"}
 	datasets := []string{"Epinions", "Slashdot"}
 	if ds != "both" {

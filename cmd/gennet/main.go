@@ -30,9 +30,13 @@ func main() {
 		pos    = flag.Float64("pos", 0.85, "custom generator: positive-link ratio")
 		model  = flag.String("model", "pa", "custom generator: pa (preferential attachment) or er (Erdős–Rényi)")
 		seed   = flag.Uint64("seed", 1, "RNG seed")
+		logCfg = cli.LogFlags()
 	)
 	flag.Parse()
 	cli.NoPositionalArgs("gennet")
+	if err := logCfg.Setup(); err != nil {
+		cli.Fatal("gennet", err)
+	}
 	if err := run(*out, *preset, *scale, *nodes, *edges, *pos, *model, *seed); err != nil {
 		cli.Fatal("gennet", err)
 	}

@@ -9,11 +9,13 @@
 //	mfcsim [-dataset Epinions] [-scale 0.02] [-model mfc|ic|lt|sir|voter|all]
 //	       [-alpha 3] [-n 0] [-seed-frac 0.01] [-theta 0.5] [-rounds 30]
 //	       [-sir-beta 2] [-sir-gamma 0.3] [-seed 1] [-curves]
+//	       [-log-level info] [-log-format text]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"strings"
 
 	"repro/internal/cli"
@@ -38,9 +40,14 @@ func main() {
 		sirGamma = flag.Float64("sir-gamma", 0.3, "SIR per-round recovery probability")
 		seed     = flag.Uint64("seed", 1, "RNG seed")
 		curves   = flag.Bool("curves", true, "print spread curves as sparklines")
+		logCfg   = cli.LogFlags()
 	)
 	flag.Parse()
 	cli.NoPositionalArgs("mfcsim")
+	if err := logCfg.Setup(); err != nil {
+		cli.Fatal("mfcsim", err)
+	}
+	slog.Info("mfcsim: starting", "seed", *seed, "model", *model, "dataset", *ds)
 	if err := run(*ds, *scale, *model, *alpha, *n, *seedFrac, *theta, *rounds, *sirBeta, *sirGamma, *seed, *curves); err != nil {
 		cli.Fatal("mfcsim", err)
 	}

@@ -9,6 +9,7 @@
 //	       [-method rid|rid-tree|rid-positive|rumor-centrality|jordan-center|degree-max|ensemble]
 //	       [-beta 0.3] [-alpha 3] [-n 0] [-seed-frac 0.05] [-theta 0.5]
 //	       [-mask 0] [-seed 1] [-save-trace t.json] [-dot out.dot] [-v]
+//	       [-log-level info] [-log-format text] [-cpuprofile f] [-memprofile f]
 //
 // With -file, a real SNAP signed edge list (optionally .gz) is loaded
 // instead of the synthetic preset (weights re-derived via Jaccard, as in
@@ -39,6 +40,7 @@ type options struct {
 	n                                                    int
 	seed                                                 uint64
 	verbose                                              bool
+	profile                                              *cli.ProfileConfig
 }
 
 func main() {
@@ -58,14 +60,28 @@ func main() {
 	flag.Float64Var(&o.mask, "mask", 0, "fraction of infected states hidden as '?'")
 	flag.Uint64Var(&o.seed, "seed", 1, "RNG seed")
 	flag.BoolVar(&o.verbose, "v", false, "print forest statistics and per-initiator detail")
+	logCfg := cli.LogFlags()
+	o.profile = cli.ProfileFlags()
 	flag.Parse()
 	cli.NoPositionalArgs("ridlab")
+	if err := logCfg.Setup(); err != nil {
+		cli.Fatal("ridlab", err)
+	}
 	if err := run(o); err != nil {
 		cli.Fatal("ridlab", err)
 	}
 }
 
 func run(o options) error {
+	stopProfile, err := o.profile.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProfile(); err != nil {
+			fmt.Fprintf(os.Stderr, "ridlab: profile write failed: %v\n", err)
+		}
+	}()
 	snap, seeds, states, err := instance(o)
 	if err != nil {
 		return err

@@ -12,10 +12,17 @@
 // skip graph construction via a content-addressed LRU cache. SIGINT or
 // SIGTERM triggers a graceful drain.
 //
+// Observability: /metrics serves JSON by default and the Prometheus text
+// format with ?format=prometheus. Requests are access-logged via slog
+// (-log-level, -log-format) with an X-Trace-Id that propagates into the
+// pipeline. -debug-addr starts a second listener with net/http/pprof and
+// expvar — keep it off public interfaces.
+//
 // Usage:
 //
 //	ridserve [-addr :8080] [-workers 0] [-queue 0] [-cache 64]
 //	         [-timeout 30s] [-drain 15s] [-max-body-mb 32]
+//	         [-log-level info] [-log-format text] [-debug-addr addr]
 //
 // Example:
 //
@@ -28,7 +35,8 @@ package main
 import (
 	"context"
 	"flag"
-	"fmt"
+	"log/slog"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -47,13 +55,18 @@ func main() {
 		timeout   = flag.Duration("timeout", 30*time.Second, "per-request deadline ceiling")
 		drain     = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain budget")
 		maxBodyMB = flag.Int64("max-body-mb", 32, "request body cap in MiB")
+		debugAddr = flag.String("debug-addr", "", "pprof/expvar listen address (empty = disabled)")
+		logCfg    = cli.LogFlags()
 	)
 	flag.Parse()
 	cli.NoPositionalArgs("ridserve")
+	if err := logCfg.Setup(); err != nil {
+		cli.Fatal("ridserve", err)
+	}
 	if err := validate(*workers, *queue, *cacheSize, *timeout, *drain, *maxBodyMB); err != nil {
 		cli.Fatal("ridserve", err)
 	}
-	if err := run(*addr, *workers, *queue, *cacheSize, *timeout, *drain, *maxBodyMB); err != nil {
+	if err := run(*addr, *workers, *queue, *cacheSize, *timeout, *drain, *maxBodyMB, *debugAddr); err != nil {
 		cli.Fatal("ridserve", err)
 	}
 }
@@ -76,7 +89,7 @@ func validate(workers, queue, cacheSize int, timeout, drain time.Duration, maxBo
 	return nil
 }
 
-func run(addr string, workers, queue, cacheSize int, timeout, drain time.Duration, maxBodyMB int64) error {
+func run(addr string, workers, queue, cacheSize int, timeout, drain time.Duration, maxBodyMB int64, debugAddr string) error {
 	s := server.New(server.Config{
 		Addr:           addr,
 		Workers:        workers,
@@ -87,7 +100,20 @@ func run(addr string, workers, queue, cacheSize int, timeout, drain time.Duratio
 	})
 	errc := make(chan error, 1)
 	go func() { errc <- s.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "ridserve: listening on %s\n", addr)
+	slog.Info("ridserve: listening", "addr", addr)
+
+	if debugAddr != "" {
+		debug := &http.Server{Addr: debugAddr, Handler: server.DebugHandler(), ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			slog.Info("ridserve: debug endpoints up", "addr", debugAddr)
+			if err := debug.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				// Profiling is auxiliary: losing it should not take the
+				// service down, but it must be visible.
+				slog.Error("ridserve: debug listener failed", "addr", debugAddr, "err", err)
+			}
+		}()
+		defer debug.Close()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -95,7 +121,7 @@ func run(addr string, workers, queue, cacheSize int, timeout, drain time.Duratio
 	case err := <-errc:
 		return err
 	case got := <-sig:
-		fmt.Fprintf(os.Stderr, "ridserve: %v, draining (up to %v)\n", got, drain)
+		slog.Info("ridserve: draining", "signal", got.String(), "budget", drain)
 		ctx, cancel := context.WithTimeout(context.Background(), drain)
 		defer cancel()
 		return s.Shutdown(ctx)

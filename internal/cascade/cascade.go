@@ -8,11 +8,13 @@
 package cascade
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
 	"repro/internal/arbor"
+	"repro/internal/obs"
 	"repro/internal/sgraph"
 )
 
@@ -257,10 +259,21 @@ var ErrNoInfected = errors.New("cascade: snapshot has no infected nodes")
 // paper's CC routine prescribes), impute unknown states down the trees, and
 // score every tree edge with g(·) for the downstream DP.
 func Extract(snap *Snapshot, cfg Config) (*Forest, error) {
+	return ExtractContext(context.Background(), snap, cfg)
+}
+
+// ExtractContext is Extract with pipeline observability: when ctx carries
+// an obs.Recorder it records the components / arborescence / tree_build
+// stage timings and the infected-node, candidate-edge, component, tree and
+// tree-node counters. With no recorder attached the overhead is a handful
+// of nil checks.
+func ExtractContext(ctx context.Context, snap *Snapshot, cfg Config) (*Forest, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	rec := obs.RecorderFrom(ctx)
+	span := rec.Start(obs.StageComponents)
 	infected := snap.Infected()
 	if len(infected) == 0 {
 		return nil, ErrNoInfected
@@ -270,14 +283,18 @@ func Extract(snap *Snapshot, cfg Config) (*Forest, error) {
 		sub = dropNegative(sub)
 	}
 	comps := sgraph.ConnectedComponents(sub.G)
+	span.End()
+	rec.Add(obs.CounterInfectedNodes, int64(len(infected)))
+	rec.Add(obs.CounterComponents, int64(len(comps)))
 	forest := &Forest{Components: len(comps)}
 	for ci, comp := range comps {
-		trees, err := extractComponent(snap, sub, comp, ci, cfg)
+		trees, err := extractComponent(snap, sub, comp, ci, cfg, rec)
 		if err != nil {
 			return nil, err
 		}
 		forest.Trees = append(forest.Trees, trees...)
 	}
+	rec.Add(obs.CounterTrees, int64(len(forest.Trees)))
 	return forest, nil
 }
 
@@ -295,8 +312,10 @@ func dropNegative(sub *sgraph.Subgraph) *sgraph.Subgraph {
 
 // extractComponent solves one infected connected component: a log-space
 // maximum-weight spanning forest over the component's candidate diffusion
-// links, converted into rooted Tree values with imputed states.
-func extractComponent(snap *Snapshot, sub *sgraph.Subgraph, comp []int, compIdx int, cfg Config) ([]*Tree, error) {
+// links, converted into rooted Tree values with imputed states. rec (which
+// may be nil) accumulates the arborescence and tree_build stage timings.
+func extractComponent(snap *Snapshot, sub *sgraph.Subgraph, comp []int, compIdx int, cfg Config, rec *obs.Recorder) ([]*Tree, error) {
+	span := rec.Start(obs.StageArborescence)
 	// Dense re-indexing of the component's nodes.
 	pos := make(map[int]int, len(comp)) // sub-local ID -> component index
 	for i, v := range comp {
@@ -325,10 +344,13 @@ func extractComponent(snap *Snapshot, sub *sgraph.Subgraph, comp []int, compIdx 
 		})
 	}
 	parents, _, err := arbor.MaxForest(len(comp), edges, cfg.RootScore)
+	span.End()
+	rec.Add(obs.CounterCandidateEdges, int64(len(edges)))
 	if err != nil {
 		return nil, fmt.Errorf("cascade: component %d: %w", compIdx, err)
 	}
 
+	span = rec.Start(obs.StageTreeBuild)
 	// Children lists on component indices, then one BFS per root.
 	childIdx := make([][]int32, len(comp))
 	var roots []int
@@ -378,7 +400,9 @@ func extractComponent(snap *Snapshot, sub *sgraph.Subgraph, comp []int, compIdx 
 		imputeStates(t)
 		rescore(t, cfg)
 		t.ScoreCfg = cfg
+		rec.Add(obs.CounterTreeNodes, int64(t.Len()))
 		trees = append(trees, t)
 	}
+	span.End()
 	return trees, nil
 }

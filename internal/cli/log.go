@@ -1,0 +1,64 @@
+package cli
+
+import (
+	"flag"
+	"io"
+	"log/slog"
+	"os"
+	"strings"
+)
+
+// LogConfig carries the shared logging flags every cmd/ tool registers, so
+// `-log-level debug -log-format json` means the same thing on ridserve,
+// ridlab, experiments, mfcsim and gennet.
+type LogConfig struct {
+	// Level is the minimum level emitted: debug, info, warn or error.
+	Level string
+	// Format is the handler: "text" (human-readable, the default) or
+	// "json" (one object per line, for log shippers).
+	Format string
+}
+
+// LogFlags registers -log-level and -log-format on the default flag set
+// and returns the destination config. Call before flag.Parse, then Setup
+// after.
+func LogFlags() *LogConfig {
+	c := &LogConfig{}
+	flag.StringVar(&c.Level, "log-level", "info", "log level: debug, info, warn or error")
+	flag.StringVar(&c.Format, "log-format", "text", "log format: text or json")
+	return c
+}
+
+// Setup validates the flags and installs the process-wide slog default
+// logger writing to stderr. Returns a UsageError on a bad level or format.
+func (c *LogConfig) Setup() error {
+	return c.setup(os.Stderr)
+}
+
+func (c *LogConfig) setup(w io.Writer) error {
+	var level slog.Level
+	switch strings.ToLower(c.Level) {
+	case "debug":
+		level = slog.LevelDebug
+	case "info", "":
+		level = slog.LevelInfo
+	case "warn":
+		level = slog.LevelWarn
+	case "error":
+		level = slog.LevelError
+	default:
+		return Usagef("unknown -log-level %q (want debug, info, warn or error)", c.Level)
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	switch strings.ToLower(c.Format) {
+	case "text", "":
+		h = slog.NewTextHandler(w, opts)
+	case "json":
+		h = slog.NewJSONHandler(w, opts)
+	default:
+		return Usagef("unknown -log-format %q (want text or json)", c.Format)
+	}
+	slog.SetDefault(slog.New(h))
+	return nil
+}

@@ -1,0 +1,100 @@
+package cli
+
+import (
+	"encoding/json"
+	"errors"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLogConfigSetupLevels(t *testing.T) {
+	old := slog.Default()
+	defer slog.SetDefault(old)
+
+	var b strings.Builder
+	c := &LogConfig{Level: "warn", Format: "text"}
+	if err := c.setup(&b); err != nil {
+		t.Fatal(err)
+	}
+	slog.Info("hidden")
+	slog.Warn("visible")
+	out := b.String()
+	if strings.Contains(out, "hidden") {
+		t.Fatalf("info line leaked past warn level: %q", out)
+	}
+	if !strings.Contains(out, "visible") {
+		t.Fatalf("warn line missing: %q", out)
+	}
+}
+
+func TestLogConfigSetupJSON(t *testing.T) {
+	old := slog.Default()
+	defer slog.SetDefault(old)
+
+	var b strings.Builder
+	c := &LogConfig{Level: "info", Format: "json"}
+	if err := c.setup(&b); err != nil {
+		t.Fatal(err)
+	}
+	slog.Info("structured", "seed", 42)
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("not one JSON object per line: %v (%q)", err, b.String())
+	}
+	if doc["msg"] != "structured" || doc["seed"] != float64(42) {
+		t.Fatalf("unexpected JSON log document: %v", doc)
+	}
+}
+
+func TestLogConfigSetupRejectsBadFlags(t *testing.T) {
+	var ue *UsageError
+	if err := (&LogConfig{Level: "loud"}).setup(&strings.Builder{}); !errors.As(err, &ue) {
+		t.Fatalf("bad level: got %v, want UsageError", err)
+	}
+	if err := (&LogConfig{Level: "info", Format: "xml"}).setup(&strings.Builder{}); !errors.As(err, &ue) {
+		t.Fatalf("bad format: got %v, want UsageError", err)
+	}
+}
+
+func TestProfileConfigWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	c := &ProfileConfig{
+		CPU: filepath.Join(dir, "cpu.out"),
+		Mem: filepath.Join(dir, "mem.out"),
+	}
+	stop, err := c.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has something to sample.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i * i
+	}
+	_ = x
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{c.CPU, c.Mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("%s is empty", p)
+		}
+	}
+}
+
+func TestProfileConfigOffIsNoop(t *testing.T) {
+	stop, err := (&ProfileConfig{}).Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}

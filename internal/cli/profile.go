@@ -1,0 +1,66 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// ProfileConfig carries the shared profiling flags of the batch tools
+// (cmd/experiments, cmd/ridlab): a CPU profile covering the whole run and
+// a heap profile written at exit.
+type ProfileConfig struct {
+	// CPU is the CPU profile output path ("" = off).
+	CPU string
+	// Mem is the heap profile output path ("" = off).
+	Mem string
+}
+
+// ProfileFlags registers -cpuprofile and -memprofile on the default flag
+// set and returns the destination config. Call before flag.Parse.
+func ProfileFlags() *ProfileConfig {
+	c := &ProfileConfig{}
+	flag.StringVar(&c.CPU, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&c.Mem, "memprofile", "", "write a heap profile to this file at exit")
+	return c
+}
+
+// Start begins CPU profiling when configured and returns a stop function
+// that finishes the CPU profile and writes the heap profile. The stop
+// function must run before process exit (defer it in run, not main, so it
+// fires before cli.Fatal paths that os.Exit).
+func (c *ProfileConfig) Start() (stop func() error, err error) {
+	var cpuFile *os.File
+	if c.CPU != "" {
+		cpuFile, err = os.Create(c.CPU)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if c.Mem != "" {
+			f, err := os.Create(c.Mem)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC() // collect garbage so the heap profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("heap profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

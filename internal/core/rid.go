@@ -3,11 +3,13 @@ package core
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"math"
 	"sort"
 
 	"repro/internal/cascade"
 	"repro/internal/isomit"
+	"repro/internal/obs"
 	"repro/internal/sgraph"
 )
 
@@ -112,7 +114,7 @@ func (r *RID) DetectContext(ctx context.Context, snap *cascade.Snapshot) (*Detec
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	forest, err := r.Extract(snap)
+	forest, err := r.ExtractContext(ctx, snap)
 	if err != nil {
 		return nil, err
 	}
@@ -124,11 +126,17 @@ func (r *RID) DetectContext(ctx context.Context, snap *cascade.Snapshot) (*Detec
 // comparing objectives) can pay for it once and call DetectForest per
 // setting.
 func (r *RID) Extract(snap *cascade.Snapshot) (*cascade.Forest, error) {
+	return r.ExtractContext(context.Background(), snap)
+}
+
+// ExtractContext is Extract under a context: an attached obs.Recorder
+// collects the extraction stage timings and counters.
+func (r *RID) ExtractContext(ctx context.Context, snap *cascade.Snapshot) (*cascade.Forest, error) {
 	ext := r.cfg.Extraction
 	ext.Alpha = r.cfg.Alpha
 	ext.Mode = cascade.ModeBoosted
 	ext.PositiveOnly = false
-	return cascade.Extract(snap, ext)
+	return cascade.ExtractContext(ctx, snap, ext)
 }
 
 // DetectForest runs per-tree initiator inference over an already-extracted
@@ -144,14 +152,17 @@ func (r *RID) DetectForest(forest *cascade.Forest) (*Detection, error) {
 // trees, so a cancelled deadline aborts within one tree's work.
 func (r *RID) DetectForestContext(ctx context.Context, forest *cascade.Forest) (*Detection, error) {
 	det := &Detection{Trees: len(forest.Trees), Components: forest.Components}
+	rec := obs.RecorderFrom(ctx) // nil-safe; resolved once, not per tree
+	var dpCells int64
 	for _, tree := range forest.Trees {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		res, solved, err := r.solveTree(tree)
+		res, solved, err := r.solveTree(tree, rec)
 		if err != nil {
 			return nil, err
 		}
+		dpCells += res.Cells
 		det.Initiators = append(det.Initiators, res.Initiators...)
 		det.States = append(det.States, res.States...)
 		// res.Local indexes the tree the solver actually ran on (possibly
@@ -167,38 +178,61 @@ func (r *RID) DetectForestContext(ctx context.Context, forest *cascade.Forest) (
 			}
 		}
 	}
+	rec.Add(obs.CounterDPCells, dpCells)
 	sortDetection(det)
+	if slog.Default().Enabled(ctx, slog.LevelDebug) {
+		slog.LogAttrs(ctx, slog.LevelDebug, "rid: forest solved",
+			slog.String("trace_id", obs.TraceID(ctx)),
+			slog.String("detector", r.Name()),
+			slog.Int("components", det.Components),
+			slog.Int("trees", det.Trees),
+			slog.Int("initiators", len(det.Initiators)),
+			slog.Int64("dp_cells", dpCells))
+	}
 	return det, nil
 }
 
 // solveTree runs the configured per-tree solver and also returns the tree
 // the result's local IDs refer to (the binarized transform for the budget
-// DP, the input tree otherwise).
-func (r *RID) solveTree(tree *cascade.Tree) (*isomit.Result, *cascade.Tree, error) {
+// DP, the input tree otherwise). rec (which may be nil) accumulates the
+// binarize / tree_dp stage timings and the budget-fallback counter.
+func (r *RID) solveTree(tree *cascade.Tree, rec *obs.Recorder) (*isomit.Result, *cascade.Tree, error) {
 	if r.cfg.Objective == ObjectiveLocal {
 		lambda := 0.0 // default: −log of the extraction inconsistency floor
 		if f := r.cfg.Extraction.InconsistentFloor; f > 0 {
 			lambda = -math.Log(f)
 		}
+		span := rec.Start(obs.StageTreeDP)
 		res, err := isomit.SolveLocal(tree, r.cfg.Beta, lambda)
+		span.End()
 		return res, tree, err
 	}
 	if r.cfg.UseBudgetDP && tree.Len() <= r.cfg.MaxBudgetTreeSize {
+		span := rec.Start(obs.StageBinarize)
 		bin := tree.Binarize()
+		span.End()
 		var (
 			res *isomit.Result
 			err error
 		)
+		span = rec.Start(obs.StageTreeDP)
 		if r.cfg.BranchStates {
 			res, err = isomit.SolveAutoStates(bin, r.cfg.Beta)
 		} else {
 			res, err = isomit.SolveAuto(bin, r.cfg.Beta)
 		}
+		span.End()
 		return res, bin, err
+	}
+	if r.cfg.UseBudgetDP {
+		// Budget DP requested but the tree exceeds MaxBudgetTreeSize.
+		rec.Add(obs.CounterBudgetFallbacks, 1)
 	}
 	pen := r.cfg.Penalty
 	pen.Beta = r.cfg.Beta
+	span := rec.Start(obs.StageTreeDP)
 	res, err := isomit.SolvePenalized(tree, pen)
+	span.End()
 	return res, tree, err
 }
 

@@ -20,6 +20,11 @@ import (
 	"repro/internal/xrand"
 )
 
+// DefaultBaseSeed is the BaseSeed a zero Workload gets: ICDCS 2017's
+// opening day. Exported so drivers can report the effective seed when the
+// user doesn't override it.
+const DefaultBaseSeed = 20170605
+
 // Workload describes one batch of simulated ISOMIT instances, following
 // the experimental protocol of Section IV-B3: sample N rumor initiators,
 // assign initial states by positive ratio θ, run MFC with boosting α over
@@ -69,7 +74,7 @@ func (w Workload) withDefaults() Workload {
 		w.Trials = 3
 	}
 	if w.BaseSeed == 0 {
-		w.BaseSeed = 20170605 // ICDCS 2017 opening day
+		w.BaseSeed = DefaultBaseSeed
 	}
 	return w
 }

@@ -44,6 +44,7 @@ func SolveBudget(t *cascade.Tree, k int) (*Result, error) {
 	seen := make([]bool, memoLen)
 	key := func(u, govIdx, j int) int { return (u*(maxDepth+2)+govIdx)*(k+1) + j }
 
+	var cells int64
 	var solve func(u, govIdx int, q float64, j int) float64
 	solve = func(u, govIdx int, q float64, j int) float64 {
 		if j < 0 {
@@ -53,6 +54,7 @@ func SolveBudget(t *cascade.Tree, k int) (*Result, error) {
 		if seen[kk] {
 			return memo[kk]
 		}
+		cells++
 		children := t.Children[u]
 		// Case 1: u is not an initiator.
 		own := 0.0
@@ -100,6 +102,7 @@ func SolveBudget(t *cascade.Tree, k int) (*Result, error) {
 	res := buildResult(t, initiators, 0)
 	res.Score = total
 	res.Objective = -total
+	res.Cells = cells
 	return res, nil
 }
 
@@ -183,17 +186,22 @@ func autoSearch(t *cascade.Tree, beta float64, solve func(*cascade.Tree, int) (*
 		return nil, fmt.Errorf("isomit: beta must be non-negative, got %g", beta)
 	}
 	var best *Result
+	var cells int64 // total across every k tried, surviving on the winner
 	maxK := t.NumReal()
 	for k := 1; k <= maxK; k++ {
 		r, err := solve(t, k)
 		if err != nil {
 			return nil, err
 		}
+		cells += r.Cells
 		r.Objective = -r.Score + float64(k-1)*beta
 		if best != nil && r.Objective >= best.Objective {
 			break
 		}
 		best = r
+	}
+	if best != nil {
+		best.Cells = cells
 	}
 	return best, nil
 }

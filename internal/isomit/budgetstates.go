@@ -63,6 +63,7 @@ func SolveBudgetStates(t *cascade.Tree, k int) (*Result, error) {
 		return t.FlipScore(c, t.State[t.Parent[c]])
 	}
 
+	var cells int64
 	var solve func(u, govIdx, flip int, q float64, j int) float64
 	split := func(children []int32, govIdx, flip int, q float64, j int, firstHopFlip int) float64 {
 		// firstHopFlip applies only when the governing initiator is the
@@ -100,6 +101,7 @@ func SolveBudgetStates(t *cascade.Tree, k int) (*Result, error) {
 		if seen[kk] {
 			return memo[kk]
 		}
+		cells++
 		children := t.Children[u]
 		own := 0.0
 		if !t.Dummy[u] {
@@ -130,7 +132,7 @@ func SolveBudgetStates(t *cascade.Tree, k int) (*Result, error) {
 	}
 
 	// Reconstruction.
-	res := &Result{K: k, Score: total, Objective: -total}
+	res := &Result{K: k, Score: total, Objective: -total, Cells: cells}
 	var walk func(u, govIdx, flip int, q float64, j int)
 	walkChildren := func(children []int32, govIdx, flip int, q float64, j int, firstHopFlip int) {
 		switch len(children) {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/obs"
 	"repro/internal/sgraph"
 )
 
@@ -134,5 +135,9 @@ func ExactSmallContext(ctx context.Context, g *sgraph.Graph, states []sgraph.Sta
 	if math.IsInf(best.LogLikelihood, -1) && math.IsInf(best.Objective, 1) {
 		return nil, fmt.Errorf("isomit: no assignment evaluated")
 	}
+	// Each scored (set, states) assignment is one cell of the exhaustive
+	// "DP" — the exponential blow-up becomes visible on the same counter
+	// the tree solvers report.
+	obs.Add(ctx, obs.CounterDPCells, int64(best.Evaluated))
 	return best, nil
 }

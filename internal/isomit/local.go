@@ -59,6 +59,7 @@ func SolveLocal(t *cascade.Tree, beta, lambda float64) (*Result, error) {
 	r := buildResult(t, initiators, beta*lambda)
 	r.Score = LocalLogScore(t, initiators)
 	r.Objective = -r.Score + float64(r.K-1)*beta*lambda
+	r.Cells = int64(t.Len()) // one threshold check per node
 	return r, nil
 }
 

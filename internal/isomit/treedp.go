@@ -23,6 +23,11 @@ type Result struct {
 	K         int
 	Score     float64
 	Objective float64
+	// Cells counts the DP cells this solve evaluated (memo entries for the
+	// budget DPs, ancestor slots for the penalized DP, threshold checks
+	// for the local objective) — the per-tree work measure surfaced by the
+	// observability layer as the dp_cells counter.
+	Cells int64
 }
 
 // PenaltyConfig parameterizes SolvePenalized.
@@ -120,8 +125,10 @@ func SolvePenalized(t *cascade.Tree, cfg PenaltyConfig) (*Result, error) {
 		self float64   // node is an initiator; includes the -β payment
 	}
 	res := make([]nodeRes, n)
+	var cells int64
 	for v := n - 1; v >= 0; v-- {
 		l := len(qlive[v])
+		cells += int64(l) + 2 // live slots + dead + self
 		r := nodeRes{live: make([]float64, l)}
 		if t.Dummy[v] {
 			r.self = negInf
@@ -205,7 +212,9 @@ func SolvePenalized(t *cascade.Tree, cfg PenaltyConfig) (*Result, error) {
 		initiators = append(initiators, 0)
 		slot[0] = slotSelf
 	}
-	return buildResult(t, initiators, cfg.Beta), nil
+	r := buildResult(t, initiators, cfg.Beta)
+	r.Cells = cells
+	return r, nil
 }
 
 // buildResult assembles a Result from a set of local initiator IDs,

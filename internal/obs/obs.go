@@ -1,0 +1,249 @@
+// Package obs is the pipeline observability layer: per-stage wall-time
+// spans and named counters carried through context.Context, plus request
+// trace IDs and a Prometheus text-format writer. It is stdlib-only and
+// designed around one invariant: when no Recorder is attached to the
+// context, every call degenerates to a nil check — the instrumented hot
+// paths (forest extraction, tree DP) pay nothing measurable.
+//
+// Usage: a serving or CLI layer creates a Recorder per pipeline run,
+// attaches it with WithRecorder, and reads StageMillis/Counters when the
+// run finishes. Library code brackets its stages with
+//
+//	span := obs.RecorderFrom(ctx).Start(obs.StageTreeDP)
+//	... work ...
+//	span.End()
+//
+// and accumulates counters via Recorder.Add. Stage names are chosen so the
+// recorded set is a disjoint partition of the pipeline: stage durations can
+// be summed and compared against the end-to-end latency without double
+// counting.
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"time"
+)
+
+// Stage names recorded by the RID pipeline, in execution order. They are
+// disjoint (no stage nests inside another), so their durations sum to at
+// most the end-to-end detect time.
+const (
+	// StageGraphBuild is wire-trace validation plus adjacency construction
+	// (skipped on a graph-cache hit).
+	StageGraphBuild = "graph_build"
+	// StageSnapshot is observed-state binding onto the built network.
+	StageSnapshot = "snapshot"
+	// StageReverse is diffusion-direction reversal (CLI pipelines only;
+	// wire traces ship pre-reversed).
+	StageReverse = "reverse"
+	// StageComponents is infected-subgraph induction plus connected
+	// component detection (Definition 6).
+	StageComponents = "components"
+	// StageArborescence is candidate-link scoring plus the log-space
+	// Chu-Liu/Edmonds spanning forest, summed over components.
+	StageArborescence = "arborescence"
+	// StageTreeBuild is cascade-tree assembly, state imputation and edge
+	// re-scoring after the arborescence solve.
+	StageTreeBuild = "tree_build"
+	// StageBinarize is the Figure 3 binary transform (budget DP only).
+	StageBinarize = "binarize"
+	// StageTreeDP is per-tree initiator inference (threshold rule,
+	// penalized DP or budget DP), summed over trees.
+	StageTreeDP = "tree_dp"
+)
+
+// Counter names accumulated by the RID pipeline.
+const (
+	// CounterInfectedNodes is the number of nodes in the infected subgraph.
+	CounterInfectedNodes = "infected_nodes"
+	// CounterCandidateEdges is the number of candidate activation links
+	// scored for forest extraction.
+	CounterCandidateEdges = "candidate_edges"
+	// CounterComponents is the number of infected connected components.
+	CounterComponents = "components"
+	// CounterTrees is the number of extracted cascade trees.
+	CounterTrees = "trees"
+	// CounterTreeNodes is the total node count across extracted trees
+	// (CounterTreeNodes / CounterTrees = mean tree size).
+	CounterTreeNodes = "tree_nodes"
+	// CounterDPCells is the number of DP cells (memo entries, threshold
+	// checks or ancestor slots) evaluated by the per-tree solvers.
+	CounterDPCells = "dp_cells"
+	// CounterBudgetFallbacks counts trees that exceeded MaxBudgetTreeSize
+	// and fell back from the budget DP to the penalized DP.
+	CounterBudgetFallbacks = "budget_fallbacks"
+)
+
+// StageStat aggregates the observations of one stage within a Recorder.
+type StageStat struct {
+	// Count is the number of spans recorded under the stage name.
+	Count int64
+	// Total is the summed wall time; Max the longest single span.
+	Total time.Duration
+	Max   time.Duration
+}
+
+// Recorder accumulates per-stage wall times and named counters for one
+// pipeline run (typically one detect request). All methods are safe for
+// concurrent use and safe on a nil receiver, where they no-op — callers
+// thread the RecorderFrom(ctx) result unconditionally.
+type Recorder struct {
+	mu       sync.Mutex
+	stages   map[string]*StageStat
+	counters map[string]int64
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{
+		stages:   make(map[string]*StageStat),
+		counters: make(map[string]int64),
+	}
+}
+
+// Span is one in-flight stage timing. The zero Span (from a nil Recorder)
+// is valid and End is a no-op on it.
+type Span struct {
+	rec   *Recorder
+	stage string
+	start time.Time
+}
+
+// Start opens a span under the stage name. On a nil recorder it returns
+// the zero Span without reading the clock.
+func (r *Recorder) Start(stage string) Span {
+	if r == nil {
+		return Span{}
+	}
+	return Span{rec: r, stage: stage, start: time.Now()}
+}
+
+// End records the span's elapsed wall time onto its recorder.
+func (s Span) End() {
+	if s.rec == nil {
+		return
+	}
+	s.rec.observe(s.stage, time.Since(s.start))
+}
+
+func (r *Recorder) observe(stage string, d time.Duration) {
+	r.mu.Lock()
+	st := r.stages[stage]
+	if st == nil {
+		st = &StageStat{}
+		r.stages[stage] = st
+	}
+	st.Count++
+	st.Total += d
+	if d > st.Max {
+		st.Max = d
+	}
+	r.mu.Unlock()
+}
+
+// Add accumulates n onto the named counter. No-op on a nil recorder.
+func (r *Recorder) Add(name string, n int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.counters[name] += n
+	r.mu.Unlock()
+}
+
+// Stages returns a copy of the per-stage aggregates.
+func (r *Recorder) Stages() map[string]StageStat {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]StageStat, len(r.stages))
+	for name, st := range r.stages {
+		out[name] = *st
+	}
+	return out
+}
+
+// StageMillis returns the total wall time per stage in milliseconds — the
+// shape served as a detect response's stage_timings.
+func (r *Recorder) StageMillis() map[string]float64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]float64, len(r.stages))
+	for name, st := range r.stages {
+		out[name] = float64(st.Total) / float64(time.Millisecond)
+	}
+	return out
+}
+
+// Counters returns a copy of the counter map.
+func (r *Recorder) Counters() map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.counters))
+	for name, v := range r.counters {
+		out[name] = v
+	}
+	return out
+}
+
+type recorderKey struct{}
+
+// WithRecorder attaches a recorder to the context for the pipeline below.
+func WithRecorder(ctx context.Context, r *Recorder) context.Context {
+	return context.WithValue(ctx, recorderKey{}, r)
+}
+
+// RecorderFrom returns the context's recorder, or nil when none is
+// attached. Hot loops call this once up front and use the (nil-safe)
+// recorder methods directly rather than re-resolving per iteration.
+func RecorderFrom(ctx context.Context) *Recorder {
+	r, _ := ctx.Value(recorderKey{}).(*Recorder)
+	return r
+}
+
+// Add accumulates n onto the named counter of the context's recorder, if
+// any. Convenience for cold paths; hot loops hold the recorder directly.
+func Add(ctx context.Context, name string, n int64) {
+	RecorderFrom(ctx).Add(name, n)
+}
+
+// Start opens a span on the context's recorder, if any. Convenience for
+// cold paths; hot loops hold the recorder directly.
+func Start(ctx context.Context, stage string) Span {
+	return RecorderFrom(ctx).Start(stage)
+}
+
+type traceIDKey struct{}
+
+// WithTraceID attaches a request-scoped trace ID to the context.
+func WithTraceID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, traceIDKey{}, id)
+}
+
+// TraceID returns the context's trace ID, or "" when none is attached.
+func TraceID(ctx context.Context) string {
+	id, _ := ctx.Value(traceIDKey{}).(string)
+	return id
+}
+
+// NewTraceID returns a 16-hex-char random trace ID.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failure is unrecoverable noise; a fixed ID keeps the
+		// request serviceable and is visibly wrong in logs.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}

@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRecorderStagesAndCounters(t *testing.T) {
+	r := NewRecorder()
+	sp := r.Start(StageTreeDP)
+	time.Sleep(time.Millisecond)
+	sp.End()
+	r.observe(StageTreeDP, 2*time.Millisecond)
+	r.Add(CounterTrees, 3)
+	r.Add(CounterTrees, 2)
+
+	st := r.Stages()[StageTreeDP]
+	if st.Count != 2 {
+		t.Fatalf("stage count = %d, want 2", st.Count)
+	}
+	if st.Total <= 0 || st.Max <= 0 || st.Max > st.Total {
+		t.Fatalf("implausible aggregates: total=%v max=%v", st.Total, st.Max)
+	}
+	if ms := r.StageMillis()[StageTreeDP]; ms <= 0 {
+		t.Fatalf("StageMillis = %g, want > 0", ms)
+	}
+	if got := r.Counters()[CounterTrees]; got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+}
+
+func TestNilRecorderIsNoop(t *testing.T) {
+	var r *Recorder
+	sp := r.Start(StageTreeDP) // must not panic
+	sp.End()
+	r.Add(CounterTrees, 1)
+	if r.Stages() != nil || r.Counters() != nil || r.StageMillis() != nil {
+		t.Fatal("nil recorder must return nil maps")
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	ctx := context.Background()
+	if RecorderFrom(ctx) != nil {
+		t.Fatal("empty context must carry no recorder")
+	}
+	sp := Start(ctx, StageTreeDP) // no recorder: still safe
+	sp.End()
+	Add(ctx, CounterTrees, 1)
+
+	rec := NewRecorder()
+	ctx = WithRecorder(ctx, rec)
+	if RecorderFrom(ctx) != rec {
+		t.Fatal("recorder not recovered from context")
+	}
+	sp = Start(ctx, StageComponents)
+	sp.End()
+	Add(ctx, CounterComponents, 7)
+	if rec.Stages()[StageComponents].Count != 1 {
+		t.Fatal("span via context not recorded")
+	}
+	if rec.Counters()[CounterComponents] != 7 {
+		t.Fatal("counter via context not recorded")
+	}
+}
+
+func TestTraceID(t *testing.T) {
+	ctx := context.Background()
+	if TraceID(ctx) != "" {
+		t.Fatal("empty context must carry no trace ID")
+	}
+	ctx = WithTraceID(ctx, "abc123")
+	if got := TraceID(ctx); got != "abc123" {
+		t.Fatalf("TraceID = %q", got)
+	}
+	a, b := NewTraceID(), NewTraceID()
+	if len(a) != 16 || len(b) != 16 {
+		t.Fatalf("trace IDs %q/%q not 16 hex chars", a, b)
+	}
+	if a == b {
+		t.Fatalf("trace IDs collided: %q", a)
+	}
+	if strings.Trim(a, "0123456789abcdef") != "" {
+		t.Fatalf("trace ID %q not lowercase hex", a)
+	}
+}
+
+// TestConcurrentRecording exercises one Recorder from many goroutines —
+// the serving layer records stages from pooled workers while /metrics
+// snapshots counters. Run under -race (the CI race matrix includes obs).
+func TestConcurrentRecording(t *testing.T) {
+	rec := NewRecorder()
+	ctx := WithRecorder(context.Background(), rec)
+	const goroutines = 16
+	const iters = 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := RecorderFrom(ctx)
+			for i := 0; i < iters; i++ {
+				sp := r.Start(StageTreeDP)
+				r.Add(CounterDPCells, 2)
+				sp.End()
+				if i%10 == 0 {
+					// Concurrent readers must not race the writers.
+					_ = r.Stages()
+					_ = r.Counters()
+					_ = r.StageMillis()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := rec.Stages()[StageTreeDP].Count; got != goroutines*iters {
+		t.Fatalf("span count = %d, want %d", got, goroutines*iters)
+	}
+	if got := rec.Counters()[CounterDPCells]; got != 2*goroutines*iters {
+		t.Fatalf("counter = %d, want %d", got, 2*goroutines*iters)
+	}
+}
+
+func BenchmarkSpanNoRecorder(b *testing.B) {
+	ctx := context.Background()
+	rec := RecorderFrom(ctx)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := rec.Start(StageTreeDP)
+		rec.Add(CounterDPCells, 1)
+		sp.End()
+	}
+}
+
+func BenchmarkSpanWithRecorder(b *testing.B) {
+	rec := NewRecorder()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := rec.Start(StageTreeDP)
+		rec.Add(CounterDPCells, 1)
+		sp.End()
+	}
+}

@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromLabel is one name="value" pair on a Prometheus sample.
+type PromLabel struct {
+	Name, Value string
+}
+
+// PromWriter renders the Prometheus text exposition format (version
+// 0.0.4): HELP/TYPE headers, escaped label values, histogram bucket
+// series. Errors are sticky — check Err once after the last write.
+type PromWriter struct {
+	w   io.Writer
+	err error
+}
+
+// NewPromWriter wraps w.
+func NewPromWriter(w io.Writer) *PromWriter { return &PromWriter{w: w} }
+
+// Err returns the first write error, if any.
+func (p *PromWriter) Err() error { return p.err }
+
+func (p *PromWriter) printf(s string) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = io.WriteString(p.w, s)
+}
+
+// Header writes the # HELP and # TYPE lines for a metric family. typ is
+// one of "counter", "gauge", "histogram".
+func (p *PromWriter) Header(name, help, typ string) {
+	var b strings.Builder
+	b.WriteString("# HELP ")
+	b.WriteString(name)
+	b.WriteByte(' ')
+	b.WriteString(escapeHelp(help))
+	b.WriteString("\n# TYPE ")
+	b.WriteString(name)
+	b.WriteByte(' ')
+	b.WriteString(typ)
+	b.WriteByte('\n')
+	p.printf(b.String())
+}
+
+// Sample writes one sample line: name{labels} value.
+func (p *PromWriter) Sample(name string, labels []PromLabel, value float64) {
+	var b strings.Builder
+	b.WriteString(name)
+	writeLabels(&b, labels)
+	b.WriteByte(' ')
+	b.WriteString(formatValue(value))
+	b.WriteByte('\n')
+	p.printf(b.String())
+}
+
+// IntSample is Sample for integer-valued counters and gauges, avoiding
+// float formatting of large exact counts.
+func (p *PromWriter) IntSample(name string, labels []PromLabel, value int64) {
+	var b strings.Builder
+	b.WriteString(name)
+	writeLabels(&b, labels)
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatInt(value, 10))
+	b.WriteByte('\n')
+	p.printf(b.String())
+}
+
+// Histogram writes a full histogram family entry under the shared labels:
+// one _bucket series per upper bound (cumulative counts, +Inf last), then
+// _sum and _count. bounds and buckets must be parallel, with buckets
+// carrying one extra trailing element for +Inf; buckets must already be
+// cumulative and end at the observation count.
+func (p *PromWriter) Histogram(name string, labels []PromLabel, bounds []float64, buckets []int64, sum float64, count int64) {
+	ls := make([]PromLabel, len(labels), len(labels)+1)
+	copy(ls, labels)
+	for i, bound := range bounds {
+		withLE := append(ls, PromLabel{Name: "le", Value: formatValue(bound)})
+		p.IntSample(name+"_bucket", withLE, buckets[i])
+	}
+	withInf := append(ls, PromLabel{Name: "le", Value: "+Inf"})
+	p.IntSample(name+"_bucket", withInf, buckets[len(buckets)-1])
+	p.Sample(name+"_sum", labels, sum)
+	p.IntSample(name+"_count", labels, count)
+}
+
+func writeLabels(b *strings.Builder, labels []PromLabel) {
+	if len(labels) == 0 {
+		return
+	}
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(EscapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+// formatValue renders a float the way Prometheus expects: shortest exact
+// decimal, with infinities as +Inf/-Inf and NaN as NaN.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// EscapeLabelValue escapes a label value per the text format: backslash,
+// double quote and newline.
+func EscapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 4)
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes HELP text: backslash and newline (quotes are legal).
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 4)
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// SanitizeMetricName maps an arbitrary identifier into the Prometheus
+// metric-name alphabet [a-zA-Z0-9_:], replacing every other rune with '_'
+// and prefixing names that would start with a digit.
+func SanitizeMetricName(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for i, r := range s {
+		valid := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if r >= '0' && r <= '9' && i == 0 {
+			b.WriteByte('_')
+			b.WriteRune(r)
+			continue
+		}
+		if valid {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// SortedKeys returns the map's keys in sorted order — exposition must be
+// deterministic for golden tests and diff-friendly scrapes.
+func SortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/diffusion"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sgraph"
 	"repro/internal/trace"
 	"repro/internal/xrand"
@@ -63,6 +64,14 @@ type DetectResponse struct {
 	GraphHash  string            `json:"graph_hash"`
 	Cache      string            `json:"cache"` // "hit" or "miss"
 	ElapsedMS  float64           `json:"elapsed_ms"`
+	// StageTimings breaks ElapsedMS down by pipeline stage (graph_build,
+	// snapshot, components, arborescence, tree_build, binarize, tree_dp),
+	// in milliseconds. The stages are disjoint, so the values sum to at
+	// most ElapsedMS; the remainder is unattributed overhead (JSON
+	// decoding, queueing, ranking).
+	StageTimings map[string]float64 `json:"stage_timings,omitempty"`
+	// TraceID echoes the request's X-Trace-Id for log correlation.
+	TraceID string `json:"trace_id,omitempty"`
 	// Truth is present when the trace carries ground-truth seeds.
 	Truth *TruthReport `json:"truth,omitempty"`
 }
@@ -223,11 +232,17 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) detect(ctx context.Context, req *DetectRequest, detector core.Detector) (*DetectResponse, error) {
 	start := time.Now()
+	rec := obs.NewRecorder()
+	ctx = obs.WithRecorder(ctx, rec)
+	span := rec.Start(obs.StageGraphBuild)
 	g, hash, cacheState, err := s.resolveGraph(req.Trace)
+	span.End()
 	if err != nil {
 		return nil, err
 	}
+	span = rec.Start(obs.StageSnapshot)
 	snap, err := req.Trace.SnapshotOn(g)
+	span.End()
 	if err != nil {
 		return nil, badRequest("%v", err)
 	}
@@ -235,14 +250,17 @@ func (s *Server) detect(ctx context.Context, req *DetectRequest, detector core.D
 	if err != nil {
 		return nil, err
 	}
+	s.reg.MergeRecorder(rec)
 	resp := &DetectResponse{
-		Detector:   detector.Name(),
-		Initiators: rankInitiators(det, req.K),
-		Trees:      det.Trees,
-		Components: det.Components,
-		GraphHash:  hash,
-		Cache:      cacheState,
-		ElapsedMS:  float64(time.Since(start)) / float64(time.Millisecond),
+		Detector:     detector.Name(),
+		Initiators:   rankInitiators(det, req.K),
+		Trees:        det.Trees,
+		Components:   det.Components,
+		GraphHash:    hash,
+		Cache:        cacheState,
+		ElapsedMS:    float64(time.Since(start)) / float64(time.Millisecond),
+		StageTimings: rec.StageMillis(),
+		TraceID:      obs.TraceID(ctx),
 	}
 	if seeds, _, err := req.Trace.GroundTruth(); err == nil && len(seeds) > 0 {
 		detected := make([]int, len(resp.Initiators))
@@ -390,14 +408,25 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// handleMetrics serves the registry snapshot plus live gauges as JSON.
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+// handleMetrics serves the registry snapshot plus live gauges: JSON by
+// default (wire-compatible with PR 1), Prometheus text format with
+// ?format=prometheus.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap := s.reg.Snapshot(QueueSnapshot{
 		Depth:    s.pool.Depth(),
 		Capacity: s.pool.Capacity(),
 		Workers:  s.pool.Workers(),
 	}, s.cache.Len(), s.cache.Capacity())
-	writeJSON(w, http.StatusOK, snap)
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		writeJSON(w, http.StatusOK, snap)
+	case "prometheus":
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		_ = RenderPrometheus(w, snap)
+	default:
+		writeError(w, badRequest("unknown format %q (want json or prometheus)", format))
+	}
 }
 
 // decodeBody strictly decodes one JSON value from a size-capped body.

@@ -1,9 +1,12 @@
 package server
 
 import (
+	"runtime"
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // latencyBucketsMS are the upper bounds (milliseconds, inclusive) of the
@@ -53,19 +56,28 @@ func (h *Histogram) MeanMS() float64 {
 type Registry struct {
 	mu       sync.Mutex
 	start    time.Time
+	build    BuildInfo
 	requests map[string]map[int]int64
 	latency  map[string]*Histogram
+	pipeline map[string]int64
 	rejected int64
 	hits     int64
 	misses   int64
 }
 
-// NewRegistry returns an empty registry with the uptime clock started.
+// NewRegistry returns an empty registry with the uptime clock started and
+// the build info captured.
 func NewRegistry() *Registry {
 	return &Registry{
-		start:    time.Now(),
+		start: time.Now(),
+		build: BuildInfo{
+			GoVersion:  runtime.Version(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			NumCPU:     runtime.NumCPU(),
+		},
 		requests: make(map[string]map[int]int64),
 		latency:  make(map[string]*Histogram),
+		pipeline: make(map[string]int64),
 	}
 }
 
@@ -111,6 +123,29 @@ func (r *Registry) CountCache(hit bool) {
 	r.mu.Unlock()
 }
 
+// MergeRecorder folds one request's pipeline recorder into the registry:
+// each stage's per-request total becomes an observation on the
+// "stage.<name>" latency histogram (so /metrics carries per-stage
+// distributions across requests), and the pipeline counters accumulate.
+func (r *Registry) MergeRecorder(rec *obs.Recorder) {
+	if rec == nil {
+		return
+	}
+	for name, st := range rec.Stages() {
+		r.Observe(stagePrefix+name, st.Total)
+	}
+	counters := rec.Counters()
+	r.mu.Lock()
+	for name, n := range counters {
+		r.pipeline[name] += n
+	}
+	r.mu.Unlock()
+}
+
+// stagePrefix marks latency labels that hold pipeline-stage histograms
+// rather than route/detector latencies.
+const stagePrefix = "stage."
+
 // HistogramSnapshot is one labelled latency histogram in a Snapshot.
 type HistogramSnapshot struct {
 	Count    int64     `json:"count"`
@@ -138,23 +173,47 @@ type CacheSnapshot struct {
 	Capacity int     `json:"capacity"`
 }
 
-// Snapshot is the JSON document served on /metrics.
+// BuildInfo identifies the serving binary's runtime environment.
+type BuildInfo struct {
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+}
+
+// Snapshot is the JSON document served on /metrics. UptimeS predates
+// UptimeSeconds and is kept for wire compatibility; both carry the same
+// value.
 type Snapshot struct {
-	UptimeS   float64                       `json:"uptime_s"`
-	Requests  map[string]map[string]int64   `json:"requests"`
-	LatencyMS map[string]*HistogramSnapshot `json:"latency_ms"`
-	Queue     QueueSnapshot                 `json:"queue"`
-	Cache     CacheSnapshot                 `json:"cache"`
+	UptimeS       float64                       `json:"uptime_s"`
+	UptimeSeconds float64                       `json:"uptime_seconds"`
+	Build         BuildInfo                     `json:"build_info"`
+	Requests      map[string]map[string]int64   `json:"requests"`
+	LatencyMS     map[string]*HistogramSnapshot `json:"latency_ms"`
+	Queue         QueueSnapshot                 `json:"queue"`
+	Cache         CacheSnapshot                 `json:"cache"`
+	// Pipeline accumulates the obs counters (infected nodes, candidate
+	// edges, components, trees, DP cells, budget fallbacks) across every
+	// detect served. Omitted until the first instrumented request.
+	Pipeline map[string]int64 `json:"pipeline,omitempty"`
 }
 
 // Snapshot captures the registry contents plus the supplied live gauges.
 func (r *Registry) Snapshot(queue QueueSnapshot, cacheSize, cacheCap int) *Snapshot {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	uptime := time.Since(r.start).Seconds()
 	s := &Snapshot{
-		UptimeS:   time.Since(r.start).Seconds(),
-		Requests:  make(map[string]map[string]int64, len(r.requests)),
-		LatencyMS: make(map[string]*HistogramSnapshot, len(r.latency)),
+		UptimeS:       uptime,
+		UptimeSeconds: uptime,
+		Build:         r.build,
+		Requests:      make(map[string]map[string]int64, len(r.requests)),
+		LatencyMS:     make(map[string]*HistogramSnapshot, len(r.latency)),
+	}
+	if len(r.pipeline) > 0 {
+		s.Pipeline = make(map[string]int64, len(r.pipeline))
+		for name, n := range r.pipeline {
+			s.Pipeline[name] = n
+		}
 	}
 	for route, byStatus := range r.requests {
 		m := make(map[string]int64, len(byStatus))

@@ -1,0 +1,104 @@
+package server
+
+import (
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// RenderPrometheus writes a metrics snapshot in the Prometheus text
+// exposition format. It is a pure function of the snapshot, so the output
+// is deterministic (maps are emitted in sorted key order) and golden-
+// testable. Latencies are converted from the registry's milliseconds to
+// Prometheus-conventional seconds. Latency labels carrying the
+// "stage." prefix render as the per-stage histogram family
+// ridserve_stage_duration_seconds{stage="..."} — the pipeline breakdown —
+// while the rest stay under ridserve_latency_seconds{op="..."}.
+func RenderPrometheus(w io.Writer, s *Snapshot) error {
+	p := obs.NewPromWriter(w)
+
+	p.Header("ridserve_uptime_seconds", "Seconds since the server started.", "gauge")
+	p.Sample("ridserve_uptime_seconds", nil, s.UptimeSeconds)
+
+	p.Header("ridserve_build_info", "Build metadata; the value is always 1.", "gauge")
+	p.Sample("ridserve_build_info", []obs.PromLabel{
+		{Name: "go_version", Value: s.Build.GoVersion},
+		{Name: "gomaxprocs", Value: strconv.Itoa(s.Build.GOMAXPROCS)},
+		{Name: "num_cpu", Value: strconv.Itoa(s.Build.NumCPU)},
+	}, 1)
+
+	if len(s.Requests) > 0 {
+		p.Header("ridserve_requests_total", "Requests served, by route and status.", "counter")
+		for _, route := range obs.SortedKeys(s.Requests) {
+			byStatus := s.Requests[route]
+			for _, status := range obs.SortedKeys(byStatus) {
+				p.IntSample("ridserve_requests_total", []obs.PromLabel{
+					{Name: "route", Value: route},
+					{Name: "status", Value: status},
+				}, byStatus[status])
+			}
+		}
+	}
+
+	var opLabels, stageLabels []string
+	for _, label := range obs.SortedKeys(s.LatencyMS) {
+		if strings.HasPrefix(label, stagePrefix) {
+			stageLabels = append(stageLabels, label)
+		} else {
+			opLabels = append(opLabels, label)
+		}
+	}
+	writeLatencyFamily(p, "ridserve_latency_seconds",
+		"Operation latency, by route and detector.", "op", opLabels, s, "")
+	writeLatencyFamily(p, "ridserve_stage_duration_seconds",
+		"Per-request pipeline stage wall time, by stage.", "stage", stageLabels, s, stagePrefix)
+
+	if len(s.Pipeline) > 0 {
+		p.Header("ridserve_pipeline_events_total", "Pipeline work counters accumulated across detects.", "counter")
+		for _, name := range obs.SortedKeys(s.Pipeline) {
+			p.IntSample("ridserve_pipeline_events_total",
+				[]obs.PromLabel{{Name: "event", Value: name}}, s.Pipeline[name])
+		}
+	}
+
+	p.Header("ridserve_queue_depth", "Jobs waiting in the worker-pool queue.", "gauge")
+	p.IntSample("ridserve_queue_depth", nil, int64(s.Queue.Depth))
+	p.Header("ridserve_queue_capacity", "Worker-pool queue capacity.", "gauge")
+	p.IntSample("ridserve_queue_capacity", nil, int64(s.Queue.Capacity))
+	p.Header("ridserve_workers", "Worker-pool size.", "gauge")
+	p.IntSample("ridserve_workers", nil, int64(s.Queue.Workers))
+	p.Header("ridserve_queue_rejected_total", "Requests shed by queue backpressure.", "counter")
+	p.IntSample("ridserve_queue_rejected_total", nil, s.Queue.Rejected)
+
+	p.Header("ridserve_cache_lookups_total", "Graph-cache lookups, by result.", "counter")
+	p.IntSample("ridserve_cache_lookups_total", []obs.PromLabel{{Name: "result", Value: "hit"}}, s.Cache.Hits)
+	p.IntSample("ridserve_cache_lookups_total", []obs.PromLabel{{Name: "result", Value: "miss"}}, s.Cache.Misses)
+	p.Header("ridserve_cache_size", "Networks currently cached.", "gauge")
+	p.IntSample("ridserve_cache_size", nil, int64(s.Cache.Size))
+	p.Header("ridserve_cache_capacity", "Graph-cache capacity.", "gauge")
+	p.IntSample("ridserve_cache_capacity", nil, int64(s.Cache.Capacity))
+
+	return p.Err()
+}
+
+// writeLatencyFamily renders one histogram family from the snapshot's
+// latency map, stripping prefix off each label for the exposed label
+// value. Skips the header when the family is empty.
+func writeLatencyFamily(p *obs.PromWriter, name, help, labelName string, labels []string, s *Snapshot, prefix string) {
+	if len(labels) == 0 {
+		return
+	}
+	p.Header(name, help, "histogram")
+	for _, label := range labels {
+		h := s.LatencyMS[label]
+		bounds := make([]float64, len(h.BoundsMS))
+		for i, ms := range h.BoundsMS {
+			bounds[i] = ms / 1000
+		}
+		p.Histogram(name,
+			[]obs.PromLabel{{Name: labelName, Value: strings.TrimPrefix(label, prefix)}},
+			bounds, h.Buckets, h.SumMS/1000, h.Count)
+	}
+}

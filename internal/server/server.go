@@ -16,10 +16,13 @@ package server
 
 import (
 	"context"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strconv"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Config parameterizes the server. The zero value serves on :8080 with
@@ -136,14 +139,30 @@ func (r *statusRecorder) WriteHeader(status int) {
 	r.ResponseWriter.WriteHeader(status)
 }
 
-// instrument wraps a handler with request counting and route latency.
+// instrument wraps a handler with request counting, route latency, a
+// request-scoped trace ID (honoring an inbound X-Trace-Id, echoed on the
+// response and propagated via context into the pipeline's slog lines) and
+// a structured access log.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		traceID := r.Header.Get("X-Trace-Id")
+		if traceID == "" {
+			traceID = obs.NewTraceID()
+		}
+		ctx := obs.WithTraceID(r.Context(), traceID)
+		w.Header().Set("X-Trace-Id", traceID)
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
-		h(rec, r)
+		h(rec, r.WithContext(ctx))
+		elapsed := time.Since(start)
 		s.reg.CountRequest(route, rec.status)
-		s.reg.Observe("route."+route, time.Since(start))
+		s.reg.Observe("route."+route, elapsed)
+		slog.LogAttrs(ctx, slog.LevelInfo, "request",
+			slog.String("trace_id", traceID),
+			slog.String("route", route),
+			slog.String("method", r.Method),
+			slog.Int("status", rec.status),
+			slog.Duration("elapsed", elapsed))
 	}
 }
 
