@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench profile check fmt vet serve experiments report clean
+.PHONY: all build test race bench bench-json profile check fmt vet serve experiments report clean
 
 all: check
 
@@ -11,10 +11,16 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/obs/ ./internal/core/ ./internal/influence/ ./internal/experiment/ ./internal/server/ .
+	$(GO) test -race ./internal/obs/ ./internal/core/ ./internal/cascade/ ./internal/sgraph/ ./internal/par/ ./internal/influence/ ./internal/experiment/ ./internal/server/ .
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime 1x .
+
+# bench-json runs the headline benchmarks at -cpu 1 and 4 and writes
+# BENCH_pr3.json with ns/op, B/op, allocs/op per width plus the measured
+# parallel speedup.
+bench-json:
+	./scripts/bench_json.sh
 
 # profile runs the end-to-end detect benchmark under the CPU profiler and
 # prints the hottest functions.

@@ -6,8 +6,11 @@
 //
 //	experiments [-exp all|table2|fig4|fig5|fig6|diffusion] [-dataset Epinions|Slashdot|both]
 //	            [-scale 0.02] [-trials 3] [-seed-frac 0.05] [-theta 0.5] [-alpha 3]
-//	            [-mask 0] [-seed 20170605] [-csv dir]
+//	            [-mask 0] [-seed 20170605] [-parallelism 0] [-csv dir]
 //	            [-log-level info] [-log-format text] [-cpuprofile f] [-memprofile f]
+//
+// -parallelism bounds the goroutines each RID detection fans out across
+// (0 = GOMAXPROCS); results are bit-identical at every setting.
 //
 // With -csv, each experiment also writes a CSV series into the directory.
 package main
@@ -35,6 +38,7 @@ func main() {
 		alpha    = flag.Float64("alpha", 3, "MFC asymmetric boosting coefficient")
 		mask     = flag.Float64("mask", 0, "fraction of infected states hidden as '?'")
 		seed     = flag.Uint64("seed", 0, "base RNG seed (0 = built-in default)")
+		parallel = flag.Int("parallelism", 0, "per-detection pipeline parallelism (0 = GOMAXPROCS)")
 		csvDir   = flag.String("csv", "", "directory for CSV output (optional)")
 		mdFile   = flag.String("md", "", "write all results as one markdown report (optional)")
 		logCfg   = cli.LogFlags()
@@ -45,12 +49,15 @@ func main() {
 	if err := logCfg.Setup(); err != nil {
 		cli.Fatal("experiments", err)
 	}
-	if err := run(*exp, *ds, *scale, *trials, *seedFrac, *theta, *alpha, *mask, *seed, *csvDir, *mdFile, profCfg); err != nil {
+	if *parallel < 0 {
+		cli.Fatal("experiments", cli.Usagef("-parallelism must be non-negative, got %d", *parallel))
+	}
+	if err := run(*exp, *ds, *scale, *trials, *seedFrac, *theta, *alpha, *mask, *seed, *parallel, *csvDir, *mdFile, profCfg); err != nil {
 		cli.Fatal("experiments", err)
 	}
 }
 
-func run(exp, ds string, scale float64, trials int, seedFrac, theta, alpha, mask float64, seed uint64, csvDir, mdFile string, profCfg *cli.ProfileConfig) error {
+func run(exp, ds string, scale float64, trials int, seedFrac, theta, alpha, mask float64, seed uint64, parallel int, csvDir, mdFile string, profCfg *cli.ProfileConfig) error {
 	stopProfile, err := profCfg.Start()
 	if err != nil {
 		return err
@@ -76,6 +83,7 @@ func run(exp, ds string, scale float64, trials int, seedFrac, theta, alpha, mask
 		return experiment.Workload{
 			Dataset: name, Scale: scale, Trials: trials, SeedFraction: seedFrac,
 			Theta: theta, Alpha: alpha, MaskFraction: mask, BaseSeed: seed,
+			Parallelism: parallel,
 		}
 	}
 	want := func(name string) bool { return exp == "all" || exp == name }

@@ -21,8 +21,14 @@
 // Usage:
 //
 //	ridserve [-addr :8080] [-workers 0] [-queue 0] [-cache 64]
-//	         [-timeout 30s] [-drain 15s] [-max-body-mb 32]
+//	         [-parallelism 0] [-timeout 30s] [-drain 15s] [-max-body-mb 32]
 //	         [-log-level info] [-log-format text] [-debug-addr addr]
+//
+// -workers bounds how many requests compute at once; -parallelism bounds
+// how many goroutines ONE detection fans out across (component extraction
+// and per-tree DP; 0 = GOMAXPROCS). Results are bit-identical at every
+// -parallelism setting. Total compute concurrency is roughly their
+// product, so co-tune the two for the deployment's traffic shape.
 //
 // Example:
 //
@@ -52,6 +58,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
 		queue     = flag.Int("queue", 0, "job-queue depth (0 = 4x workers)")
 		cacheSize = flag.Int("cache", 64, "graph-cache capacity (networks)")
+		parallel  = flag.Int("parallelism", 0, "per-detection pipeline parallelism (0 = GOMAXPROCS)")
 		timeout   = flag.Duration("timeout", 30*time.Second, "per-request deadline ceiling")
 		drain     = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain budget")
 		maxBodyMB = flag.Int64("max-body-mb", 32, "request body cap in MiB")
@@ -63,18 +70,20 @@ func main() {
 	if err := logCfg.Setup(); err != nil {
 		cli.Fatal("ridserve", err)
 	}
-	if err := validate(*workers, *queue, *cacheSize, *timeout, *drain, *maxBodyMB); err != nil {
+	if err := validate(*workers, *queue, *cacheSize, *parallel, *timeout, *drain, *maxBodyMB); err != nil {
 		cli.Fatal("ridserve", err)
 	}
-	if err := run(*addr, *workers, *queue, *cacheSize, *timeout, *drain, *maxBodyMB, *debugAddr); err != nil {
+	if err := run(*addr, *workers, *queue, *cacheSize, *parallel, *timeout, *drain, *maxBodyMB, *debugAddr); err != nil {
 		cli.Fatal("ridserve", err)
 	}
 }
 
-func validate(workers, queue, cacheSize int, timeout, drain time.Duration, maxBodyMB int64) error {
+func validate(workers, queue, cacheSize, parallel int, timeout, drain time.Duration, maxBodyMB int64) error {
 	switch {
 	case workers < 0:
 		return cli.Usagef("-workers must be non-negative, got %d", workers)
+	case parallel < 0:
+		return cli.Usagef("-parallelism must be non-negative, got %d", parallel)
 	case queue < 0:
 		return cli.Usagef("-queue must be non-negative, got %d", queue)
 	case cacheSize < 1:
@@ -89,7 +98,7 @@ func validate(workers, queue, cacheSize int, timeout, drain time.Duration, maxBo
 	return nil
 }
 
-func run(addr string, workers, queue, cacheSize int, timeout, drain time.Duration, maxBodyMB int64, debugAddr string) error {
+func run(addr string, workers, queue, cacheSize, parallel int, timeout, drain time.Duration, maxBodyMB int64, debugAddr string) error {
 	s := server.New(server.Config{
 		Addr:           addr,
 		Workers:        workers,
@@ -97,6 +106,7 @@ func run(addr string, workers, queue, cacheSize int, timeout, drain time.Duratio
 		CacheSize:      cacheSize,
 		DefaultTimeout: timeout,
 		MaxBodyBytes:   maxBodyMB << 20,
+		Parallelism:    parallel,
 	})
 	errc := make(chan error, 1)
 	go func() { errc <- s.ListenAndServe() }()

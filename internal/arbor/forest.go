@@ -11,16 +11,27 @@ package arbor
 // -1 if v is a tree root, and the total weight of the chosen real edges
 // (virtual-edge scores excluded).
 func MaxForest(n int, edges []Edge, rootScore float64) (parents []int, total float64, err error) {
+	return NewWorkspace().MaxForest(n, edges, rootScore)
+}
+
+// MaxForest is the package-level MaxForest running out of this workspace's
+// buffers — what per-component extraction calls in a loop (one workspace
+// per worker) so the virtual-root augmentation and every contraction level
+// reuse prior capacity.
+func (ws *Workspace) MaxForest(n int, edges []Edge, rootScore float64) (parents []int, total float64, err error) {
 	if n == 0 {
 		return nil, 0, nil
 	}
-	aug := make([]Edge, 0, len(edges)+n)
-	aug = append(aug, edges...)
+	if cap(ws.aug) < len(edges)+n {
+		ws.aug = make([]Edge, 0, len(edges)+n)
+	}
+	aug := append(ws.aug[:0], edges...)
 	virtual := n
 	for v := 0; v < n; v++ {
 		aug = append(aug, Edge{From: virtual, To: v, Weight: rootScore})
 	}
-	chosen, _, err := MaxArborescence(n+1, aug, virtual)
+	ws.aug = aug
+	chosen, _, err := ws.MaxArborescence(n+1, aug, virtual)
 	if err != nil {
 		return nil, 0, err
 	}

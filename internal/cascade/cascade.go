@@ -12,9 +12,11 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/arbor"
 	"repro/internal/obs"
+	"repro/internal/par"
 	"repro/internal/sgraph"
 )
 
@@ -85,9 +87,19 @@ func (s *Snapshot) timeAdmissible(u, v int) bool {
 
 // Infected returns the nodes considered part of the infected subgraph:
 // active states plus unknown-state nodes (known to be infected, opinion
-// unobserved).
+// unobserved). It runs on every detect, so it counts first and allocates
+// the result exactly once.
 func (s *Snapshot) Infected() []int {
-	var out []int
+	count := 0
+	for _, st := range s.States {
+		if st.Active() || st == sgraph.StateUnknown {
+			count++
+		}
+	}
+	if count == 0 {
+		return nil
+	}
+	out := make([]int, 0, count)
 	for v, st := range s.States {
 		if st.Active() || st == sgraph.StateUnknown {
 			out = append(out, v)
@@ -134,6 +146,12 @@ type Config struct {
 	// possible (only for nodes with no incoming candidate links), exactly
 	// as the paper's construction implies.
 	RootScore float64
+	// Parallelism bounds the worker goroutines extraction fans infected
+	// components across. Zero (or negative) means runtime.GOMAXPROCS(0);
+	// 1 forces the serial path. Results are bit-identical at every
+	// setting: components are handed out by index and collected into
+	// index-addressed slots, and the score/RNG-free math is per-component.
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -262,11 +280,17 @@ func Extract(snap *Snapshot, cfg Config) (*Forest, error) {
 	return ExtractContext(context.Background(), snap, cfg)
 }
 
-// ExtractContext is Extract with pipeline observability: when ctx carries
-// an obs.Recorder it records the components / arborescence / tree_build
-// stage timings and the infected-node, candidate-edge, component, tree and
-// tree-node counters. With no recorder attached the overhead is a handful
-// of nil checks.
+// ExtractContext is Extract with pipeline observability and cooperative
+// cancellation: when ctx carries an obs.Recorder it records the components
+// / arborescence / tree_build stage timings and the infected-node,
+// candidate-edge, component, tree and tree-node counters. With no recorder
+// attached the overhead is a handful of nil checks.
+//
+// Components are solved concurrently across cfg.Parallelism workers (zero
+// = GOMAXPROCS), each holding its own scratch arenas; per-component trees
+// land in index-addressed slots, so the flattened forest — tree order
+// included — is bit-identical to the serial path. Cancelling ctx aborts
+// between components.
 func ExtractContext(ctx context.Context, snap *Snapshot, cfg Config) (*Forest, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
@@ -286,12 +310,38 @@ func ExtractContext(ctx context.Context, snap *Snapshot, cfg Config) (*Forest, e
 	span.End()
 	rec.Add(obs.CounterInfectedNodes, int64(len(infected)))
 	rec.Add(obs.CounterComponents, int64(len(comps)))
-	forest := &Forest{Components: len(comps)}
-	for ci, comp := range comps {
-		trees, err := extractComponent(snap, sub, comp, ci, cfg, rec)
-		if err != nil {
-			return nil, err
+
+	workers := par.Workers(cfg.Parallelism)
+	treesByComp := make([][]*Tree, len(comps))
+	scratches := make([]*extractScratch, workers)
+	err := par.ForEach(ctx, workers, len(comps), func(w, ci int) error {
+		s := scratches[w]
+		if s == nil {
+			s = getExtractScratch(rec, sub.G.NumNodes())
+			scratches[w] = s
 		}
+		trees, err := extractComponent(snap, sub, comps[ci], ci, cfg, s)
+		treesByComp[ci] = trees
+		return err
+	})
+	// Flush the per-worker span/counter batches whether or not the fan-out
+	// succeeded, so cancelled requests still report the work they did.
+	for _, s := range scratches {
+		if s != nil {
+			s.acc.Flush()
+			s.release()
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	total := 0
+	for _, trees := range treesByComp {
+		total += len(trees)
+	}
+	forest := &Forest{Components: len(comps), Trees: make([]*Tree, 0, total)}
+	for _, trees := range treesByComp {
 		forest.Trees = append(forest.Trees, trees...)
 	}
 	rec.Add(obs.CounterTrees, int64(len(forest.Trees)))
@@ -310,50 +360,111 @@ func dropNegative(sub *sgraph.Subgraph) *sgraph.Subgraph {
 	return sgraph.NewSubgraph(b.MustBuild(), sub.Orig)
 }
 
+// cand is the original sign/weight of a candidate activation link,
+// parallel to the scored arbor edge list.
+type cand struct {
+	sign   sgraph.Sign
+	weight float64
+}
+
+// extractScratch is one worker's reusable state for extractComponent: the
+// dense node re-indexing array, the candidate edge lists, the per-root BFS
+// order and the arborescence workspace all keep their capacity across
+// components, so the fan-out multiplies throughput instead of allocations.
+// Spans and counters batch into acc (nil-safe) and are flushed once when
+// the worker's components are done.
+type extractScratch struct {
+	pos      []int32 // sub-local ID -> component index; -1 outside, reset after use
+	edges    []arbor.Edge
+	cands    []cand
+	childIdx [][]int32
+	localOf  []int32
+	order    []int32 // BFS order of one tree, component indices
+	roots    []int
+	ws       *arbor.Workspace
+	acc      *obs.Accum
+}
+
+// scratchPool recycles scratches across Extract calls. The arborescence
+// workspace arenas dominate a detection's allocations, so warm arenas make
+// repeated detections — server requests, experiment trials — pay only for
+// the trees they return. Pooled scratches hold no recorder state.
+var scratchPool = sync.Pool{
+	New: func() any { return &extractScratch{ws: arbor.NewWorkspace()} },
+}
+
+func getExtractScratch(rec *obs.Recorder, subNodes int) *extractScratch {
+	s := scratchPool.Get().(*extractScratch)
+	s.acc = rec.NewAccum()
+	if cap(s.pos) < subNodes {
+		s.pos = make([]int32, subNodes)
+		for i := range s.pos {
+			s.pos[i] = -1
+		}
+	} else {
+		// extractComponent restores every entry it touches to -1, so any
+		// prefix of a pooled pos is ready to use.
+		s.pos = s.pos[:subNodes]
+	}
+	return s
+}
+
+func (s *extractScratch) release() {
+	s.acc = nil
+	scratchPool.Put(s)
+}
+
 // extractComponent solves one infected connected component: a log-space
 // maximum-weight spanning forest over the component's candidate diffusion
-// links, converted into rooted Tree values with imputed states. rec (which
-// may be nil) accumulates the arborescence and tree_build stage timings.
-func extractComponent(snap *Snapshot, sub *sgraph.Subgraph, comp []int, compIdx int, cfg Config, rec *obs.Recorder) ([]*Tree, error) {
-	span := rec.Start(obs.StageArborescence)
+// links, converted into rooted Tree values with imputed states. All
+// intermediate storage comes from the worker-owned scratch; only the
+// returned trees are freshly allocated.
+func extractComponent(snap *Snapshot, sub *sgraph.Subgraph, comp []int, compIdx int, cfg Config, s *extractScratch) ([]*Tree, error) {
+	span := s.acc.Start(obs.StageArborescence)
 	// Dense re-indexing of the component's nodes.
-	pos := make(map[int]int, len(comp)) // sub-local ID -> component index
+	pos := s.pos
 	for i, v := range comp {
-		pos[v] = i
+		pos[v] = int32(i)
 	}
 	stateOf := func(ci int) sgraph.State { return snap.States[sub.Orig[comp[ci]]] }
 
-	type cand struct {
-		sign   sgraph.Sign
-		weight float64
-	}
-	edges := make([]arbor.Edge, 0, len(comp)*2)
-	cands := make([]cand, 0, len(comp)*2)
+	edges := s.edges[:0]
+	cands := s.cands[:0]
 	for i, v := range comp {
 		sub.G.Out(v, func(e sgraph.Edge) {
-			j, ok := pos[e.To]
-			if !ok {
+			j := pos[e.To]
+			if j < 0 {
 				return
 			}
 			if !snap.timeAdmissible(sub.Orig[comp[i]], sub.Orig[comp[j]]) {
 				return // known timestamps rule this activation out
 			}
-			score := cfg.Score(e.Sign, e.Weight, stateOf(i), stateOf(j))
-			edges = append(edges, arbor.Edge{From: i, To: j, Weight: math.Log(score)})
+			score := cfg.Score(e.Sign, e.Weight, stateOf(i), stateOf(int(j)))
+			edges = append(edges, arbor.Edge{From: i, To: int(j), Weight: math.Log(score)})
 			cands = append(cands, cand{sign: e.Sign, weight: e.Weight})
 		})
 	}
-	parents, _, err := arbor.MaxForest(len(comp), edges, cfg.RootScore)
+	for _, v := range comp {
+		pos[v] = -1 // restore the sentinel for the next component
+	}
+	s.edges, s.cands = edges, cands
+	parents, _, err := s.ws.MaxForest(len(comp), edges, cfg.RootScore)
 	span.End()
-	rec.Add(obs.CounterCandidateEdges, int64(len(edges)))
+	s.acc.Add(obs.CounterCandidateEdges, int64(len(edges)))
 	if err != nil {
 		return nil, fmt.Errorf("cascade: component %d: %w", compIdx, err)
 	}
 
-	span = rec.Start(obs.StageTreeBuild)
+	span = s.acc.Start(obs.StageTreeBuild)
 	// Children lists on component indices, then one BFS per root.
-	childIdx := make([][]int32, len(comp))
-	var roots []int
+	if cap(s.childIdx) < len(comp) {
+		s.childIdx = make([][]int32, len(comp))
+	}
+	childIdx := s.childIdx[:len(comp)]
+	for i := range childIdx {
+		childIdx[i] = childIdx[i][:0]
+	}
+	roots := s.roots[:0]
 	for i := range comp {
 		if parents[i] == -1 {
 			roots = append(roots, i)
@@ -362,14 +473,42 @@ func extractComponent(snap *Snapshot, sub *sgraph.Subgraph, comp []int, compIdx 
 		p := edges[parents[i]].From
 		childIdx[p] = append(childIdx[p], int32(i))
 	}
-	localOf := make([]int32, len(comp))
+	s.roots = roots
+	if cap(s.localOf) < len(comp) {
+		s.localOf = make([]int32, len(comp))
+	}
+	localOf := s.localOf[:len(comp)]
 	trees := make([]*Tree, 0, len(roots))
+	// ScoreCfg is likelihood semantics, not execution policy: normalize the
+	// concurrency knob away so serial and parallel runs build equal trees.
+	scoreCfg := cfg
+	scoreCfg.Parallelism = 0
 	for _, r := range roots {
-		t := &Tree{Component: compIdx}
-		queue := []int{r}
-		for len(queue) > 0 {
-			ci := queue[0]
-			queue = queue[1:]
+		// BFS with a head index — the old queue = queue[1:] pop pinned the
+		// consumed prefix in memory for the life of the queue — collecting
+		// the tree's node order so the nine parallel Tree slices can be
+		// allocated at exact size and filled by index.
+		order := append(s.order[:0], int32(r))
+		for head := 0; head < len(order); head++ {
+			ci := order[head]
+			localOf[ci] = int32(head)
+			order = append(order, childIdx[ci]...)
+		}
+		s.order = order
+		n := len(order)
+		t := &Tree{
+			Component: compIdx,
+			Orig:      make([]int, n),
+			Parent:    make([]int32, n),
+			Children:  make([][]int32, n),
+			Sign:      make([]sgraph.Sign, n),
+			Weight:    make([]float64, n),
+			Score:     make([]float64, n),
+			State:     make([]sgraph.State, n),
+			Observed:  make([]sgraph.State, n),
+			Dummy:     make([]bool, n),
+		}
+		for local, ci := range order {
 			var parentLocal int32 = -1
 			var sign sgraph.Sign
 			var weight, score float64 = 0, 1
@@ -377,30 +516,27 @@ func extractComponent(snap *Snapshot, sub *sgraph.Subgraph, comp []int, compIdx 
 				parentLocal = localOf[edges[pe].From]
 				sign = cands[pe].sign
 				weight = cands[pe].weight
-				score = cfg.Score(sign, weight, stateOf(int(edges[pe].From)), stateOf(ci))
+				score = cfg.Score(sign, weight, stateOf(int(edges[pe].From)), stateOf(int(ci)))
 			}
-			local := int32(len(t.Orig))
-			localOf[ci] = local
-			t.Orig = append(t.Orig, sub.Orig[comp[ci]])
-			t.Parent = append(t.Parent, parentLocal)
-			t.Children = append(t.Children, nil)
-			t.Sign = append(t.Sign, sign)
-			t.Weight = append(t.Weight, weight)
-			t.Score = append(t.Score, score)
-			t.State = append(t.State, stateOf(ci))
-			t.Observed = append(t.Observed, stateOf(ci))
-			t.Dummy = append(t.Dummy, false)
-			if parentLocal >= 0 {
-				t.Children[parentLocal] = append(t.Children[parentLocal], local)
-			}
-			for _, ch := range childIdx[ci] {
-				queue = append(queue, int(ch))
+			t.Orig[local] = sub.Orig[comp[ci]]
+			t.Parent[local] = parentLocal
+			t.Sign[local] = sign
+			t.Weight[local] = weight
+			t.Score[local] = score
+			t.State[local] = stateOf(int(ci))
+			t.Observed[local] = stateOf(int(ci))
+			if kids := childIdx[ci]; len(kids) > 0 {
+				locals := make([]int32, len(kids))
+				for x, ch := range kids {
+					locals[x] = localOf[ch]
+				}
+				t.Children[local] = locals
 			}
 		}
 		imputeStates(t)
 		rescore(t, cfg)
-		t.ScoreCfg = cfg
-		rec.Add(obs.CounterTreeNodes, int64(t.Len()))
+		t.ScoreCfg = scoreCfg
+		s.acc.Add(obs.CounterTreeNodes, int64(t.Len()))
 		trees = append(trees, t)
 	}
 	span.End()

@@ -1,0 +1,80 @@
+package cascade
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/diffusion"
+	"repro/internal/gen"
+	"repro/internal/sgraph"
+	"repro/internal/xrand"
+)
+
+// multiComponentSnapshot simulates several disjoint cascades so extraction
+// has many infected components to fan out across.
+func multiComponentSnapshot(t *testing.T, outbreaks, nodesEach int) *Snapshot {
+	t.Helper()
+	total := outbreaks * nodesEach
+	b := sgraph.NewBuilder(total)
+	states := make([]sgraph.State, 0, total)
+	for s := 0; s < outbreaks; s++ {
+		rng := xrand.New(uint64(1000 + s))
+		g, err := gen.PreferentialAttachment(gen.Config{
+			Nodes: nodesEach, Edges: nodesEach * 5, PositiveRatio: 0.8,
+		}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dif := sgraph.WeightByJaccard(g, 0.1, rng).Reverse()
+		seeds, seedStates, err := diffusion.SampleInitiators(nodesEach, 4, 0.5, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := diffusion.MFC(dif, seeds, seedStates, diffusion.MFCConfig{Alpha: 3}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		off := s * nodesEach
+		dif.Edges(func(e sgraph.Edge) {
+			b.AddEdge(e.From+off, e.To+off, e.Sign, e.Weight)
+		})
+		states = append(states, c.States...)
+	}
+	snap, err := NewSnapshot(b.MustBuild(), states)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+func TestExtractParallelDeterminism(t *testing.T) {
+	snap := multiComponentSnapshot(t, 6, 120)
+	serial, err := Extract(snap, Config{Alpha: 3, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Extract(snap, Config{Alpha: 3, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Trees) < 2 {
+		t.Fatalf("want a multi-tree forest, got %d trees", len(serial.Trees))
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Error("forests differ between Parallelism 1 and 4")
+	}
+}
+
+func TestExtractContextCancelled(t *testing.T) {
+	snap := multiComponentSnapshot(t, 6, 120)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, parallelism := range []int{1, 4} {
+		_, err := ExtractContext(ctx, snap, Config{Alpha: 3, Parallelism: parallelism})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("Parallelism %d: want context.Canceled, got %v", parallelism, err)
+		}
+	}
+}

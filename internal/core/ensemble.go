@@ -21,6 +21,14 @@ type Ensemble struct {
 // NewEnsemble builds the ensemble; betas must be non-empty and minVotes in
 // [1, len(betas)].
 func NewEnsemble(alpha float64, betas []float64, minVotes int) (*Ensemble, error) {
+	return NewEnsembleConfig(RIDConfig{Alpha: alpha}, betas, minVotes)
+}
+
+// NewEnsembleConfig builds the ensemble from a full base configuration —
+// every sweep member shares base (objective, extraction knobs, Parallelism)
+// with only Beta replaced by the sweep value. betas must be non-empty and
+// minVotes in [1, len(betas)].
+func NewEnsembleConfig(base RIDConfig, betas []float64, minVotes int) (*Ensemble, error) {
 	if len(betas) == 0 {
 		return nil, fmt.Errorf("core: ensemble needs at least one beta")
 	}
@@ -31,7 +39,9 @@ func NewEnsemble(alpha float64, betas []float64, minVotes int) (*Ensemble, error
 	sort.Float64s(sorted)
 	e := &Ensemble{minVotes: minVotes}
 	for _, beta := range sorted {
-		rid, err := NewRID(RIDConfig{Alpha: alpha, Beta: beta})
+		cfg := base
+		cfg.Beta = beta
+		rid, err := NewRID(cfg)
 		if err != nil {
 			return nil, err
 		}

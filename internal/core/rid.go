@@ -10,6 +10,7 @@ import (
 	"repro/internal/cascade"
 	"repro/internal/isomit"
 	"repro/internal/obs"
+	"repro/internal/par"
 	"repro/internal/sgraph"
 )
 
@@ -62,8 +63,15 @@ type RIDConfig struct {
 	// toward O(tree size)). Zero defaults to 128. Only relevant with
 	// UseBudgetDP.
 	MaxBudgetTreeSize int
-	// Extraction overrides advanced forest-extraction knobs. Alpha, Mode
-	// and PositiveOnly are controlled by RID itself and ignored here.
+	// Parallelism bounds the worker goroutines one detection fans out
+	// across — infected components during extraction, cascade trees during
+	// per-tree inference. Zero (or negative) means runtime.GOMAXPROCS(0);
+	// 1 forces the serial path. Detections are bit-identical at every
+	// setting; see the determinism test and the README Performance section.
+	Parallelism int
+	// Extraction overrides advanced forest-extraction knobs. Alpha, Mode,
+	// PositiveOnly and Parallelism are controlled by RID itself and
+	// ignored here.
 	Extraction cascade.Config
 	// Penalty overrides advanced penalized-DP knobs; Beta is taken from
 	// the field above.
@@ -136,6 +144,7 @@ func (r *RID) ExtractContext(ctx context.Context, snap *cascade.Snapshot) (*casc
 	ext.Alpha = r.cfg.Alpha
 	ext.Mode = cascade.ModeBoosted
 	ext.PositiveOnly = false
+	ext.Parallelism = r.cfg.Parallelism
 	return cascade.ExtractContext(ctx, snap, ext)
 }
 
@@ -150,18 +159,52 @@ func (r *RID) DetectForest(forest *cascade.Forest) (*Detection, error) {
 // DetectForestContext is DetectForest with cooperative cancellation,
 // checked before every per-tree solve: large snapshots decompose into many
 // trees, so a cancelled deadline aborts within one tree's work.
+//
+// Trees are solved concurrently across cfg.Parallelism workers (zero =
+// GOMAXPROCS). Every tree's result lands in an index-addressed slot and is
+// merged in tree order afterward, so the Detection — initiators, states,
+// confidences, DP-cell counts — is bit-identical to the serial path. The
+// per-tree solvers are pure functions of their tree (see internal/isomit),
+// which is what makes the fan-out safe.
 func (r *RID) DetectForestContext(ctx context.Context, forest *cascade.Forest) (*Detection, error) {
 	det := &Detection{Trees: len(forest.Trees), Components: forest.Components}
 	rec := obs.RecorderFrom(ctx) // nil-safe; resolved once, not per tree
+	type treeOut struct {
+		res    *isomit.Result
+		solved *cascade.Tree
+	}
+	workers := par.Workers(r.cfg.Parallelism)
+	outs := make([]treeOut, len(forest.Trees))
+	accs := make([]*obs.Accum, workers)
+	err := par.ForEach(ctx, workers, len(forest.Trees), func(w, i int) error {
+		acc := accs[w]
+		if acc == nil {
+			acc = rec.NewAccum()
+			accs[w] = acc
+		}
+		res, solved, err := r.solveTree(forest.Trees[i], acc)
+		outs[i] = treeOut{res: res, solved: solved}
+		return err
+	})
+	for _, acc := range accs {
+		acc.Flush()
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	size := 0
+	for _, out := range outs {
+		size += len(out.res.Initiators)
+	}
+	if size > 0 { // keep nil slices nil, as the pre-sized serial path did
+		det.Initiators = make([]int, 0, size)
+		det.States = make([]sgraph.State, 0, size)
+		det.Confidence = make([]float64, 0, size)
+	}
 	var dpCells int64
-	for _, tree := range forest.Trees {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		res, solved, err := r.solveTree(tree, rec)
-		if err != nil {
-			return nil, err
-		}
+	for _, out := range outs {
+		res, solved := out.res, out.solved
 		dpCells += res.Cells
 		det.Initiators = append(det.Initiators, res.Initiators...)
 		det.States = append(det.States, res.States...)
@@ -194,28 +237,29 @@ func (r *RID) DetectForestContext(ctx context.Context, forest *cascade.Forest) (
 
 // solveTree runs the configured per-tree solver and also returns the tree
 // the result's local IDs refer to (the binarized transform for the budget
-// DP, the input tree otherwise). rec (which may be nil) accumulates the
-// binarize / tree_dp stage timings and the budget-fallback counter.
-func (r *RID) solveTree(tree *cascade.Tree, rec *obs.Recorder) (*isomit.Result, *cascade.Tree, error) {
+// DP, the input tree otherwise). acc (which may be nil) is the calling
+// worker's local batch for the binarize / tree_dp stage timings and the
+// budget-fallback counter; the fan-out flushes it at stage end.
+func (r *RID) solveTree(tree *cascade.Tree, acc *obs.Accum) (*isomit.Result, *cascade.Tree, error) {
 	if r.cfg.Objective == ObjectiveLocal {
 		lambda := 0.0 // default: −log of the extraction inconsistency floor
 		if f := r.cfg.Extraction.InconsistentFloor; f > 0 {
 			lambda = -math.Log(f)
 		}
-		span := rec.Start(obs.StageTreeDP)
+		span := acc.Start(obs.StageTreeDP)
 		res, err := isomit.SolveLocal(tree, r.cfg.Beta, lambda)
 		span.End()
 		return res, tree, err
 	}
 	if r.cfg.UseBudgetDP && tree.Len() <= r.cfg.MaxBudgetTreeSize {
-		span := rec.Start(obs.StageBinarize)
+		span := acc.Start(obs.StageBinarize)
 		bin := tree.Binarize()
 		span.End()
 		var (
 			res *isomit.Result
 			err error
 		)
-		span = rec.Start(obs.StageTreeDP)
+		span = acc.Start(obs.StageTreeDP)
 		if r.cfg.BranchStates {
 			res, err = isomit.SolveAutoStates(bin, r.cfg.Beta)
 		} else {
@@ -226,11 +270,11 @@ func (r *RID) solveTree(tree *cascade.Tree, rec *obs.Recorder) (*isomit.Result, 
 	}
 	if r.cfg.UseBudgetDP {
 		// Budget DP requested but the tree exceeds MaxBudgetTreeSize.
-		rec.Add(obs.CounterBudgetFallbacks, 1)
+		acc.Add(obs.CounterBudgetFallbacks, 1)
 	}
 	pen := r.cfg.Penalty
 	pen.Beta = r.cfg.Beta
-	span := rec.Start(obs.StageTreeDP)
+	span := acc.Start(obs.StageTreeDP)
 	res, err := isomit.SolvePenalized(tree, pen)
 	span.End()
 	return res, tree, err

@@ -52,6 +52,12 @@ type Workload struct {
 	Trials int
 	// BaseSeed derives all randomness; same seed, same results.
 	BaseSeed uint64
+	// Parallelism is forwarded to every RID detector the experiment builds
+	// (core.RIDConfig.Parallelism): zero means GOMAXPROCS, 1 forces the
+	// serial pipeline. Results are bit-identical at every setting — trials
+	// already run concurrently regardless, so this mostly matters for
+	// single-trial runs and for pinning CPU use.
+	Parallelism int
 }
 
 func (w Workload) withDefaults() Workload {

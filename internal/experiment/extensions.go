@@ -40,7 +40,7 @@ func MaskSweep(w Workload, beta float64, fractions []float64) (*MaskSweepResult,
 		if err != nil {
 			return nil, err
 		}
-		rid, err := core.NewRID(core.RIDConfig{Alpha: w.Alpha, Beta: beta})
+		rid, err := core.NewRID(core.RIDConfig{Alpha: w.Alpha, Beta: beta, Parallelism: w.Parallelism})
 		if err != nil {
 			return nil, err
 		}
@@ -103,7 +103,7 @@ func HiddenSweep(w Workload, beta float64, fractions []float64) (*HiddenSweepRes
 	if err != nil {
 		return nil, err
 	}
-	rid, err := core.NewRID(core.RIDConfig{Alpha: w.Alpha, Beta: beta})
+	rid, err := core.NewRID(core.RIDConfig{Alpha: w.Alpha, Beta: beta, Parallelism: w.Parallelism})
 	if err != nil {
 		return nil, err
 	}
@@ -172,7 +172,7 @@ func AlphaSweep(w Workload, beta float64, alphas []float64) (*AlphaSweepResult, 
 	}
 	res := &AlphaSweepResult{Workload: w, Alphas: alphas}
 	for _, alpha := range alphas {
-		rid, err := core.NewRID(core.RIDConfig{Alpha: alpha, Beta: beta})
+		rid, err := core.NewRID(core.RIDConfig{Alpha: alpha, Beta: beta, Parallelism: w.Parallelism})
 		if err != nil {
 			return nil, err
 		}
@@ -220,7 +220,7 @@ func Ranking(w Workload, beta float64, ks []int) (*RankingResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	rid, err := core.NewRID(core.RIDConfig{Alpha: w.Alpha, Beta: beta})
+	rid, err := core.NewRID(core.RIDConfig{Alpha: w.Alpha, Beta: beta, Parallelism: w.Parallelism})
 	if err != nil {
 		return nil, err
 	}
@@ -276,7 +276,7 @@ func TimingSweep(w Workload, beta float64, fractions []float64) (*TimingSweepRes
 	if err != nil {
 		return nil, err
 	}
-	rid, err := core.NewRID(core.RIDConfig{Alpha: w.Alpha, Beta: beta})
+	rid, err := core.NewRID(core.RIDConfig{Alpha: w.Alpha, Beta: beta, Parallelism: w.Parallelism})
 	if err != nil {
 		return nil, err
 	}
@@ -349,7 +349,7 @@ func DensitySweep(w Workload, beta float64, fractions []float64) (*DensityResult
 	if len(fractions) == 0 {
 		fractions = []float64{0.005, 0.01, 0.02, 0.05, 0.1}
 	}
-	rid, err := core.NewRID(core.RIDConfig{Alpha: w.Alpha, Beta: beta})
+	rid, err := core.NewRID(core.RIDConfig{Alpha: w.Alpha, Beta: beta, Parallelism: w.Parallelism})
 	if err != nil {
 		return nil, err
 	}
@@ -440,7 +440,7 @@ func Scaling(w Workload, beta float64, scales []float64) (*ScalingResult, error)
 			return nil, err
 		}
 		simDur := time.Since(start)
-		rid, err := core.NewRID(core.RIDConfig{Alpha: w.Alpha, Beta: beta})
+		rid, err := core.NewRID(core.RIDConfig{Alpha: w.Alpha, Beta: beta, Parallelism: w.Parallelism})
 		if err != nil {
 			return nil, err
 		}

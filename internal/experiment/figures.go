@@ -62,7 +62,7 @@ func Figure4(w Workload) (*Figure4Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	detectors, err := figure4Detectors(w.Alpha)
+	detectors, err := figure4Detectors(w)
 	if err != nil {
 		return nil, err
 	}
@@ -82,16 +82,16 @@ func Figure4(w Workload) (*Figure4Result, error) {
 	return res, nil
 }
 
-func figure4Detectors(alpha float64) ([]core.Detector, error) {
-	rid009, err := core.NewRID(core.RIDConfig{Alpha: alpha, Beta: 0.09})
+func figure4Detectors(w Workload) ([]core.Detector, error) {
+	rid009, err := core.NewRID(core.RIDConfig{Alpha: w.Alpha, Beta: 0.09, Parallelism: w.Parallelism})
 	if err != nil {
 		return nil, err
 	}
-	rid01, err := core.NewRID(core.RIDConfig{Alpha: alpha, Beta: 0.1})
+	rid01, err := core.NewRID(core.RIDConfig{Alpha: w.Alpha, Beta: 0.1, Parallelism: w.Parallelism})
 	if err != nil {
 		return nil, err
 	}
-	tree, err := core.NewRIDTree(alpha)
+	tree, err := core.NewRIDTree(w.Alpha)
 	if err != nil {
 		return nil, err
 	}
@@ -136,12 +136,12 @@ func Figure5(w Workload, betas []float64) (*SweepResult, error) {
 	}
 	res := &SweepResult{Workload: w, Betas: betas}
 	// Extraction is β-independent: pay for it once per instance.
-	forests, err := extractAll(w.Alpha, instances)
+	forests, err := extractAll(w, instances)
 	if err != nil {
 		return nil, err
 	}
 	for _, beta := range betas {
-		rid, err := core.NewRID(core.RIDConfig{Alpha: w.Alpha, Beta: beta})
+		rid, err := core.NewRID(core.RIDConfig{Alpha: w.Alpha, Beta: beta, Parallelism: w.Parallelism})
 		if err != nil {
 			return nil, err
 		}
@@ -169,8 +169,8 @@ func Figure5(w Workload, betas []float64) (*SweepResult, error) {
 }
 
 // extractAll runs the β-independent forest extraction once per instance.
-func extractAll(alpha float64, instances []*Instance) ([]*cascade.Forest, error) {
-	rid, err := core.NewRID(core.RIDConfig{Alpha: alpha, Beta: 0})
+func extractAll(w Workload, instances []*Instance) ([]*cascade.Forest, error) {
+	rid, err := core.NewRID(core.RIDConfig{Alpha: w.Alpha, Beta: 0, Parallelism: w.Parallelism})
 	if err != nil {
 		return nil, err
 	}
@@ -230,12 +230,12 @@ func Figure6(w Workload, betas []float64) (*StateSweepResult, error) {
 		return nil, err
 	}
 	res := &StateSweepResult{Workload: w}
-	forests, err := extractAll(w.Alpha, instances)
+	forests, err := extractAll(w, instances)
 	if err != nil {
 		return nil, err
 	}
 	for _, beta := range betas {
-		rid, err := core.NewRID(core.RIDConfig{Alpha: w.Alpha, Beta: beta})
+		rid, err := core.NewRID(core.RIDConfig{Alpha: w.Alpha, Beta: beta, Parallelism: w.Parallelism})
 		if err != nil {
 			return nil, err
 		}

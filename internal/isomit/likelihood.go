@@ -13,6 +13,12 @@
 //     a fixed number of initiators on (binarized) trees.
 //   - BruteForce enumerates all initiator sets on tiny trees and verifies
 //     both DPs in the tests.
+//
+// Every solver in this package is reentrant: all DP tables, memo maps and
+// recursion state are allocated per call, and the only package-level
+// variable (DefaultLambda) is read-only configuration. The detection
+// pipeline relies on this to run SolvePenalized/SolveBudget concurrently
+// across trees (core.RIDConfig.Parallelism).
 package isomit
 
 import (

@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAccumFlushMergesIntoRecorder(t *testing.T) {
+	rec := NewRecorder()
+	acc := rec.NewAccum()
+	for i := 0; i < 3; i++ {
+		span := acc.Start("stage")
+		time.Sleep(time.Millisecond)
+		span.End()
+	}
+	acc.Add("counter", 5)
+	if got := rec.Counters()["counter"]; got != 0 {
+		t.Fatalf("counter visible before Flush: %d", got)
+	}
+	acc.Flush()
+	stats := rec.Stages()
+	if stats["stage"].Count != 3 {
+		t.Errorf("stage count = %d, want 3", stats["stage"].Count)
+	}
+	if stats["stage"].Total <= 0 || stats["stage"].Max <= 0 {
+		t.Errorf("stage totals not accumulated: %+v", stats["stage"])
+	}
+	if got := rec.Counters()["counter"]; got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	// Flush clears the batch: a second flush must not double-count.
+	acc.Flush()
+	if got := rec.Stages()["stage"].Count; got != 3 {
+		t.Errorf("double flush changed count to %d", got)
+	}
+}
+
+func TestAccumNilRecorder(t *testing.T) {
+	var rec *Recorder
+	acc := rec.NewAccum() // nil
+	span := acc.Start("stage")
+	span.End()
+	acc.Add("counter", 1)
+	acc.Flush() // all no-ops; must not panic
+}
+
+func TestRecorderConcurrentCounters(t *testing.T) {
+	rec := NewRecorder()
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				rec.Add("shared", 1)
+				rec.observe("stage", time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := rec.Counters()["shared"]; got != workers*perWorker {
+		t.Errorf("shared counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := rec.Stages()["stage"].Count; got != workers*perWorker {
+		t.Errorf("stage count = %d, want %d", got, workers*perWorker)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -90,17 +91,29 @@ type StageStat struct {
 // pipeline run (typically one detect request). All methods are safe for
 // concurrent use and safe on a nil receiver, where they no-op — callers
 // thread the RecorderFrom(ctx) result unconditionally.
+//
+// Under the parallel pipeline, per-component and per-tree spans are summed
+// across workers, so a stage's Total is aggregate work time and may exceed
+// the request's wall time; the stage set stays disjoint, so Totals remain
+// comparable with each other. Hot fan-out loops should batch through an
+// Accum (one per worker) and Flush at stage end rather than contending on
+// the recorder per item.
 type Recorder struct {
-	mu       sync.Mutex
-	stages   map[string]*StageStat
-	counters map[string]int64
+	mu     sync.Mutex
+	stages map[string]*StageStat
+
+	// Counters are per-name atomics so concurrent workers (extraction and
+	// DP fan-out, HTTP handlers) add without serializing on mu; cmu only
+	// guards insertion of a new name.
+	cmu      sync.RWMutex
+	counters map[string]*atomic.Int64
 }
 
 // NewRecorder returns an empty recorder.
 func NewRecorder() *Recorder {
 	return &Recorder{
 		stages:   make(map[string]*StageStat),
-		counters: make(map[string]int64),
+		counters: make(map[string]*atomic.Int64),
 	}
 }
 
@@ -130,16 +143,22 @@ func (s Span) End() {
 }
 
 func (r *Recorder) observe(stage string, d time.Duration) {
+	r.merge(stage, StageStat{Count: 1, Total: d, Max: d})
+}
+
+// merge folds a pre-aggregated stat (one span, or a worker's Accum batch)
+// into the stage.
+func (r *Recorder) merge(stage string, add StageStat) {
 	r.mu.Lock()
 	st := r.stages[stage]
 	if st == nil {
 		st = &StageStat{}
 		r.stages[stage] = st
 	}
-	st.Count++
-	st.Total += d
-	if d > st.Max {
-		st.Max = d
+	st.Count += add.Count
+	st.Total += add.Total
+	if add.Max > st.Max {
+		st.Max = add.Max
 	}
 	r.mu.Unlock()
 }
@@ -149,9 +168,18 @@ func (r *Recorder) Add(name string, n int64) {
 	if r == nil {
 		return
 	}
-	r.mu.Lock()
-	r.counters[name] += n
-	r.mu.Unlock()
+	r.cmu.RLock()
+	c := r.counters[name]
+	r.cmu.RUnlock()
+	if c == nil {
+		r.cmu.Lock()
+		if c = r.counters[name]; c == nil {
+			c = new(atomic.Int64)
+			r.counters[name] = c
+		}
+		r.cmu.Unlock()
+	}
+	c.Add(n)
 }
 
 // Stages returns a copy of the per-stage aggregates.
@@ -188,13 +216,97 @@ func (r *Recorder) Counters() map[string]int64 {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.cmu.RLock()
+	defer r.cmu.RUnlock()
 	out := make(map[string]int64, len(r.counters))
-	for name, v := range r.counters {
-		out[name] = v
+	for name, c := range r.counters {
+		out[name] = c.Load()
 	}
 	return out
+}
+
+// Accum batches span and counter observations locally for one worker of a
+// parallel stage, so the fan-out touches the shared recorder once per
+// Flush instead of once per component or tree. Not safe for concurrent
+// use — each worker owns its own Accum — and nil-safe throughout, so the
+// no-recorder fast path stays a pointer check.
+type Accum struct {
+	rec      *Recorder
+	stages   map[string]*StageStat
+	counters map[string]int64
+}
+
+// NewAccum returns a local accumulator bound to the recorder. On a nil
+// recorder it returns nil, on which every Accum method no-ops.
+func (r *Recorder) NewAccum() *Accum {
+	if r == nil {
+		return nil
+	}
+	return &Accum{
+		rec:      r,
+		stages:   make(map[string]*StageStat),
+		counters: make(map[string]int64),
+	}
+}
+
+// AccumSpan is one in-flight stage timing on an Accum. The zero AccumSpan
+// (from a nil Accum) is valid and End is a no-op on it.
+type AccumSpan struct {
+	acc   *Accum
+	stage string
+	start time.Time
+}
+
+// Start opens a local span under the stage name. On a nil Accum it returns
+// the zero AccumSpan without reading the clock.
+func (a *Accum) Start(stage string) AccumSpan {
+	if a == nil {
+		return AccumSpan{}
+	}
+	return AccumSpan{acc: a, stage: stage, start: time.Now()}
+}
+
+// End folds the span's elapsed wall time into its Accum (no locking).
+func (s AccumSpan) End() {
+	if s.acc == nil {
+		return
+	}
+	d := time.Since(s.start)
+	st := s.acc.stages[s.stage]
+	if st == nil {
+		st = &StageStat{}
+		s.acc.stages[s.stage] = st
+	}
+	st.Count++
+	st.Total += d
+	if d > st.Max {
+		st.Max = d
+	}
+}
+
+// Add accumulates n onto the local counter. No-op on a nil Accum.
+func (a *Accum) Add(name string, n int64) {
+	if a == nil {
+		return
+	}
+	a.counters[name] += n
+}
+
+// Flush merges everything batched so far into the recorder and resets the
+// Accum for reuse. Safe to call concurrently with other workers' flushes
+// (the recorder serializes), but not with this Accum's own Start/Add.
+func (a *Accum) Flush() {
+	if a == nil {
+		return
+	}
+	for name, st := range a.stages {
+		a.rec.merge(name, *st)
+		delete(a.stages, name)
+	}
+	for name, n := range a.counters {
+		a.rec.Add(name, n)
+		delete(a.counters, name)
+	}
 }
 
 type recorderKey struct{}

@@ -1,0 +1,104 @@
+// Package par is the bounded worker pool behind the pipeline's
+// deterministic fan-out: N independent work items (infected components,
+// cascade trees, edge chunks) are handed out to at most W goroutines by an
+// atomic counter, and every item writes its result into an index-addressed
+// slot owned by the caller. Because item i's result never depends on which
+// worker ran it or in what order, the assembled output is bit-identical to
+// the serial loop — parallelism changes wall time, never results.
+//
+// The worker id passed to the callback is stable within one ForEach call
+// and dense in [0, workers), so callers reuse per-worker scratch (arenas,
+// accumulators) by indexing a slice with it.
+package par
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested parallelism degree: values below 1 (the
+// zero value of the config knobs that feed it) mean runtime.GOMAXPROCS(0).
+func Workers(requested int) int {
+	if requested < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return requested
+}
+
+// ForEach runs fn(worker, item) for every item in [0, n), fanning items
+// across at most workers goroutines. worker is a dense id in [0, workers)
+// for indexing per-worker scratch. Items are handed out by an atomic
+// counter, so any worker may run any item; fn must communicate only
+// through index-addressed results for the deterministic-output contract to
+// hold.
+//
+// With workers <= 1 (or n <= 1) everything runs inline on the calling
+// goroutine in ascending item order — the serial reference path.
+//
+// Cancellation and errors abort the fan-out between items: no new item
+// starts once ctx is cancelled or some fn has failed, but in-flight items
+// run to completion. When one or more fn calls fail, the error of the
+// lowest-numbered failed item is returned (matching what the serial loop
+// would surface); otherwise ctx.Err() is returned if the context was
+// cancelled before all items were handed out.
+func ForEach(ctx context.Context, workers, n int, fn func(worker, item int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(0, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next      atomic.Int64
+		stop      atomic.Bool
+		mu        sync.Mutex
+		firstItem = n
+		firstErr  error
+		wg        sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for !stop.Load() && ctx.Err() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(w, i); err != nil {
+					mu.Lock()
+					if firstErr == nil || i < firstItem {
+						firstItem, firstErr = i, err
+					}
+					mu.Unlock()
+					stop.Store(true)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	if int(next.Load()) < n {
+		// Workers bailed before handing out every item: only cancellation
+		// does that without setting firstErr.
+		return ctx.Err()
+	}
+	return nil
+}

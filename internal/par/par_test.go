@@ -1,0 +1,169 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(5); got != 5 {
+		t.Fatalf("Workers(5) = %d", got)
+	}
+}
+
+func TestForEachCoversAllItems(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 9} {
+		const n = 100
+		out := make([]int, n)
+		err := ForEach(context.Background(), workers, n, func(w, i int) error {
+			out[i] = i*i + 1
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != i*i+1 {
+				t.Fatalf("workers=%d: item %d not processed (got %d)", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestForEachZeroItems(t *testing.T) {
+	if err := ForEach(context.Background(), 4, 0, func(w, i int) error {
+		t.Fatal("fn called for n=0")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachWorkerBound(t *testing.T) {
+	const workers, n = 3, 64
+	var inFlight, peak atomic.Int64
+	err := ForEach(context.Background(), workers, n, func(w, i int) error {
+		if w < 0 || w >= workers {
+			t.Errorf("worker id %d out of [0,%d)", w, workers)
+		}
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(100 * time.Microsecond)
+		inFlight.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("peak concurrency %d exceeds %d workers", p, workers)
+	}
+}
+
+func TestForEachSerialOrder(t *testing.T) {
+	var got []int
+	err := ForEach(context.Background(), 1, 5, func(w, i int) error {
+		if w != 0 {
+			t.Fatalf("serial path used worker %d", w)
+		}
+		got = append(got, i)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("serial order broken: %v", got)
+		}
+	}
+}
+
+func TestForEachLowestErrorWins(t *testing.T) {
+	errLow, errHigh := errors.New("low"), errors.New("high")
+	// Item 7 fails fast, item 2 fails slow: the lowest index must win.
+	err := ForEach(context.Background(), 4, 10, func(w, i int) error {
+		switch i {
+		case 2:
+			time.Sleep(5 * time.Millisecond)
+			return errLow
+		case 7:
+			return errHigh
+		}
+		return nil
+	})
+	if !errors.Is(err, errLow) {
+		t.Fatalf("got %v, want lowest-index error %v", err, errLow)
+	}
+}
+
+func TestForEachErrorStopsHandout(t *testing.T) {
+	boom := errors.New("boom")
+	var after atomic.Int64
+	err := ForEach(context.Background(), 2, 1000, func(w, i int) error {
+		if i == 0 {
+			time.Sleep(time.Millisecond)
+			return boom
+		}
+		if i > 500 {
+			after.Add(1)
+		}
+		time.Sleep(50 * time.Microsecond)
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want %v", err, boom)
+	}
+	if after.Load() > 10 {
+		t.Fatalf("handout did not stop after error: %d late items ran", after.Load())
+	}
+}
+
+func TestForEachCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	err := ForEach(ctx, 2, 1000, func(w, i int) error {
+		if ran.Add(1) == 4 {
+			cancel()
+		}
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if ran.Load() > 20 {
+		t.Fatalf("fan-out kept running after cancel: %d items", ran.Load())
+	}
+}
+
+func TestForEachCancelledSerial(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	called := false
+	err := ForEach(ctx, 1, 5, func(w, i int) error {
+		called = true
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if called {
+		t.Fatal("fn ran under a cancelled context")
+	}
+}

@@ -153,7 +153,9 @@ func writeError(w http.ResponseWriter, err error) {
 
 // buildDetector mirrors the ridlab CLI's method names so traces move
 // between the batch tools and the service without renaming anything.
-func buildDetector(name string, alpha, beta float64) (core.Detector, error) {
+// parallelism is the server-configured pipeline fan-out, forwarded to the
+// detectors that accept it (results are identical at every setting).
+func buildDetector(name string, alpha, beta float64, parallelism int) (core.Detector, error) {
 	if name == "" {
 		name = "rid"
 	}
@@ -165,7 +167,7 @@ func buildDetector(name string, alpha, beta float64) (core.Detector, error) {
 	}
 	switch name {
 	case "rid":
-		return core.NewRID(core.RIDConfig{Alpha: alpha, Beta: beta})
+		return core.NewRID(core.RIDConfig{Alpha: alpha, Beta: beta, Parallelism: parallelism})
 	case "rid-tree":
 		return core.NewRIDTree(alpha)
 	case "rid-positive":
@@ -177,7 +179,8 @@ func buildDetector(name string, alpha, beta float64) (core.Detector, error) {
 	case "degree-max":
 		return core.DegreeMax{}, nil
 	case "ensemble":
-		return core.NewEnsemble(alpha, []float64{0.5 * beta, beta, 2 * beta}, 2)
+		return core.NewEnsembleConfig(core.RIDConfig{Alpha: alpha, Parallelism: parallelism},
+			[]float64{0.5 * beta, beta, 2 * beta}, 2)
 	default:
 		return nil, badRequest("unknown detector %q", name)
 	}
@@ -220,7 +223,7 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		writeError(w, badRequest("k must be non-negative, got %d", req.K))
 		return
 	}
-	detector, err := buildDetector(req.Detector, req.Alpha, req.Beta)
+	detector, err := buildDetector(req.Detector, req.Alpha, req.Beta, s.cfg.Parallelism)
 	if err != nil {
 		writeError(w, err)
 		return

@@ -44,6 +44,14 @@ type Config struct {
 	// RetryAfter is the Retry-After value sent with 429s; zero defaults
 	// to 1s.
 	RetryAfter time.Duration
+	// Parallelism is the per-request pipeline parallelism handed to the
+	// detectors (core.RIDConfig.Parallelism): how many goroutines one
+	// detection fans component extraction and per-tree inference across.
+	// Zero means GOMAXPROCS. Distinct from Workers, which bounds how many
+	// requests compute at once; total concurrency is roughly
+	// Workers × Parallelism, so deployments co-tuning both typically set
+	// Parallelism to 1 and scale Workers, or the reverse.
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {

@@ -1,8 +1,10 @@
 package sgraph
 
 import (
+	"context"
 	"math"
 
+	"repro/internal/par"
 	"repro/internal/xrand"
 )
 
@@ -92,6 +94,155 @@ func AdamicAdar(g *Graph, v, u int) float64 {
 	return sum
 }
 
+// neighborIndex materializes, once per weighting pass, the sorted
+// out-neighbor and in-neighbor ID lists the topological scores merge per
+// edge. The per-pair functions above walk g.outIdx/g.inIdx and dereference
+// the edge array at every merge step; over a whole graph that indirection
+// dominates workload generation, so WeightBy/WeightByJaccard flatten the
+// neighborhoods into two contiguous arrays up front and score all edges
+// against those.
+type neighborIndex struct {
+	out, in [][]int32
+}
+
+func newNeighborIndex(g *Graph) *neighborIndex {
+	idx := &neighborIndex{
+		out: make([][]int32, g.n),
+		in:  make([][]int32, g.n),
+	}
+	outFlat := make([]int32, len(g.edges))
+	inFlat := make([]int32, len(g.edges))
+	opos, ipos := 0, 0
+	for v := 0; v < g.n; v++ {
+		lst := outFlat[opos : opos+len(g.outIdx[v])]
+		for i, ei := range g.outIdx[v] {
+			lst[i] = int32(g.edges[ei].To)
+		}
+		idx.out[v] = lst
+		opos += len(lst)
+		lst = inFlat[ipos : ipos+len(g.inIdx[v])]
+		for i, ei := range g.inIdx[v] {
+			lst[i] = int32(g.edges[ei].From)
+		}
+		idx.in[v] = lst
+		ipos += len(lst)
+	}
+	return idx
+}
+
+// jaccard is Jaccard on the flattened index.
+func (idx *neighborIndex) jaccard(v, u int) float64 {
+	vo, ui := idx.out[v], idx.in[u]
+	inter := 0
+	i, j := 0, 0
+	for i < len(vo) && j < len(ui) {
+		a, b := vo[i], ui[j]
+		switch {
+		case a == b:
+			inter++
+			i++
+			j++
+		case a < b:
+			i++
+		default:
+			j++
+		}
+	}
+	union := len(vo) + len(ui) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// common is CommonNeighbors on the flattened index.
+func (idx *neighborIndex) common(v, u int) int {
+	vo, ui := idx.out[v], idx.in[u]
+	inter := 0
+	i, j := 0, 0
+	for i < len(vo) && j < len(ui) {
+		a, b := vo[i], ui[j]
+		switch {
+		case a == b:
+			inter++
+			i++
+			j++
+		case a < b:
+			i++
+		default:
+			j++
+		}
+	}
+	return inter
+}
+
+// adamicAdar is AdamicAdar on the flattened index, with 1/log(deg) terms
+// precomputed once per node in invLogDeg.
+func (idx *neighborIndex) adamicAdar(invLogDeg []float64, v, u int) float64 {
+	vo, ui := idx.out[v], idx.in[u]
+	sum := 0.0
+	i, j := 0, 0
+	for i < len(vo) && j < len(ui) {
+		a, b := vo[i], ui[j]
+		switch {
+		case a == b:
+			sum += invLogDeg[a]
+			i++
+			j++
+		case a < b:
+			i++
+		default:
+			j++
+		}
+	}
+	return sum
+}
+
+// invLogDegrees precomputes the Adamic-Adar 1/log(deg) contribution per
+// node, matching AdamicAdar's degree floor.
+func (idx *neighborIndex) invLogDegrees() []float64 {
+	out := make([]float64, len(idx.out))
+	for v := range out {
+		if d := len(idx.out[v]) + len(idx.in[v]); d > 1 {
+			out[v] = 1 / math.Log(float64(d))
+		} else {
+			out[v] = 1 / math.Log(2)
+		}
+	}
+	return out
+}
+
+// rawScores computes the scheme's raw score for every edge, fanning
+// contiguous edge chunks across GOMAXPROCS workers. Each slot is written
+// by exactly one worker and no RNG is involved, so the result is identical
+// to the serial pass.
+func rawScores(g *Graph, scheme WeightScheme) []float64 {
+	idx := newNeighborIndex(g)
+	var invLogDeg []float64
+	if scheme == SchemeAdamicAdar {
+		invLogDeg = idx.invLogDegrees()
+	}
+	raw := make([]float64, len(g.edges))
+	workers := par.Workers(0)
+	_ = par.ForEach(context.Background(), workers, workers, func(_, chunk int) error {
+		lo := chunk * len(raw) / workers
+		hi := (chunk + 1) * len(raw) / workers
+		for i := lo; i < hi; i++ {
+			e := &g.edges[i]
+			switch scheme {
+			case SchemeAdamicAdar:
+				raw[i] = idx.adamicAdar(invLogDeg, e.From, e.To)
+			case SchemeCommonNeighbors:
+				raw[i] = float64(idx.common(e.From, e.To))
+			default:
+				raw[i] = idx.jaccard(e.From, e.To)
+			}
+		}
+		return nil
+	})
+	return raw
+}
+
 // WeightScheme selects how link weights are derived from topology.
 type WeightScheme int
 
@@ -113,20 +264,15 @@ func WeightBy(g *Graph, scheme WeightScheme, fallbackMax float64, rng *xrand.Ran
 	if scheme == SchemeJaccard {
 		return WeightByJaccard(g, fallbackMax, rng)
 	}
-	raw := make([]float64, g.NumEdges())
+	raw := rawScores(g, scheme)
 	maxRaw := 0.0
-	for i := range g.edges {
-		e := g.edges[i]
-		switch scheme {
-		case SchemeAdamicAdar:
-			raw[i] = AdamicAdar(g, e.From, e.To)
-		default:
-			raw[i] = float64(CommonNeighbors(g, e.From, e.To))
-		}
-		if raw[i] > maxRaw {
-			maxRaw = raw[i]
+	for _, r := range raw {
+		if r > maxRaw {
+			maxRaw = r
 		}
 	}
+	// The builder pass stays serial: the zero-score RNG fallback must draw
+	// in edge order to keep re-weighted graphs bit-identical run to run.
 	b := NewBuilder(g.NumNodes())
 	for i := range g.edges {
 		e := g.edges[i]
@@ -149,10 +295,13 @@ func WeightBy(g *Graph, scheme WeightScheme, fallbackMax float64, rng *xrand.Ran
 // values randomly sampled from uniform distribution in range [0, 0.1]").
 // Signs and topology are preserved.
 func WeightByJaccard(g *Graph, fallbackMax float64, rng *xrand.Rand) *Graph {
+	raw := rawScores(g, SchemeJaccard)
+	// Serial builder pass: RNG fallbacks must be drawn in edge order so the
+	// re-weighted graph is bit-identical run to run (see WeightBy).
 	b := NewBuilder(g.NumNodes())
 	for i := range g.edges {
 		e := g.edges[i]
-		w := Jaccard(g, e.From, e.To)
+		w := raw[i]
 		if w == 0 {
 			w = rng.Range(0, fallbackMax)
 		}

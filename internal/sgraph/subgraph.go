@@ -72,11 +72,12 @@ func ConnectedComponents(g *Graph) [][]int {
 		}
 		id := int32(len(comps))
 		comp[start] = id
+		// Head-index pop: reslicing the queue head would strand capacity
+		// behind it and force reallocation on every component.
 		queue = append(queue[:0], start)
 		members := []int{start}
-		for len(queue) > 0 {
-			u := queue[0]
-			queue = queue[1:]
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
 			visit := func(e Edge) {
 				w := e.To
 				if w == u {

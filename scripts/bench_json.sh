@@ -1,0 +1,64 @@
+#!/bin/sh
+# bench_json.sh — run the headline benchmarks at -cpu 1 and 4 and write
+# BENCH_pr3.json with ns/op, B/op and allocs/op per width plus the measured
+# parallel speedup (ns at cpu1 / ns at cpu4). On single-core hosts -cpu 4
+# only adds scheduler overhead, so the ratio reads below 1 even for fully
+# serial code — BenchmarkMFCSimulation (no pipeline parallelism) is the
+# control that bounds the artifact; host_cpus records the hardware the
+# numbers came from.
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT=${1:-BENCH_pr3.json}
+BENCHES='BenchmarkRIDEndToEnd$|BenchmarkForestExtraction$|BenchmarkMFCSimulation$'
+
+RAW=$(go test -run '^$' -bench "$BENCHES" -benchmem -benchtime 5x -cpu 1,4 .)
+echo "$RAW"
+
+echo "$RAW" | awk -v host_cpus="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 1)" '
+/^Benchmark/ {
+    name = $1
+    sub(/^Benchmark/, "", name)
+    cpu = 1
+    if (match(name, /-[0-9]+$/)) {
+        cpu = substr(name, RSTART + 1)
+        name = substr(name, 1, RSTART - 1)
+    }
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op") ns = $(i - 1)
+        if ($i == "B/op") bytes = $(i - 1)
+        if ($i == "allocs/op") allocs = $(i - 1)
+    }
+    names[name] = 1
+    ns_of[name, cpu] = ns
+    b_of[name, cpu] = bytes
+    a_of[name, cpu] = allocs
+}
+END {
+    printf "{\n"
+    printf "  \"generated_by\": \"scripts/bench_json.sh\",\n"
+    printf "  \"host_cpus\": %d,\n", host_cpus
+    printf "  \"note\": \"speedup_cpu4 = ns/op(cpu=1) / ns/op(cpu=4); on a single-core host -cpu 4 only adds scheduler overhead and the ratio reads below 1 even for serial code (MFCSimulation, which has no pipeline parallelism, is the control)\",\n"
+    printf "  \"benchmarks\": {\n"
+    n = 0
+    for (name in names) ordered[n++] = name
+    # stable output order
+    for (i = 0; i < n; i++)
+        for (j = i + 1; j < n; j++)
+            if (ordered[j] < ordered[i]) { t = ordered[i]; ordered[i] = ordered[j]; ordered[j] = t }
+    for (i = 0; i < n; i++) {
+        name = ordered[i]
+        printf "    \"%s\": {\n", name
+        printf "      \"cpu1\": {\"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s},\n", \
+            ns_of[name, 1], b_of[name, 1], a_of[name, 1]
+        printf "      \"cpu4\": {\"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s},\n", \
+            ns_of[name, 4], b_of[name, 4], a_of[name, 4]
+        printf "      \"speedup_cpu4\": %.2f\n", ns_of[name, 1] / ns_of[name, 4]
+        printf "    }%s\n", (i < n - 1) ? "," : ""
+    }
+    printf "  }\n"
+    printf "}\n"
+}' > "$OUT"
+
+echo "wrote $OUT"
