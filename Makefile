@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-json profile check fmt vet serve experiments report clean
+.PHONY: all build test race fuzz-smoke bench bench-json profile check fmt vet serve experiments report clean
 
 all: check
 
@@ -11,14 +11,19 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/obs/ ./internal/core/ ./internal/cascade/ ./internal/sgraph/ ./internal/par/ ./internal/influence/ ./internal/experiment/ ./internal/server/ .
+	$(GO) test -race ./internal/obs/ ./internal/core/ ./internal/cascade/ ./internal/arbor/ ./internal/isomit/ ./internal/sgraph/ ./internal/par/ ./internal/influence/ ./internal/experiment/ ./internal/server/ .
+
+# fuzz-smoke runs the arbor kernel-equivalence fuzzer briefly; CI does the
+# same. Longer local runs: go test -fuzz FuzzKernelEquivalence ./internal/arbor/
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzKernelEquivalence$$' -fuzztime 10s ./internal/arbor/
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime 1x .
 
 # bench-json runs the headline benchmarks at -cpu 1 and 4 and writes
-# BENCH_pr3.json with ns/op, B/op, allocs/op per width plus the measured
-# parallel speedup.
+# BENCH_pr4.json with ns/op, B/op, allocs/op per width plus the measured
+# parallel speedup and the arbor kernel comparison.
 bench-json:
 	./scripts/bench_json.sh
 

@@ -135,7 +135,7 @@ func BenchmarkDPPenalizedVsBudget(b *testing.B) {
 	b.Run("penalized", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			for _, tr := range trees {
-				if _, err := isomit.SolvePenalized(tr, isomit.PenaltyConfig{Beta: 0.5}); err != nil {
+				if _, err := isomit.Solve(tr, isomit.Options{Mode: isomit.ModePenalized, Beta: 0.5}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -147,7 +147,7 @@ func BenchmarkDPPenalizedVsBudget(b *testing.B) {
 				if tr.Len() > 64 {
 					continue // the budget DP is quadratic in k; cap as RID does
 				}
-				if _, err := isomit.SolveAuto(tr.Binarize(), 0.5); err != nil {
+				if _, err := isomit.Solve(tr.Binarize(), isomit.Options{Mode: isomit.ModeAuto, Beta: 0.5}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -157,21 +157,21 @@ func BenchmarkDPPenalizedVsBudget(b *testing.B) {
 
 func BenchmarkBudgetPlainVsStates(b *testing.B) {
 	trees := benchTrees(b)
-	run := func(b *testing.B, solve func(*cascade.Tree, float64) (*isomit.Result, error)) {
+	run := func(b *testing.B, mode isomit.Mode) {
 		b.Helper()
 		for i := 0; i < b.N; i++ {
 			for _, tr := range trees {
 				if tr.Len() > 64 {
 					continue
 				}
-				if _, err := solve(tr.Binarize(), 0.5); err != nil {
+				if _, err := isomit.Solve(tr.Binarize(), isomit.Options{Mode: mode, Beta: 0.5}); err != nil {
 					b.Fatal(err)
 				}
 			}
 		}
 	}
-	b.Run("collapsed", func(b *testing.B) { run(b, isomit.SolveAuto) })
-	b.Run("state-branched", func(b *testing.B) { run(b, isomit.SolveAutoStates) })
+	b.Run("collapsed", func(b *testing.B) { run(b, isomit.ModeAuto) })
+	b.Run("state-branched", func(b *testing.B) { run(b, isomit.ModeAutoStates) })
 }
 
 func BenchmarkBinaryTransformVsDirect(b *testing.B) {
@@ -179,7 +179,7 @@ func BenchmarkBinaryTransformVsDirect(b *testing.B) {
 	b.Run("direct", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			for _, tr := range trees {
-				if _, err := isomit.SolvePenalized(tr, isomit.PenaltyConfig{Beta: 0.5}); err != nil {
+				if _, err := isomit.Solve(tr, isomit.Options{Mode: isomit.ModePenalized, Beta: 0.5}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -188,7 +188,7 @@ func BenchmarkBinaryTransformVsDirect(b *testing.B) {
 	b.Run("binarized", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			for _, tr := range trees {
-				if _, err := isomit.SolvePenalized(tr.Binarize(), isomit.PenaltyConfig{Beta: 0.5}); err != nil {
+				if _, err := isomit.Solve(tr.Binarize(), isomit.Options{Mode: isomit.ModePenalized, Beta: 0.5}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -257,6 +257,38 @@ func BenchmarkArborLogVsLinear(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkArborKernels compares the two kernels behind arbor.New on the
+// log-weight forest workload cascade extraction feeds them: the default
+// Tarjan O(m log n) path-growing kernel against the reference
+// level-by-level contraction loop. Each sub-bench reuses one Solver, the
+// way the extraction worker pool holds them.
+func BenchmarkArborKernels(b *testing.B) {
+	rng := xrand.New(31)
+	g, err := gen.PreferentialAttachment(gen.Config{Nodes: 2000, Edges: 12000, PositiveRatio: 0.8}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	logEdges := make([]arbor.Edge, 0, g.NumEdges())
+	g.Edges(func(e sgraph.Edge) {
+		w := e.Weight
+		if w < 1e-9 {
+			w = 1e-9
+		}
+		logEdges = append(logEdges, arbor.Edge{From: e.From, To: e.To, Weight: math.Log(w)})
+	})
+	for _, alg := range []arbor.Algorithm{arbor.Tarjan, arbor.Contract} {
+		b.Run(alg.String(), func(b *testing.B) {
+			s := arbor.New(arbor.Options{Algorithm: alg})
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := s.MaxForest(g.NumNodes(), logEdges, -1e9); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 func BenchmarkBoostedVsRawWeights(b *testing.B) {

@@ -1,21 +1,42 @@
 // Package arbor implements maximum-weight spanning arborescences and
-// forests over directed graphs via the Chu-Liu/Edmonds algorithm — the
-// machinery behind the paper's Algorithms 2 (Maximum Weight Spanning
-// Graph), 3 (Contract Circles) and 4 (Infected Cascade Trees Extraction).
+// forests over directed graphs — the machinery behind the paper's
+// Algorithms 2 (Maximum Weight Spanning Graph), 3 (Contract Circles) and
+// 4 (Infected Cascade Trees Extraction).
 //
 // Weights are generic scores: higher is better and negative values are
 // allowed, so callers maximizing a likelihood product Π w(u,v) pass log
-// weights. Each round the algorithm lets every node pick its best in-edge
-// (Algorithm 2), contracts any cycles with the exact weight adjustment of
-// Algorithm 3 (w' = w(u,v) − w(π(v),v)), and repeats on the contracted
-// graph until the picks are acyclic.
+// weights.
 //
-// The contraction loop is iterative and runs out of a Workspace: two
-// ping-pong edge buffers hold the current and next contraction level, and
-// append-only arenas retain the per-level picks, cycle memberships and
-// edge provenance the expansion pass walks backward. Repeat solves on a
-// reused Workspace — forest extraction calls one per infected component —
-// allocate only the returned slices.
+// The public entry point is the Solver, constructed with New:
+//
+//	s := arbor.New(arbor.Options{})        // Tarjan kernel (default)
+//	parents, total, err := s.MaxForest(n, edges, rootScore)
+//
+// A Solver owns all reusable scratch internally, so repeated solves on
+// one Solver — forest extraction calls one per infected component —
+// allocate only the returned slices. Two kernels are available:
+//
+//   - Tarjan (default): Tarjan's O(m log n) algorithm. Mergeable skew
+//     heaps with lazy additive offsets pick each node's best in-edge,
+//     a weighted union-find contracts cycles, and path expansion
+//     reconstructs the chosen edges. See tarjan.go.
+//   - Contract: the reference level-by-level Chu-Liu/Edmonds contraction
+//     loop in this file. Each round every node picks its maximum in-edge
+//     (Algorithm 2), cycles are contracted with the exact weight
+//     adjustment of Algorithm 3 (w' = w(u,v) − w(π(v),v)), and the loop
+//     repeats on the contracted graph until the picks are acyclic —
+//     re-scanning all surviving edges every level, O(n m) worst case.
+//
+// The kernels are differentially tested to return identical total weights
+// and valid arborescences on random graphs (differential_test.go), and
+// both are deterministic, which is what keeps parallel extraction
+// bit-identical to the serial path.
+//
+// Migration note: the free functions MaxArborescence and MaxForest remain
+// for one-shot solves (now running the Tarjan kernel); the old reusable
+// entry points Workspace.MaxArborescence and Workspace.MaxForest are
+// deprecated in favor of New + Solver, which fronts both kernels behind
+// one type.
 package arbor
 
 import (
@@ -32,15 +53,12 @@ type Edge struct {
 // ErrUnreachable reports that some node has no incoming path from the root.
 var ErrUnreachable = errors.New("arbor: node unreachable from root")
 
-// MaxArborescence computes the maximum-weight spanning arborescence of the
-// n-node graph rooted at root: every node except root ends up with exactly
-// one in-edge, the edge set is acyclic, and the total weight is maximal.
-// It returns the index (into edges) of the chosen in-edge per node, with
-// chosen[root] = -1, plus the total weight. Self-loops and edges into the
-// root are ignored. If a node has no path from the root the result is
-// ErrUnreachable.
+// MaxArborescence is a one-shot convenience over New + Solver: it computes
+// the maximum-weight spanning arborescence with the default Tarjan kernel.
+// See Solver.MaxArborescence for the full contract. Callers solving
+// repeatedly should hold a Solver to reuse its workspace.
 func MaxArborescence(n int, edges []Edge, root int) (chosen []int, total float64, err error) {
-	return NewWorkspace().MaxArborescence(n, edges, root)
+	return New(Options{}).MaxArborescence(n, edges, root)
 }
 
 // cedge is a working edge of one contraction level.
@@ -68,7 +86,11 @@ type level struct {
 
 // Workspace holds the reusable scratch of the contraction loop. The zero
 // value is not usable; create one with NewWorkspace. A Workspace is not
-// safe for concurrent use — parallel extraction holds one per worker.
+// safe for concurrent use.
+//
+// Deprecated: hold a Solver from New instead — it owns workspace reuse
+// for either kernel. Workspace remains as the internal scratch of the
+// Contract kernel.
 type Workspace struct {
 	cedges [2][]cedge // ping-pong edge buffers (current / next level)
 	aug    []Edge     // MaxForest's virtual-root augmented edge list
@@ -87,15 +109,19 @@ type Workspace struct {
 	id        []int32 // node -> contracted component id
 	mark      []int32
 	enteredAt []int32
-	sel, sel2 []int32 // expansion-pass selection buffers
+	sel, sel2 []int32    // expansion-pass selection buffers
+	morig     [2][]int32 // ping-pong: per node, smallest original id inside it
 }
 
 // NewWorkspace returns an empty workspace; buffers grow on first use and
 // are reused by every subsequent solve.
 func NewWorkspace() *Workspace { return &Workspace{} }
 
-// MaxArborescence is the package-level MaxArborescence running out of this
-// workspace's buffers.
+// MaxArborescence runs the contraction kernel out of this workspace's
+// buffers.
+//
+// Deprecated: use New(Options{Algorithm: Contract}) and
+// Solver.MaxArborescence, or the default Tarjan kernel via New(Options{}).
 func (ws *Workspace) MaxArborescence(n int, edges []Edge, root int) (chosen []int, total float64, err error) {
 	if root < 0 || root >= n {
 		return nil, 0, fmt.Errorf("arbor: root %d out of range [0,%d)", root, n)
@@ -127,9 +153,14 @@ func (ws *Workspace) MaxArborescence(n int, edges []Edge, root int) (chosen []in
 	}
 	for _, wi := range sel {
 		oi := int(ws.origOf[wi])
-		e := edges[oi]
-		chosen[e.To] = oi
-		total += e.Weight
+		chosen[edges[oi].To] = oi
+	}
+	// Sum in node order, as the Tarjan kernel does, so equal chosen-edge
+	// sets produce bit-identical totals across kernels.
+	for v := 0; v < n; v++ {
+		if chosen[v] >= 0 {
+			total += edges[chosen[v]].Weight
+		}
 	}
 	return chosen, total, nil
 }
@@ -154,6 +185,14 @@ func (ws *Workspace) solve(n0, m0, root0 int) ([]int32, error) {
 	ws.levels = ws.levels[:0]
 	ws.id = growInt32(ws.id, n0)
 	ws.mark = growInt32(ws.mark, n0)
+	// morig tracks, per current-level node, the smallest original (level-0)
+	// node id contracted into it, so unreachability detected deep in the
+	// contraction stack can still be reported against a caller-visible id.
+	ws.morig[0] = growInt32(ws.morig[0], n0)
+	for v := 0; v < n0; v++ {
+		ws.morig[0][v] = int32(v)
+	}
+	curMo := 0
 
 	const (
 		unseen = -1
@@ -178,7 +217,7 @@ func (ws *Workspace) solve(n0, m0, root0 int) ([]int32, error) {
 		}
 		for v := 0; v < n; v++ {
 			if v != root && best[v] == -1 {
-				return nil, fmt.Errorf("%w: node %d has no in-edge", ErrUnreachable, v)
+				return nil, fmt.Errorf("%w: node %d has no in-edge", ErrUnreachable, ws.morig[curMo][v])
 			}
 		}
 
@@ -293,6 +332,18 @@ func (ws *Workspace) solve(n0, m0, root0 int) ([]int32, error) {
 			ws.realTo = append(ws.realTo, e.to)
 		}
 		ws.cedges[1-cur] = nxt
+		// Fold the original-id minima into the contracted components.
+		nmo := growInt32(ws.morig[1-curMo], int(comps))
+		for i := range nmo[:comps] {
+			nmo[i] = int32(n0) // larger than any original id
+		}
+		for v := 0; v < n; v++ {
+			if mo := ws.morig[curMo][v]; mo < nmo[id[v]] {
+				nmo[id[v]] = mo
+			}
+		}
+		ws.morig[1-curMo] = nmo
+		curMo = 1 - curMo
 		n, m, root = int(comps), len(nxt), int(id[root])
 		cur = 1 - cur
 	}

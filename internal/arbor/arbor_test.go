@@ -113,14 +113,17 @@ func TestMaxArborescenceNestedCycles(t *testing.T) {
 		{0, 1, 1}, {1, 2, 8}, {2, 3, 8}, {3, 1, 8},
 		{2, 4, 5}, {4, 2, 9}, {3, 4, 1},
 	}
-	chosen, total, err := MaxArborescence(5, edges, 0)
-	if err != nil {
-		t.Fatal(err)
+	want := bruteArborescence(5, edges, 0)
+	for _, alg := range algorithms {
+		chosen, total, err := New(Options{Algorithm: alg}).MaxArborescence(5, edges, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(total-want) > 1e-9 {
+			t.Errorf("%v: total = %g, want %g", alg, total, want)
+		}
+		validateArborescence(t, 5, edges, chosen, 0)
 	}
-	if want := bruteArborescence(5, edges, 0); math.Abs(total-want) > 1e-9 {
-		t.Errorf("total = %g, want %g", total, want)
-	}
-	validateArborescence(t, 5, edges, chosen, 0)
 }
 
 func validateArborescence(t *testing.T, n int, edges []Edge, chosen []int, root int) {
@@ -153,18 +156,22 @@ func validateArborescence(t *testing.T, n int, edges []Edge, chosen []int, root 
 
 func TestMaxArborescenceUnreachable(t *testing.T) {
 	edges := []Edge{{0, 1, 1}} // node 2 unreachable
-	_, _, err := MaxArborescence(3, edges, 0)
-	if !errors.Is(err, ErrUnreachable) {
-		t.Errorf("err = %v, want ErrUnreachable", err)
+	for _, alg := range algorithms {
+		_, _, err := New(Options{Algorithm: alg}).MaxArborescence(3, edges, 0)
+		if !errors.Is(err, ErrUnreachable) {
+			t.Errorf("%v: err = %v, want ErrUnreachable", alg, err)
+		}
 	}
 }
 
 func TestMaxArborescenceBadInput(t *testing.T) {
-	if _, _, err := MaxArborescence(3, nil, 5); err == nil {
-		t.Error("root out of range should error")
-	}
-	if _, _, err := MaxArborescence(2, []Edge{{0, 7, 1}}, 0); err == nil {
-		t.Error("edge out of range should error")
+	for _, alg := range algorithms {
+		if _, _, err := New(Options{Algorithm: alg}).MaxArborescence(3, nil, 5); err == nil {
+			t.Errorf("%v: root out of range should error", alg)
+		}
+		if _, _, err := New(Options{Algorithm: alg}).MaxArborescence(2, []Edge{{0, 7, 1}}, 0); err == nil {
+			t.Errorf("%v: edge out of range should error", alg)
+		}
 	}
 }
 
@@ -198,15 +205,20 @@ func TestMaxArborescenceMatchesBruteForce(t *testing.T) {
 			edges = append(edges, Edge{u, v, rng.Range(-5, 5)})
 		}
 		want := bruteArborescence(n, edges, 0)
-		chosen, got, err := MaxArborescence(n, edges, 0)
-		if math.IsInf(want, -1) {
-			return errors.Is(err, ErrUnreachable)
+		for _, alg := range algorithms {
+			chosen, got, err := New(Options{Algorithm: alg}).MaxArborescence(n, edges, 0)
+			if math.IsInf(want, -1) {
+				if !errors.Is(err, ErrUnreachable) {
+					return false
+				}
+				continue
+			}
+			if err != nil || math.Abs(got-want) >= 1e-9 {
+				return false
+			}
+			validateArborescence(t, n, edges, chosen, 0)
 		}
-		if err != nil {
-			return false
-		}
-		_ = chosen
-		return math.Abs(got-want) < 1e-9
+		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)

@@ -1,0 +1,267 @@
+package arbor
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+// algorithms under differential test.
+var algorithms = []Algorithm{Tarjan, Contract}
+
+// randInstance builds a random digraph stressing every edge case the
+// kernels must agree on: multi-edges (parallel candidates with distinct
+// weights), self-loops, edges into the root, negative-weight candidates,
+// and — because nothing guarantees connectivity — instances whose root
+// cannot reach every node, where both kernels must fail identically.
+// Weights are dyadic (multiples of 1/4 in [-8, 8]) so every addition and
+// subtraction either kernel performs is exact in float64 and total
+// weights must match bit-for-bit, not just within a tolerance.
+func randInstance(rng *xrand.Rand) (n int, edges []Edge, root int) {
+	n = 2 + rng.Intn(24)
+	m := rng.Intn(4 * n)
+	edges = make([]Edge, 0, 2*m)
+	dyadic := func() float64 { return float64(rng.Intn(65)-32) * 0.25 }
+	for i := 0; i < m; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		edges = append(edges, Edge{From: u, To: v, Weight: dyadic()})
+		if rng.Bool(0.2) {
+			// Parallel multi-edge with an independent weight.
+			edges = append(edges, Edge{From: u, To: v, Weight: dyadic()})
+		}
+	}
+	return n, edges, rng.Intn(n)
+}
+
+// checkKernelsAgree asserts the differential invariant on one instance:
+// either both kernels report unreachability, or both return a valid
+// arborescence (rooted, acyclic, one in-edge per non-root node) of
+// bit-identical total weight.
+func checkKernelsAgree(n int, edges []Edge, root int) error {
+	chosenT, totalT, errT := New(Options{Algorithm: Tarjan}).MaxArborescence(n, edges, root)
+	chosenC, totalC, errC := New(Options{Algorithm: Contract}).MaxArborescence(n, edges, root)
+	if (errT != nil) != (errC != nil) {
+		return fmt.Errorf("kernel disagreement: tarjan err=%v, contract err=%v", errT, errC)
+	}
+	if errT != nil {
+		if !errors.Is(errT, ErrUnreachable) || !errors.Is(errC, ErrUnreachable) {
+			return fmt.Errorf("non-unreachable errors: tarjan %v, contract %v", errT, errC)
+		}
+		return nil
+	}
+	if totalT != totalC {
+		return fmt.Errorf("total weight mismatch: tarjan %v, contract %v", totalT, totalC)
+	}
+	for name, chosen := range map[string][]int{"tarjan": chosenT, "contract": chosenC} {
+		if err := validArborescence(n, edges, chosen, root); err != nil {
+			return fmt.Errorf("%s kernel: %w", name, err)
+		}
+	}
+	// MaxForest must agree too: its virtual-root reduction never fails, so
+	// the invariant is equality of totals plus validity of both forests.
+	// -1024 is dyadic, keeping the arithmetic exact.
+	parT, ftotT, errT := New(Options{Algorithm: Tarjan}).MaxForest(n, edges, -1024)
+	parC, ftotC, errC := New(Options{Algorithm: Contract}).MaxForest(n, edges, -1024)
+	if errT != nil || errC != nil {
+		return fmt.Errorf("forest errors: tarjan %v, contract %v", errT, errC)
+	}
+	if ftotT != ftotC {
+		return fmt.Errorf("forest total mismatch: tarjan %v, contract %v", ftotT, ftotC)
+	}
+	for name, parents := range map[string][]int{"tarjan": parT, "contract": parC} {
+		if err := validForest(n, edges, parents); err != nil {
+			return fmt.Errorf("%s kernel forest: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// validArborescence checks structure: chosen[root] = -1, every other node
+// has exactly one in-edge targeting it, and every walk up reaches root.
+func validArborescence(n int, edges []Edge, chosen []int, root int) error {
+	if len(chosen) != n {
+		return fmt.Errorf("chosen has length %d, want %d", len(chosen), n)
+	}
+	for v := 0; v < n; v++ {
+		if v == root {
+			if chosen[v] != -1 {
+				return fmt.Errorf("root %d has in-edge %d", v, chosen[v])
+			}
+			continue
+		}
+		if chosen[v] < 0 || chosen[v] >= len(edges) {
+			return fmt.Errorf("node %d in-edge index %d out of range", v, chosen[v])
+		}
+		if edges[chosen[v]].To != v {
+			return fmt.Errorf("node %d assigned edge targeting %d", v, edges[chosen[v]].To)
+		}
+		u, steps := v, 0
+		for u != root {
+			u = edges[chosen[u]].From
+			if steps++; steps > n {
+				return fmt.Errorf("cycle walking from node %d", v)
+			}
+		}
+	}
+	return nil
+}
+
+// validForest checks that parents describes a forest: each non-root node's
+// edge targets it and every walk up terminates at some tree root.
+func validForest(n int, edges []Edge, parents []int) error {
+	if len(parents) != n {
+		return fmt.Errorf("parents has length %d, want %d", len(parents), n)
+	}
+	for v := 0; v < n; v++ {
+		if parents[v] == -1 {
+			continue
+		}
+		if edges[parents[v]].To != v {
+			return fmt.Errorf("node %d assigned edge targeting %d", v, edges[parents[v]].To)
+		}
+		u, steps := v, 0
+		for parents[u] != -1 {
+			u = edges[parents[u]].From
+			if steps++; steps > n {
+				return fmt.Errorf("cycle walking from node %d", v)
+			}
+		}
+	}
+	return nil
+}
+
+// TestKernelsAgree is the differential property test between the Tarjan
+// and Contract kernels over random signed digraphs.
+func TestKernelsAgree(t *testing.T) {
+	f := func(seed uint64) bool {
+		n, edges, root := randInstance(xrand.New(seed))
+		if err := checkKernelsAgree(n, edges, root); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestKernelsAgreeContinuousWeights relaxes the exactness requirement:
+// with arbitrary float weights the Tarjan kernel's lazy offsets round
+// differently from the contraction kernel's per-level subtraction, so
+// totals are compared within a tolerance while structure stays strict.
+func TestKernelsAgreeContinuousWeights(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 2 + rng.Intn(16)
+		m := rng.Intn(4 * n)
+		edges := make([]Edge, 0, m)
+		for i := 0; i < m; i++ {
+			edges = append(edges, Edge{From: rng.Intn(n), To: rng.Intn(n), Weight: rng.Range(-5, 5)})
+		}
+		root := rng.Intn(n)
+		_, totalT, errT := New(Options{Algorithm: Tarjan}).MaxArborescence(n, edges, root)
+		_, totalC, errC := New(Options{Algorithm: Contract}).MaxArborescence(n, edges, root)
+		if (errT != nil) != (errC != nil) {
+			return false
+		}
+		if errT != nil {
+			return errors.Is(errT, ErrUnreachable) && errors.Is(errC, ErrUnreachable)
+		}
+		return math.Abs(totalT-totalC) <= 1e-9*(1+math.Abs(totalC))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// FuzzKernelEquivalence drives the same differential invariant from the
+// fuzzer: the corpus seeds an xrand stream, so every interesting input the
+// fuzzer finds is a reproducible graph instance.
+func FuzzKernelEquivalence(f *testing.F) {
+	for _, seed := range []uint64{0, 1, 7, 42, 1 << 32, math.MaxUint64} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		n, edges, root := randInstance(xrand.New(seed))
+		if err := checkKernelsAgree(n, edges, root); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	})
+}
+
+// TestSolverReuse solves back-to-back instances of different shapes on one
+// Solver per kernel: arena reuse must never leak state between solves.
+func TestSolverReuse(t *testing.T) {
+	for _, alg := range algorithms {
+		s := New(Options{Algorithm: alg})
+		rng := xrand.New(99)
+		for i := 0; i < 50; i++ {
+			n, edges, root := randInstance(rng)
+			chosen, total, err := s.MaxArborescence(n, edges, root)
+			chosen2, total2, err2 := New(Options{Algorithm: alg}).MaxArborescence(n, edges, root)
+			if (err != nil) != (err2 != nil) {
+				t.Fatalf("%v: reused solver err %v, fresh solver err %v", alg, err, err2)
+			}
+			if err != nil {
+				continue
+			}
+			if total != total2 {
+				t.Fatalf("%v: reused solver total %v, fresh %v", alg, total, total2)
+			}
+			for v := range chosen {
+				if chosen[v] != chosen2[v] {
+					t.Fatalf("%v: reused solver chose %d for node %d, fresh chose %d", alg, chosen[v], v, chosen2[v])
+				}
+			}
+		}
+	}
+}
+
+// TestUnreachableReportsOriginalNode pins the error contract of both
+// kernels: when unreachability is only detectable after contraction (a
+// cycle with no in-edge from the root side), the message must name an
+// original node id, not a contracted index.
+func TestUnreachableReportsOriginalNode(t *testing.T) {
+	// Nodes 1 and 2 form a two-cycle; node 0 (the root) has no edge into
+	// it. Each kernel first contracts {1, 2} and only then discovers the
+	// contracted vertex has no external in-edge.
+	edges := []Edge{{From: 1, To: 2, Weight: 5}, {From: 2, To: 1, Weight: 5}}
+	for _, alg := range algorithms {
+		_, _, err := New(Options{Algorithm: alg}).MaxArborescence(3, edges, 0)
+		if !errors.Is(err, ErrUnreachable) {
+			t.Fatalf("%v: err = %v, want ErrUnreachable", alg, err)
+		}
+		if !strings.Contains(err.Error(), "node 1") {
+			t.Errorf("%v: error %q does not name original node 1", alg, err)
+		}
+		if strings.Contains(err.Error(), "node 0") || strings.Contains(err.Error(), "node 2") {
+			t.Errorf("%v: error %q names a wrong node", alg, err)
+		}
+	}
+}
+
+// TestAlgorithmString covers the enum labels used in logs and benches.
+func TestAlgorithmString(t *testing.T) {
+	if Tarjan.String() != "tarjan" || Contract.String() != "contract" {
+		t.Errorf("labels = %q, %q", Tarjan, Contract)
+	}
+	if got := Algorithm(9).String(); got != "Algorithm(9)" {
+		t.Errorf("out-of-range label = %q", got)
+	}
+}
+
+// TestNewPanicsOnUnknownAlgorithm pins New's contract for invalid enums.
+func TestNewPanicsOnUnknownAlgorithm(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(Options{Algorithm: 9}) did not panic")
+		}
+	}()
+	New(Options{Algorithm: 9})
+}

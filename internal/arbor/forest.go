@@ -1,23 +1,18 @@
 package arbor
 
-// MaxForest computes a maximum-weight spanning forest of a directed graph:
-// every node either selects one in-edge or becomes a tree root, where being
-// a root costs rootScore (typically a large negative log-prior, so the
-// algorithm opens as few roots as possible and only where no better in-edge
-// exists). Internally this is MaxArborescence with a virtual root node
-// connected to every node with weight rootScore.
-//
-// It returns parents[v] = the index (into edges) of v's chosen in-edge, or
-// -1 if v is a tree root, and the total weight of the chosen real edges
-// (virtual-edge scores excluded).
+// MaxForest is a one-shot convenience over New + Solver: it computes a
+// maximum-weight spanning forest with the default Tarjan kernel. See
+// Solver.MaxForest for the full contract. Callers solving repeatedly
+// should hold a Solver to reuse its workspace.
 func MaxForest(n int, edges []Edge, rootScore float64) (parents []int, total float64, err error) {
-	return NewWorkspace().MaxForest(n, edges, rootScore)
+	return New(Options{}).MaxForest(n, edges, rootScore)
 }
 
-// MaxForest is the package-level MaxForest running out of this workspace's
-// buffers — what per-component extraction calls in a loop (one workspace
-// per worker) so the virtual-root augmentation and every contraction level
-// reuse prior capacity.
+// MaxForest runs the contraction kernel's forest solve out of this
+// workspace's buffers.
+//
+// Deprecated: use New(Options{Algorithm: Contract}) and Solver.MaxForest,
+// or the default Tarjan kernel via New(Options{}).
 func (ws *Workspace) MaxForest(n int, edges []Edge, rootScore float64) (parents []int, total float64, err error) {
 	if n == 0 {
 		return nil, 0, nil

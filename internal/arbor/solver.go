@@ -1,0 +1,133 @@
+package arbor
+
+import "fmt"
+
+// Algorithm selects the arborescence kernel a Solver runs.
+type Algorithm int
+
+const (
+	// Tarjan is the O(m log n) kernel (tarjan.go): mergeable skew heaps
+	// with lazy additive offsets select in-edges, a weighted union-find
+	// contracts cycles, and path expansion reconstructs the chosen edges.
+	// The default, and what production extraction uses.
+	Tarjan Algorithm = iota
+	// Contract is the reference level-by-level Chu-Liu/Edmonds contraction
+	// loop (arbor.go). O(n m) worst case — each contraction level rescans
+	// every surviving edge — but simple to audit; the differential tests
+	// hold the two kernels equal on random graphs.
+	Contract
+)
+
+// String names the algorithm for logs and bench labels.
+func (a Algorithm) String() string {
+	switch a {
+	case Tarjan:
+		return "tarjan"
+	case Contract:
+		return "contract"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Options configures a Solver.
+type Options struct {
+	// Algorithm selects the kernel; the zero value is Tarjan.
+	Algorithm Algorithm
+}
+
+// Solver computes maximum-weight spanning arborescences and forests. It
+// owns the selected kernel's workspace — staging buffers, heap or
+// contraction arenas, the virtual-root augmentation of MaxForest — so
+// repeated solves on one Solver allocate only the returned slices. A
+// Solver is not safe for concurrent use; parallel extraction holds one
+// per worker.
+//
+// Solver replaces the former free-function/Workspace split
+// (MaxArborescence vs Workspace.MaxArborescence): construct one with New
+// and call its methods. The free functions remain as conveniences for
+// one-shot solves and run the default Tarjan kernel.
+type Solver struct {
+	alg Algorithm
+	tj  *tarjan
+	ws  *Workspace
+	aug []Edge
+}
+
+// New returns a Solver running the kernel selected by opts. It panics on
+// an Algorithm value outside the defined enum — a programming error, like
+// an invalid sync.Pool New.
+func New(opts Options) *Solver {
+	s := &Solver{alg: opts.Algorithm}
+	switch opts.Algorithm {
+	case Tarjan:
+		s.tj = &tarjan{}
+	case Contract:
+		s.ws = NewWorkspace()
+	default:
+		panic(fmt.Sprintf("arbor: unknown algorithm %d", int(opts.Algorithm)))
+	}
+	return s
+}
+
+// Algorithm reports which kernel this solver runs.
+func (s *Solver) Algorithm() Algorithm { return s.alg }
+
+// MaxArborescence computes the maximum-weight spanning arborescence of
+// the n-node graph rooted at root: every node except root ends up with
+// exactly one in-edge, the edge set is acyclic, and the total weight is
+// maximal. It returns the index (into edges) of the chosen in-edge per
+// node, with chosen[root] = -1, plus the total weight. Self-loops and
+// edges into the root are ignored. If a node has no path from the root
+// the result wraps ErrUnreachable and names an unreachable node by its
+// original (pre-contraction) id.
+//
+// Both kernels resolve weight ties deterministically and sum the total in
+// node order, so a repeated solve — serial or inside a parallel fan-out —
+// is bit-identical.
+func (s *Solver) MaxArborescence(n int, edges []Edge, root int) (chosen []int, total float64, err error) {
+	if s.alg == Contract {
+		return s.ws.MaxArborescence(n, edges, root)
+	}
+	return s.tj.maxArborescence(n, edges, root)
+}
+
+// MaxForest computes a maximum-weight spanning forest: every node either
+// selects one in-edge or becomes a tree root, where being a root costs
+// rootScore (typically a large negative log-prior, so the solver opens as
+// few roots as possible and only where no better in-edge exists).
+// Internally this is MaxArborescence with a virtual root node connected
+// to every node with weight rootScore.
+//
+// It returns parents[v] = the index (into edges) of v's chosen in-edge,
+// or -1 if v is a tree root, and the total weight of the chosen real
+// edges (virtual-edge scores excluded).
+func (s *Solver) MaxForest(n int, edges []Edge, rootScore float64) (parents []int, total float64, err error) {
+	if n == 0 {
+		return nil, 0, nil
+	}
+	if cap(s.aug) < len(edges)+n {
+		s.aug = make([]Edge, 0, len(edges)+n)
+	}
+	aug := append(s.aug[:0], edges...)
+	virtual := n
+	for v := 0; v < n; v++ {
+		aug = append(aug, Edge{From: virtual, To: v, Weight: rootScore})
+	}
+	s.aug = aug
+	chosen, _, err := s.MaxArborescence(n+1, aug, virtual)
+	if err != nil {
+		return nil, 0, err
+	}
+	parents = make([]int, n)
+	for v := 0; v < n; v++ {
+		ei := chosen[v]
+		if ei >= len(edges) {
+			parents[v] = -1 // virtual edge: v is a root
+			continue
+		}
+		parents[v] = ei
+		total += edges[ei].Weight
+	}
+	return parents, total, nil
+}

@@ -1,0 +1,383 @@
+package arbor
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements Tarjan's O(m log n) maximum-arborescence algorithm
+// (Tarjan 1977, with the path-growing refinement of Gabow, Galil, Spencer
+// & Tarjan 1986): every super-vertex keeps its candidate in-edges in a
+// mergeable skew heap whose weights are adjusted lazily with additive
+// offsets, cycle contraction is a weighted union-find merge of the member
+// heaps, and the chosen edge set is reconstructed by path expansion over
+// the contraction forest. Compared to the level-by-level contraction loop
+// in arbor.go (kept as the reference kernel), no edge is ever re-scanned:
+// each of the m candidate edges enters a heap once and is popped at most
+// once, for O(m log n) total work instead of O(n m).
+
+// tedge is a staged (filtered) candidate edge in level-0 coordinates.
+type tedge struct {
+	from, to int32
+	w        float64
+}
+
+// hnode is one skew-heap node. The arena holds exactly one node per staged
+// edge; heaps are threaded through l/r indices into the arena. key is the
+// edge's current offset-adjusted weight assuming every ancestor's pending
+// lazy delta has been pushed down; lazy is the delta still owed to the
+// node's descendants.
+type hnode struct {
+	l, r int32
+	edge int32
+	key  float64
+	lazy float64
+}
+
+// Forest-node visit states of the contraction phase.
+const (
+	tUnvisited int8 = iota
+	tOnPath
+	tDone
+)
+
+// tarjan holds the reusable scratch of the O(m log n) kernel. The zero
+// value is ready to use; buffers grow on first solve and are retained, so
+// repeated solves (per-component forest extraction) allocate only the
+// returned slices. Not safe for concurrent use — a Solver owns exactly one.
+type tarjan struct {
+	edges  []tedge // staged candidate edges (self-loops and root in-edges dropped)
+	origOf []int32 // staged edge -> caller edge index
+	hnodes []hnode // skew-heap arena, one node per staged edge
+
+	// Contraction forest, indexed by forest-node id: originals occupy
+	// [0, n), contracted super-vertices are appended from n up (< 2n).
+	heapOf  []int32   // root heap node of each forest node, -1 when empty
+	inEdge  []int32   // chosen staged in-edge of each processed forest node
+	inKey   []float64 // the chosen edge's offset-adjusted weight at selection time
+	parentF []int32   // enclosing super-vertex, -1 at top level
+	minOrig []int32   // smallest original node id inside the forest node
+	state   []int8
+	members []int32 // flattened member lists of contracted super-vertices
+	memOff  []int32 // per super-vertex ordinal: offsets into members (+1 sentinel)
+
+	// Weighted union-find over original node ids; topOf maps a set
+	// representative to the current topmost forest node containing it.
+	dsuP  []int32
+	dsuSz []int32
+	topOf []int32
+
+	path []int32 // growth path (contraction), then dissolve stack (expansion)
+	sel  []int32 // selected staged edges of the final arborescence
+}
+
+// stage filters the caller's edge list exactly as the contraction kernel
+// does: self-loops and edges into the root are dropped, out-of-range
+// endpoints are an error, and origOf remembers each survivor's caller
+// index.
+func (t *tarjan) stage(n int, edges []Edge, root int) error {
+	if cap(t.edges) < len(edges) {
+		t.edges = make([]tedge, 0, len(edges))
+	}
+	staged := t.edges[:0]
+	origOf := reserveInt32(t.origOf, len(edges))
+	for i, e := range edges {
+		if e.From == e.To || e.To == root {
+			continue
+		}
+		if e.From < 0 || e.From >= n || e.To < 0 || e.To >= n {
+			t.edges, t.origOf = staged, origOf
+			return fmt.Errorf("arbor: edge %d endpoints (%d,%d) out of range", i, e.From, e.To)
+		}
+		staged = append(staged, tedge{from: int32(e.From), to: int32(e.To), w: e.Weight})
+		origOf = append(origOf, int32(i))
+	}
+	t.edges, t.origOf = staged, origOf
+	return nil
+}
+
+// maxArborescence runs the full kernel over the caller's edge list and
+// maps the selection back to caller edge indices. The total is summed in
+// node order so equal chosen-edge sets produce bit-identical totals across
+// kernels.
+func (t *tarjan) maxArborescence(n int, edges []Edge, root int) ([]int, float64, error) {
+	if root < 0 || root >= n {
+		return nil, 0, fmt.Errorf("arbor: root %d out of range [0,%d)", root, n)
+	}
+	if err := t.stage(n, edges, root); err != nil {
+		return nil, 0, err
+	}
+	sel, err := t.solve(n, root)
+	if err != nil {
+		return nil, 0, err
+	}
+	chosen := make([]int, n)
+	for v := range chosen {
+		chosen[v] = -1
+	}
+	for _, fi := range sel {
+		oi := int(t.origOf[fi])
+		chosen[edges[oi].To] = oi
+	}
+	total := 0.0
+	for v := 0; v < n; v++ {
+		if chosen[v] >= 0 {
+			total += edges[chosen[v]].Weight
+		}
+	}
+	return chosen, total, nil
+}
+
+// solve runs contraction and expansion over the staged edges, returning
+// the selected staged-edge indices (one in-edge per non-root node).
+func (t *tarjan) solve(n, root int) ([]int32, error) {
+	m := len(t.edges)
+	nfMax := 2*n + 1 // n originals + at most n contractions
+
+	// Arena and forest state. Entries for contracted nodes are written at
+	// creation time, so only the original-node prefix needs initializing.
+	if cap(t.hnodes) < m {
+		t.hnodes = make([]hnode, m)
+	}
+	t.hnodes = t.hnodes[:m]
+	t.heapOf = growInt32(t.heapOf, nfMax)
+	t.inEdge = growInt32(t.inEdge, nfMax)
+	t.inKey = growF64(t.inKey, nfMax)
+	t.parentF = growInt32(t.parentF, nfMax)
+	t.minOrig = growInt32(t.minOrig, nfMax)
+	t.state = growInt8(t.state, nfMax)
+	t.dsuP = growInt32(t.dsuP, n)
+	t.dsuSz = growInt32(t.dsuSz, n)
+	t.topOf = growInt32(t.topOf, n)
+	for v := 0; v < n; v++ {
+		t.heapOf[v] = -1
+		t.parentF[v] = -1
+		t.minOrig[v] = int32(v)
+		t.state[v] = tUnvisited
+		t.dsuP[v] = int32(v)
+		t.dsuSz[v] = 1
+		t.topOf[v] = int32(v)
+	}
+	t.state[root] = tDone
+	t.members = t.members[:0]
+	t.memOff = append(t.memOff[:0], 0)
+
+	// One heap node per staged edge, melded into its target's heap in edge
+	// order (ties inside a heap keep the earlier-melded edge on top, so the
+	// whole kernel is deterministic).
+	for i := range t.edges {
+		t.hnodes[i] = hnode{l: -1, r: -1, edge: int32(i), key: t.edges[i].w}
+	}
+	for i := range t.edges {
+		to := t.edges[i].to
+		t.heapOf[to] = t.meld(t.heapOf[to], int32(i))
+	}
+
+	// Contraction: grow a path of super-vertices, each picking its best
+	// in-edge; a pick into the path contracts the cycle, a pick into a done
+	// vertex (or the root) retires the whole path.
+	nf := int32(n)
+	path := t.path[:0]
+	for v0 := 0; v0 < n; v0++ {
+		start := t.topOf[t.find(int32(v0))]
+		if t.state[start] != tUnvisited {
+			continue
+		}
+		cur := start
+		for {
+			t.state[cur] = tOnPath
+			path = append(path, cur)
+			ei, key, ok := t.popValid(cur)
+			if !ok {
+				t.path = path[:0]
+				return nil, fmt.Errorf("%w: node %d has no in-edge", ErrUnreachable, t.minOrig[cur])
+			}
+			t.inEdge[cur], t.inKey[cur] = ei, key
+			u := t.topOf[t.find(t.edges[ei].from)]
+			if t.state[u] == tDone {
+				for _, p := range path {
+					t.state[p] = tDone
+				}
+				path = path[:0]
+				break
+			}
+			if t.state[u] == tUnvisited {
+				cur = u
+				continue
+			}
+			// u lies on the path: contract the cycle u..cur into a new
+			// super-vertex. Each member's remaining in-edges are discounted
+			// by the weight of its in-cycle pick (the lazy offset), then the
+			// heaps are melded.
+			c := nf
+			nf++
+			h := int32(-1)
+			mo := int32(math.MaxInt32)
+			rep := int32(-1)
+			for {
+				v := path[len(path)-1]
+				path = path[:len(path)-1]
+				t.members = append(t.members, v)
+				t.parentF[v] = c
+				if hv := t.heapOf[v]; hv >= 0 {
+					nh := &t.hnodes[hv]
+					nh.key -= t.inKey[v]
+					nh.lazy -= t.inKey[v]
+					h = t.meld(h, hv)
+				}
+				if t.minOrig[v] < mo {
+					mo = t.minOrig[v]
+				}
+				if rep < 0 {
+					rep = t.minOrig[v]
+				} else {
+					rep = t.union(rep, t.minOrig[v])
+				}
+				if v == u {
+					break
+				}
+			}
+			t.memOff = append(t.memOff, int32(len(t.members)))
+			t.heapOf[c] = h
+			t.parentF[c] = -1
+			t.minOrig[c] = mo
+			t.state[c] = tUnvisited
+			t.topOf[t.find(rep)] = c
+			cur = c
+		}
+	}
+
+	// Expansion: every top-level super-vertex is entered by its chosen
+	// edge; dissolving the super-vertices on the walk from the edge's real
+	// target up to the entered node keeps all other members' cycle picks,
+	// which enter the stack in turn.
+	sel := t.sel[:0]
+	stack := path[:0]
+	for x := int32(0); x < nf; x++ {
+		if t.parentF[x] == -1 && int(x) != root {
+			stack = append(stack, x)
+		}
+	}
+	for len(stack) > 0 {
+		c := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		e := t.inEdge[c]
+		sel = append(sel, e)
+		for u := t.edges[e].to; u != c; {
+			s := t.parentF[u]
+			k := s - int32(n)
+			for _, mm := range t.members[t.memOff[k]:t.memOff[k+1]] {
+				if mm != u {
+					stack = append(stack, mm)
+				}
+			}
+			u = s
+		}
+	}
+	t.path = stack[:0]
+	t.sel = sel
+	return sel, nil
+}
+
+// popValid removes and returns the maximum in-edge of forest node cur
+// whose source lies outside cur, discarding internal edges along the way.
+// ok is false when cur has no external in-edge left.
+func (t *tarjan) popValid(cur int32) (edge int32, key float64, ok bool) {
+	h := t.heapOf[cur]
+	rep := t.find(t.minOrig[cur])
+	for h >= 0 {
+		nh := &t.hnodes[h]
+		e, k := nh.edge, nh.key
+		h = t.pop(h)
+		if t.find(t.edges[e].from) == rep {
+			continue // source was contracted into cur: discard
+		}
+		t.heapOf[cur] = h
+		return e, k, true
+	}
+	t.heapOf[cur] = -1
+	return -1, 0, false
+}
+
+// meld merges two skew heaps (max at the root) and returns the new root.
+// Equal keys keep the left (earlier) argument on top, which makes heap
+// order — and with it the whole kernel — deterministic.
+func (t *tarjan) meld(a, b int32) int32 {
+	if a < 0 {
+		return b
+	}
+	if b < 0 {
+		return a
+	}
+	if t.hnodes[a].key < t.hnodes[b].key {
+		a, b = b, a
+	}
+	t.pushdown(a)
+	na := &t.hnodes[a]
+	na.r = t.meld(na.r, b)
+	na.l, na.r = na.r, na.l
+	return a
+}
+
+// pop removes the root of heap x and returns the new root.
+func (t *tarjan) pop(x int32) int32 {
+	t.pushdown(x)
+	return t.meld(t.hnodes[x].l, t.hnodes[x].r)
+}
+
+// pushdown propagates x's pending lazy offset to its children.
+func (t *tarjan) pushdown(x int32) {
+	nx := &t.hnodes[x]
+	if nx.lazy == 0 {
+		return
+	}
+	d := nx.lazy
+	nx.lazy = 0
+	if l := nx.l; l >= 0 {
+		t.hnodes[l].key += d
+		t.hnodes[l].lazy += d
+	}
+	if r := nx.r; r >= 0 {
+		t.hnodes[r].key += d
+		t.hnodes[r].lazy += d
+	}
+}
+
+// find is union-find lookup with path halving.
+func (t *tarjan) find(v int32) int32 {
+	for t.dsuP[v] != v {
+		t.dsuP[v] = t.dsuP[t.dsuP[v]]
+		v = t.dsuP[v]
+	}
+	return v
+}
+
+// union links the sets of a and b by size and returns the new root.
+func (t *tarjan) union(a, b int32) int32 {
+	ra, rb := t.find(a), t.find(b)
+	if ra == rb {
+		return ra
+	}
+	if t.dsuSz[ra] < t.dsuSz[rb] {
+		ra, rb = rb, ra
+	}
+	t.dsuP[rb] = ra
+	t.dsuSz[ra] += t.dsuSz[rb]
+	return ra
+}
+
+// growF64 returns s with capacity (and length) at least n.
+func growF64(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// growInt8 returns s with capacity (and length) at least n.
+func growInt8(s []int8, n int) []int8 {
+	if cap(s) < n {
+		return make([]int8, n)
+	}
+	return s[:n]
+}

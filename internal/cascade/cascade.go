@@ -1,8 +1,8 @@
 // Package cascade turns an infected-network snapshot into the maximum-
 // likelihood signed infected cascade forest of the paper's Section III-E:
 // infected connected components are detected (Definition 6), each component
-// is reduced to its most likely cascade trees via Chu-Liu/Edmonds
-// (Algorithm 4), unknown node states are imputed, and general trees can be
+// is reduced to its most likely cascade trees via a maximum-arborescence
+// solve (Algorithm 4), unknown node states are imputed, and general trees can be
 // transformed into binary trees with dummy nodes (Figure 3) for the
 // budgeted DP.
 package cascade
@@ -273,7 +273,8 @@ var ErrNoInfected = errors.New("cascade: snapshot has no infected nodes")
 
 // Extract implements Algorithm 4 over the whole snapshot: detect infected
 // connected components, solve a maximum-likelihood spanning forest on each
-// (log-space Chu-Liu/Edmonds, so cycles are contracted exactly as the
+// (a log-space maximum-arborescence solve — arbor's Tarjan kernel — so
+// cycles are contracted exactly as the
 // paper's CC routine prescribes), impute unknown states down the trees, and
 // score every tree edge with g(·) for the downstream DP.
 func Extract(snap *Snapshot, cfg Config) (*Forest, error) {
@@ -369,7 +370,7 @@ type cand struct {
 
 // extractScratch is one worker's reusable state for extractComponent: the
 // dense node re-indexing array, the candidate edge lists, the per-root BFS
-// order and the arborescence workspace all keep their capacity across
+// order and the arborescence solver all keep their capacity across
 // components, so the fan-out multiplies throughput instead of allocations.
 // Spans and counters batch into acc (nil-safe) and are flushed once when
 // the worker's components are done.
@@ -381,16 +382,16 @@ type extractScratch struct {
 	localOf  []int32
 	order    []int32 // BFS order of one tree, component indices
 	roots    []int
-	ws       *arbor.Workspace
+	slv      *arbor.Solver
 	acc      *obs.Accum
 }
 
 // scratchPool recycles scratches across Extract calls. The arborescence
-// workspace arenas dominate a detection's allocations, so warm arenas make
+// solver arenas dominate a detection's allocations, so warm arenas make
 // repeated detections — server requests, experiment trials — pay only for
 // the trees they return. Pooled scratches hold no recorder state.
 var scratchPool = sync.Pool{
-	New: func() any { return &extractScratch{ws: arbor.NewWorkspace()} },
+	New: func() any { return &extractScratch{slv: arbor.New(arbor.Options{})} },
 }
 
 func getExtractScratch(rec *obs.Recorder, subNodes int) *extractScratch {
@@ -448,7 +449,7 @@ func extractComponent(snap *Snapshot, sub *sgraph.Subgraph, comp []int, compIdx 
 		pos[v] = -1 // restore the sentinel for the next component
 	}
 	s.edges, s.cands = edges, cands
-	parents, _, err := s.ws.MaxForest(len(comp), edges, cfg.RootScore)
+	parents, _, err := s.slv.MaxForest(len(comp), edges, cfg.RootScore)
 	span.End()
 	s.acc.Add(obs.CounterCandidateEdges, int64(len(edges)))
 	if err != nil {

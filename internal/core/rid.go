@@ -247,7 +247,7 @@ func (r *RID) solveTree(tree *cascade.Tree, acc *obs.Accum) (*isomit.Result, *ca
 			lambda = -math.Log(f)
 		}
 		span := acc.Start(obs.StageTreeDP)
-		res, err := isomit.SolveLocal(tree, r.cfg.Beta, lambda)
+		res, err := isomit.Solve(tree, isomit.Options{Mode: isomit.ModeLocal, Beta: r.cfg.Beta, Lambda: lambda})
 		span.End()
 		return res, tree, err
 	}
@@ -259,12 +259,12 @@ func (r *RID) solveTree(tree *cascade.Tree, acc *obs.Accum) (*isomit.Result, *ca
 			res *isomit.Result
 			err error
 		)
-		span = acc.Start(obs.StageTreeDP)
+		mode := isomit.ModeAuto
 		if r.cfg.BranchStates {
-			res, err = isomit.SolveAutoStates(bin, r.cfg.Beta)
-		} else {
-			res, err = isomit.SolveAuto(bin, r.cfg.Beta)
+			mode = isomit.ModeAutoStates
 		}
+		span = acc.Start(obs.StageTreeDP)
+		res, err = isomit.Solve(bin, isomit.Options{Mode: mode, Beta: r.cfg.Beta})
 		span.End()
 		return res, bin, err
 	}
@@ -272,10 +272,13 @@ func (r *RID) solveTree(tree *cascade.Tree, acc *obs.Accum) (*isomit.Result, *ca
 		// Budget DP requested but the tree exceeds MaxBudgetTreeSize.
 		acc.Add(obs.CounterBudgetFallbacks, 1)
 	}
-	pen := r.cfg.Penalty
-	pen.Beta = r.cfg.Beta
 	span := acc.Start(obs.StageTreeDP)
-	res, err := isomit.SolvePenalized(tree, pen)
+	res, err := isomit.Solve(tree, isomit.Options{
+		Mode:         isomit.ModePenalized,
+		Beta:         r.cfg.Beta,
+		QMin:         r.cfg.Penalty.QMin,
+		MaxAncestors: r.cfg.Penalty.MaxAncestors,
+	})
 	span.End()
 	return res, tree, err
 }

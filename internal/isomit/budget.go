@@ -7,7 +7,7 @@ import (
 	"repro/internal/cascade"
 )
 
-// SolveBudget runs the k-ISOMIT-BT dynamic program of Section III-D: the
+// solveBudget runs the k-ISOMIT-BT dynamic program of Section III-D: the
 // maximum partition score achievable with exactly k initiators on a binary
 // tree (fan-out at most 2 — binarize general trees first with
 // Tree.Binarize). The recursion follows the paper's three cases at every
@@ -16,9 +16,9 @@ import (
 // governing below). Dummy nodes can never be initiators and contribute no
 // score. Returns an error if the tree is not binary or k is infeasible
 // (more initiators than real nodes).
-func SolveBudget(t *cascade.Tree, k int) (*Result, error) {
+func solveBudget(t *cascade.Tree, k int) (*Result, error) {
 	if t.MaxFanout() > 2 {
-		return nil, fmt.Errorf("isomit: SolveBudget requires a binary tree (fan-out %d); call Binarize first", t.MaxFanout())
+		return nil, fmt.Errorf("isomit: the budget DP requires a binary tree (fan-out %d); call Binarize first", t.MaxFanout())
 	}
 	if k < 1 {
 		return nil, fmt.Errorf("isomit: k must be >= 1, got %d", k)
@@ -167,20 +167,10 @@ func walkChildren(t *cascade.Tree, children []int32, govIdx int, q float64, j in
 	}
 }
 
-// SolveAuto implements the paper's k-selection loop (Section III-E3):
+// autoSearch implements the paper's k-selection loop (Section III-E3):
 // starting from k=1, increase k while the objective −OPT + (k−1)·β keeps
 // improving, and return the best stop. This is the faithful incremental
-// search; SolvePenalized reaches the same optimum directly.
-func SolveAuto(t *cascade.Tree, beta float64) (*Result, error) {
-	return autoSearch(t, beta, SolveBudget)
-}
-
-// SolveAutoStates is SolveAuto over the three-case DP with the ±1
-// initiator-state branch (SolveBudgetStates).
-func SolveAutoStates(t *cascade.Tree, beta float64) (*Result, error) {
-	return autoSearch(t, beta, SolveBudgetStates)
-}
-
+// search; the penalized DP reaches the same optimum directly.
 func autoSearch(t *cascade.Tree, beta float64, solve func(*cascade.Tree, int) (*Result, error)) (*Result, error) {
 	if beta < 0 {
 		return nil, fmt.Errorf("isomit: beta must be non-negative, got %g", beta)

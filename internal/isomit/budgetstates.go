@@ -9,10 +9,10 @@ import (
 	"repro/internal/sgraph"
 )
 
-// SolveBudgetStates is the k-ISOMIT-BT dynamic program with the paper's
+// solveBudgetStates is the k-ISOMIT-BT dynamic program with the paper's
 // full three-case recursion (Section III-D): at every node the DP chooses
 // between "not an initiator", "initiator with state +1" and "initiator
-// with state −1". Relative to SolveBudget, the extra branch lets an
+// with state −1". Relative to solveBudget, the extra branch lets an
 // initiator assume the opposite of its imputed state: its own contribution
 // follows the paper's base case (1 when the assumption matches the
 // observation or the observation is unknown, 0 otherwise) and the g scores
@@ -20,9 +20,9 @@ import (
 // off when a cut point's observed state is unknown and its children
 // disagree with the imputation. Exponential neither in n nor k — the state
 // space is (node, governing ancestor, ancestor-state flip, budget).
-func SolveBudgetStates(t *cascade.Tree, k int) (*Result, error) {
+func solveBudgetStates(t *cascade.Tree, k int) (*Result, error) {
 	if t.MaxFanout() > 2 {
-		return nil, fmt.Errorf("isomit: SolveBudgetStates requires a binary tree (fan-out %d)", t.MaxFanout())
+		return nil, fmt.Errorf("isomit: the state-aware budget DP requires a binary tree (fan-out %d)", t.MaxFanout())
 	}
 	if k < 1 {
 		return nil, fmt.Errorf("isomit: k must be >= 1, got %d", k)

@@ -12,7 +12,7 @@ import (
 // corresponds exactly to the least likely representable activation link.
 var DefaultLambda = -math.Log(1e-12)
 
-// SolveLocal optimizes the Markov (one-hop conditional) log-likelihood form
+// solveLocal optimizes the Markov (one-hop conditional) log-likelihood form
 // of the per-tree objective. Each non-initiator node contributes the log of
 // the MFC activation probability of its own in-edge given its parent is
 // active — the paper's P(u, s(u)|I, S) for a length-one path — and each
@@ -28,12 +28,12 @@ var DefaultLambda = -math.Log(1e-12)
 // whole except links at or below the inconsistency floor — matching the
 // paper's description of the parameter and its Figures 5–6 sweep.
 //
-// Compared to SolvePenalized (the literal path-product partition
+// Compared to solvePenalized (the literal path-product partition
 // objective), the local form is scale-free in tree depth: a long chain of
 // individually plausible activations is never cut just because the
 // compound product from the root decays. The two are compared by an
 // ablation bench.
-func SolveLocal(t *cascade.Tree, beta, lambda float64) (*Result, error) {
+func solveLocal(t *cascade.Tree, beta, lambda float64) (*Result, error) {
 	if beta < 0 {
 		return nil, fmt.Errorf("isomit: beta must be non-negative, got %g", beta)
 	}

@@ -1,0 +1,143 @@
+package isomit
+
+import (
+	"fmt"
+
+	"repro/internal/cascade"
+)
+
+// Mode selects which per-tree initiator solver Solve runs. The solvers
+// share the Result contract but differ in objective and cost; see the
+// constants for the trade-offs.
+type Mode int
+
+const (
+	// ModeLocal is the Markov (one-hop) log-likelihood threshold rule:
+	// exact, O(n), scale-free in tree depth. Uses Beta and Lambda (zero
+	// Lambda means DefaultLambda). The production default.
+	ModeLocal Mode = iota
+	// ModePenalized is the exact DP on the paper's partition objective
+	// −OPT + (k−1)·β over all k simultaneously. Uses Beta, QMin,
+	// MaxAncestors (zero values take the PenaltyConfig defaults).
+	ModePenalized
+	// ModeBudget is the k-ISOMIT-BT budgeted DP (Section III-D) for
+	// exactly K initiators on a binary tree. Uses K.
+	ModeBudget
+	// ModeBudgetStates is ModeBudget with the ±1 initiator-state branch
+	// kept explicit. Uses K.
+	ModeBudgetStates
+	// ModeAuto runs the paper's incremental k-selection loop (Section
+	// III-E3) over ModeBudget. Uses Beta.
+	ModeAuto
+	// ModeAutoStates is ModeAuto over ModeBudgetStates. Uses Beta.
+	ModeAutoStates
+)
+
+// String names the mode for logs and error messages.
+func (m Mode) String() string {
+	switch m {
+	case ModeLocal:
+		return "local"
+	case ModePenalized:
+		return "penalized"
+	case ModeBudget:
+		return "budget"
+	case ModeBudgetStates:
+		return "budget-states"
+	case ModeAuto:
+		return "auto"
+	case ModeAutoStates:
+		return "auto-states"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Options parameterizes Solve. Only the fields the selected Mode reads
+// are consulted; the rest are ignored, so a caller can fill one Options
+// and flip Mode.
+type Options struct {
+	// Mode selects the solver; the zero value is ModeLocal.
+	Mode Mode
+	// Beta is the per-extra-initiator penalty β ∈ [0, 1] of Section
+	// III-E3. Read by ModeLocal, ModePenalized, ModeAuto, ModeAutoStates.
+	Beta float64
+	// Lambda normalizes β for ModeLocal; zero means DefaultLambda.
+	Lambda float64
+	// K is the exact initiator budget for ModeBudget and ModeBudgetStates.
+	K int
+	// QMin and MaxAncestors bound the ModePenalized DP; zero values take
+	// the PenaltyConfig defaults (1e-12 and 64).
+	QMin         float64
+	MaxAncestors int
+}
+
+// Solve runs the selected per-tree initiator solver on t. It is the
+// single entry point consolidating the former SolveLocal / SolvePenalized
+// / SolveBudget / SolveBudgetStates / SolveAuto / SolveAutoStates
+// functions, which remain as thin deprecated wrappers. An out-of-range
+// Mode is an error, not a panic, since mode often arrives from config.
+func Solve(t *cascade.Tree, opts Options) (*Result, error) {
+	switch opts.Mode {
+	case ModeLocal:
+		return solveLocal(t, opts.Beta, opts.Lambda)
+	case ModePenalized:
+		return solvePenalized(t, PenaltyConfig{Beta: opts.Beta, QMin: opts.QMin, MaxAncestors: opts.MaxAncestors})
+	case ModeBudget:
+		return solveBudget(t, opts.K)
+	case ModeBudgetStates:
+		return solveBudgetStates(t, opts.K)
+	case ModeAuto:
+		return autoSearch(t, opts.Beta, solveBudget)
+	case ModeAutoStates:
+		return autoSearch(t, opts.Beta, solveBudgetStates)
+	default:
+		return nil, fmt.Errorf("isomit: unknown mode %s", opts.Mode)
+	}
+}
+
+// SolveLocal solves the Markov log-likelihood objective; see solveLocal.
+//
+// Deprecated: use Solve with Options{Mode: ModeLocal, Beta: beta,
+// Lambda: lambda}.
+func SolveLocal(t *cascade.Tree, beta, lambda float64) (*Result, error) {
+	return Solve(t, Options{Mode: ModeLocal, Beta: beta, Lambda: lambda})
+}
+
+// SolvePenalized solves the penalized partition objective over all k;
+// see solvePenalized.
+//
+// Deprecated: use Solve with Options{Mode: ModePenalized, Beta: cfg.Beta,
+// QMin: cfg.QMin, MaxAncestors: cfg.MaxAncestors}.
+func SolvePenalized(t *cascade.Tree, cfg PenaltyConfig) (*Result, error) {
+	return Solve(t, Options{Mode: ModePenalized, Beta: cfg.Beta, QMin: cfg.QMin, MaxAncestors: cfg.MaxAncestors})
+}
+
+// SolveBudget solves the k-ISOMIT-BT budgeted DP; see solveBudget.
+//
+// Deprecated: use Solve with Options{Mode: ModeBudget, K: k}.
+func SolveBudget(t *cascade.Tree, k int) (*Result, error) {
+	return Solve(t, Options{Mode: ModeBudget, K: k})
+}
+
+// SolveBudgetStates solves the budgeted DP with explicit ±1 initiator
+// states; see solveBudgetStates.
+//
+// Deprecated: use Solve with Options{Mode: ModeBudgetStates, K: k}.
+func SolveBudgetStates(t *cascade.Tree, k int) (*Result, error) {
+	return Solve(t, Options{Mode: ModeBudgetStates, K: k})
+}
+
+// SolveAuto runs the incremental k-selection loop over the budgeted DP.
+//
+// Deprecated: use Solve with Options{Mode: ModeAuto, Beta: beta}.
+func SolveAuto(t *cascade.Tree, beta float64) (*Result, error) {
+	return Solve(t, Options{Mode: ModeAuto, Beta: beta})
+}
+
+// SolveAutoStates runs the k-selection loop over the ±1-state DP.
+//
+// Deprecated: use Solve with Options{Mode: ModeAutoStates, Beta: beta}.
+func SolveAutoStates(t *cascade.Tree, beta float64) (*Result, error) {
+	return Solve(t, Options{Mode: ModeAutoStates, Beta: beta})
+}

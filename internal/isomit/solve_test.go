@@ -1,0 +1,80 @@
+package isomit
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSolveDispatch holds Solve equal to the deprecated per-mode entry
+// points it consolidates, on random trees.
+func TestSolveDispatch(t *testing.T) {
+	for i := 0; i < 20; i++ {
+		tr := testTree(t, uint64(100+i), 8+i)
+		bin := tr.Binarize()
+		cases := []struct {
+			name string
+			via  func() (*Result, error)
+			old  func() (*Result, error)
+		}{
+			{"local", func() (*Result, error) { return Solve(tr, Options{Mode: ModeLocal, Beta: 0.4}) },
+				func() (*Result, error) { return SolveLocal(tr, 0.4, 0) }},
+			{"penalized", func() (*Result, error) { return Solve(tr, Options{Mode: ModePenalized, Beta: 0.4}) },
+				func() (*Result, error) { return SolvePenalized(tr, PenaltyConfig{Beta: 0.4}) }},
+			{"budget", func() (*Result, error) { return Solve(bin, Options{Mode: ModeBudget, K: 2}) },
+				func() (*Result, error) { return SolveBudget(bin, 2) }},
+			{"budget-states", func() (*Result, error) { return Solve(bin, Options{Mode: ModeBudgetStates, K: 2}) },
+				func() (*Result, error) { return SolveBudgetStates(bin, 2) }},
+			{"auto", func() (*Result, error) { return Solve(bin, Options{Mode: ModeAuto, Beta: 0.4}) },
+				func() (*Result, error) { return SolveAuto(bin, 0.4) }},
+			{"auto-states", func() (*Result, error) { return Solve(bin, Options{Mode: ModeAutoStates, Beta: 0.4}) },
+				func() (*Result, error) { return SolveAutoStates(bin, 0.4) }},
+		}
+		for _, c := range cases {
+			got, errN := c.via()
+			want, errO := c.old()
+			if (errN != nil) != (errO != nil) {
+				t.Fatalf("%s: Solve err=%v, legacy err=%v", c.name, errN, errO)
+			}
+			if errN != nil {
+				continue
+			}
+			if got.Score != want.Score || got.Objective != want.Objective || got.K != want.K {
+				t.Errorf("%s: Solve (score=%v obj=%v k=%d) != legacy (score=%v obj=%v k=%d)",
+					c.name, got.Score, got.Objective, got.K, want.Score, want.Objective, want.K)
+			}
+			for j := range got.Initiators {
+				if got.Initiators[j] != want.Initiators[j] {
+					t.Errorf("%s: initiator sets differ", c.name)
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestSolveUnknownMode pins the error (not panic) contract for
+// out-of-range modes, which may arrive from user config.
+func TestSolveUnknownMode(t *testing.T) {
+	tr := testTree(t, 1, 6)
+	_, err := Solve(tr, Options{Mode: Mode(42)})
+	if err == nil {
+		t.Fatal("Solve(Mode(42)) = nil error")
+	}
+	if !strings.Contains(err.Error(), "Mode(42)") {
+		t.Errorf("error %q does not name the bad mode", err)
+	}
+}
+
+// TestModeString covers the labels used in logs and errors.
+func TestModeString(t *testing.T) {
+	want := map[Mode]string{
+		ModeLocal: "local", ModePenalized: "penalized",
+		ModeBudget: "budget", ModeBudgetStates: "budget-states",
+		ModeAuto: "auto", ModeAutoStates: "auto-states",
+	}
+	for m, s := range want {
+		if m.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(m), m.String(), s)
+		}
+	}
+}

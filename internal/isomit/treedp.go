@@ -30,7 +30,7 @@ type Result struct {
 	Cells int64
 }
 
-// PenaltyConfig parameterizes SolvePenalized.
+// PenaltyConfig parameterizes the penalized DP (ModePenalized).
 type PenaltyConfig struct {
 	// Beta is the per-extra-initiator penalty β of Section III-E3; must
 	// be non-negative.
@@ -70,7 +70,7 @@ func (c PenaltyConfig) validate() error {
 // negInf is the score of an infeasible option.
 var negInf = math.Inf(-1)
 
-// SolvePenalized finds the initiator set minimizing the paper's final
+// solvePenalized finds the initiator set minimizing the paper's final
 // objective −OPT + (k−1)·β over ALL k simultaneously, by exact dynamic
 // programming on the cascade tree. Semantics follow Section III-E3's
 // partition reading: each initiator governs the maximal subtree below it
@@ -84,7 +84,7 @@ var negInf = math.Inf(-1)
 // the self (initiator) slot, paying β at each cut. This optimizes the
 // Lagrangian form of the budgeted DP exactly, in O(n · min(depth,
 // MaxAncestors)) time.
-func SolvePenalized(t *cascade.Tree, cfg PenaltyConfig) (*Result, error) {
+func solvePenalized(t *cascade.Tree, cfg PenaltyConfig) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
