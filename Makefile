@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race fuzz-smoke bench bench-json profile check fmt vet serve experiments report clean
+.PHONY: all build test race fuzz-smoke bench bench-json bench-diff profile check fmt vet serve experiments report clean
 
 all: check
 
@@ -26,6 +26,14 @@ bench:
 # parallel speedup and the arbor kernel comparison.
 bench-json:
 	./scripts/bench_json.sh
+
+# bench-diff compares two bench-json snapshots on ns/op and fails if any
+# benchmark slowed past BENCH_DIFF_THRESHOLD percent (default 10). Override
+# the files: make bench-diff BENCH_OLD=BENCH_pr3.json BENCH_NEW=BENCH_pr4.json
+BENCH_OLD ?= BENCH_pr4.json
+BENCH_NEW ?= BENCH_new.json
+bench-diff:
+	./scripts/bench_diff.sh $(BENCH_OLD) $(BENCH_NEW)
 
 # profile runs the end-to-end detect benchmark under the CPU profiler and
 # prints the hottest functions.

@@ -8,8 +8,11 @@
 //
 //	mfcsim [-dataset Epinions] [-scale 0.02] [-model mfc|ic|lt|sir|voter|all]
 //	       [-alpha 3] [-n 0] [-seed-frac 0.01] [-theta 0.5] [-rounds 30]
-//	       [-sir-beta 2] [-sir-gamma 0.3] [-seed 1] [-curves]
+//	       [-sir-beta 2] [-sir-gamma 0.3] [-seed 1] [-curves] [-progress]
 //	       [-log-level info] [-log-format text]
+//
+// -progress streams one line per MFC propagation round (round number,
+// newly infected, cumulative infected, flips) while the cascade runs.
 package main
 
 import (
@@ -40,6 +43,7 @@ func main() {
 		sirGamma = flag.Float64("sir-gamma", 0.3, "SIR per-round recovery probability")
 		seed     = flag.Uint64("seed", 1, "RNG seed")
 		curves   = flag.Bool("curves", true, "print spread curves as sparklines")
+		progress = flag.Bool("progress", false, "print per-round MFC progress (newly infected, cumulative, flips)")
 		logCfg   = cli.LogFlags()
 	)
 	flag.Parse()
@@ -48,12 +52,12 @@ func main() {
 		cli.Fatal("mfcsim", err)
 	}
 	slog.Info("mfcsim: starting", "seed", *seed, "model", *model, "dataset", *ds)
-	if err := run(*ds, *scale, *model, *alpha, *n, *seedFrac, *theta, *rounds, *sirBeta, *sirGamma, *seed, *curves); err != nil {
+	if err := run(*ds, *scale, *model, *alpha, *n, *seedFrac, *theta, *rounds, *sirBeta, *sirGamma, *seed, *curves, *progress); err != nil {
 		cli.Fatal("mfcsim", err)
 	}
 }
 
-func run(ds string, scale float64, model string, alpha float64, n int, seedFrac, theta float64, rounds int, sirBeta, sirGamma float64, seed uint64, curves bool) error {
+func run(ds string, scale float64, model string, alpha float64, n int, seedFrac, theta float64, rounds int, sirBeta, sirGamma float64, seed uint64, curves, progress bool) error {
 	rng := xrand.New(seed)
 	g, err := dataset.Load(ds, scale, rng)
 	if err != nil {
@@ -81,7 +85,14 @@ func run(ds string, scale float64, model string, alpha float64, n int, seedFrac,
 		run  runFn
 	}{
 		{"MFC", func(r *xrand.Rand) (*diffusion.Cascade, error) {
-			return diffusion.MFC(dif, seeds, states, diffusion.MFCConfig{Alpha: alpha}, r)
+			cfg := diffusion.MFCConfig{Alpha: alpha}
+			if progress {
+				cfg.OnRound = func(p diffusion.RoundProgress) {
+					fmt.Printf("         MFC round %3d: +%d newly infected, %d cumulative, %d flips\n",
+						p.Round, p.NewlyInfected, p.CumInfected, p.Flips)
+				}
+			}
+			return diffusion.MFC(dif, seeds, states, cfg, r)
 		}},
 		{"IC", func(r *xrand.Rand) (*diffusion.Cascade, error) {
 			return diffusion.IC(dif, seeds, states, r)

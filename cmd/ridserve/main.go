@@ -13,15 +13,22 @@
 // SIGTERM triggers a graceful drain.
 //
 // Observability: /metrics serves JSON by default and the Prometheus text
-// format with ?format=prometheus. Requests are access-logged via slog
-// (-log-level, -log-format) with an X-Trace-Id that propagates into the
-// pipeline. -debug-addr starts a second listener with net/http/pprof and
-// expvar — keep it off public interfaces.
+// format with ?format=prometheus, including algorithm-depth counters and
+// Go runtime health. Requests are access-logged via slog (-log-level,
+// -log-format) with an X-Trace-Id that propagates into the pipeline; a
+// well-formed client-supplied X-Trace-Id ([0-9A-Za-z._-], at most 64
+// bytes) is honored for correlation. The flight recorder retains the last
+// -flight completed compute requests (slow or failed ones pinned past
+// eviction; -slow sets the threshold) and serves them on /debug/requests
+// as an HTML table with per-request drill-down, or JSON with ?format=json.
+// -debug-addr starts a second listener with net/http/pprof, expvar and the
+// same /debug/requests view — keep it off public interfaces.
 //
 // Usage:
 //
 //	ridserve [-addr :8080] [-workers 0] [-queue 0] [-cache 64]
 //	         [-parallelism 0] [-timeout 30s] [-drain 15s] [-max-body-mb 32]
+//	         [-flight 128] [-slow 1s]
 //	         [-log-level info] [-log-format text] [-debug-addr addr]
 //
 // -workers bounds how many requests compute at once; -parallelism bounds
@@ -62,7 +69,9 @@ func main() {
 		timeout   = flag.Duration("timeout", 30*time.Second, "per-request deadline ceiling")
 		drain     = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain budget")
 		maxBodyMB = flag.Int64("max-body-mb", 32, "request body cap in MiB")
-		debugAddr = flag.String("debug-addr", "", "pprof/expvar listen address (empty = disabled)")
+		flight    = flag.Int("flight", 0, "flight-recorder capacity in requests (0 = default 128, -1 = disabled)")
+		slow      = flag.Duration("slow", 0, "latency at which requests pin in the flight recorder (0 = default 1s)")
+		debugAddr = flag.String("debug-addr", "", "pprof/expvar/flight-recorder listen address (empty = disabled)")
 		logCfg    = cli.LogFlags()
 	)
 	flag.Parse()
@@ -70,15 +79,15 @@ func main() {
 	if err := logCfg.Setup(); err != nil {
 		cli.Fatal("ridserve", err)
 	}
-	if err := validate(*workers, *queue, *cacheSize, *parallel, *timeout, *drain, *maxBodyMB); err != nil {
+	if err := validate(*workers, *queue, *cacheSize, *parallel, *timeout, *drain, *maxBodyMB, *slow); err != nil {
 		cli.Fatal("ridserve", err)
 	}
-	if err := run(*addr, *workers, *queue, *cacheSize, *parallel, *timeout, *drain, *maxBodyMB, *debugAddr); err != nil {
+	if err := run(*addr, *workers, *queue, *cacheSize, *parallel, *timeout, *drain, *maxBodyMB, *flight, *slow, *debugAddr); err != nil {
 		cli.Fatal("ridserve", err)
 	}
 }
 
-func validate(workers, queue, cacheSize, parallel int, timeout, drain time.Duration, maxBodyMB int64) error {
+func validate(workers, queue, cacheSize, parallel int, timeout, drain time.Duration, maxBodyMB int64, slow time.Duration) error {
 	switch {
 	case workers < 0:
 		return cli.Usagef("-workers must be non-negative, got %d", workers)
@@ -94,11 +103,13 @@ func validate(workers, queue, cacheSize, parallel int, timeout, drain time.Durat
 		return cli.Usagef("-drain must be positive, got %v", drain)
 	case maxBodyMB < 1:
 		return cli.Usagef("-max-body-mb must be positive, got %d", maxBodyMB)
+	case slow < 0:
+		return cli.Usagef("-slow must be non-negative, got %v", slow)
 	}
 	return nil
 }
 
-func run(addr string, workers, queue, cacheSize, parallel int, timeout, drain time.Duration, maxBodyMB int64, debugAddr string) error {
+func run(addr string, workers, queue, cacheSize, parallel int, timeout, drain time.Duration, maxBodyMB int64, flight int, slow time.Duration, debugAddr string) error {
 	s := server.New(server.Config{
 		Addr:           addr,
 		Workers:        workers,
@@ -107,13 +118,15 @@ func run(addr string, workers, queue, cacheSize, parallel int, timeout, drain ti
 		DefaultTimeout: timeout,
 		MaxBodyBytes:   maxBodyMB << 20,
 		Parallelism:    parallel,
+		FlightSize:     flight,
+		SlowThreshold:  slow,
 	})
 	errc := make(chan error, 1)
 	go func() { errc <- s.ListenAndServe() }()
 	slog.Info("ridserve: listening", "addr", addr)
 
 	if debugAddr != "" {
-		debug := &http.Server{Addr: debugAddr, Handler: server.DebugHandler(), ReadHeaderTimeout: 10 * time.Second}
+		debug := &http.Server{Addr: debugAddr, Handler: s.DebugHandler(), ReadHeaderTimeout: 10 * time.Second}
 		go func() {
 			slog.Info("ridserve: debug endpoints up", "addr", debugAddr)
 			if err := debug.ListenAndServe(); err != nil && err != http.ErrServerClosed {

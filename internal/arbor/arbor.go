@@ -111,6 +111,8 @@ type Workspace struct {
 	enteredAt []int32
 	sel, sel2 []int32    // expansion-pass selection buffers
 	morig     [2][]int32 // ping-pong: per node, smallest original id inside it
+
+	stats kernelStats // per-solve work counts, reset by the owning Solver
 }
 
 // NewWorkspace returns an empty workspace; buffers grow on first use and
@@ -143,6 +145,7 @@ func (ws *Workspace) MaxArborescence(n int, edges []Edge, root int) (chosen []in
 		origOf = append(origOf, int32(i))
 	}
 	ws.cedges[0], ws.origOf = work, origOf
+	ws.stats.edgesStaged += int64(len(work))
 	sel, err := ws.solve(n, len(work), root)
 	if err != nil {
 		return nil, 0, err
@@ -202,6 +205,8 @@ func (ws *Workspace) solve(n0, m0, root0 int) ([]int32, error) {
 	n, m, root := n0, m0, root0
 	for {
 		edges := ws.cedges[cur][:m]
+		ws.stats.levels++
+		ws.stats.edgeRescans += int64(m)
 
 		// Algorithm 2 (MWSG): every node picks its maximum-weight in-edge.
 		// Strict > keeps the first-seen maximum, so ties resolve to the
@@ -273,6 +278,7 @@ func (ws *Workspace) solve(n0, m0, root0 int) ([]int32, error) {
 			}
 		}
 		cycCount := len(ws.cycleStart) - cycOff
+		ws.stats.cyclesContracted += int64(cycCount)
 
 		if cycCount == 0 {
 			// Acyclic: the picks are the arborescence of this level. Seed

@@ -1,0 +1,92 @@
+package arbor
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// cycleGraph returns a graph whose best in-edge picks form a 2-cycle that
+// both kernels must contract before reaching the optimum.
+func cycleGraph() (int, []Edge, int) {
+	edges := []Edge{
+		{From: 0, To: 1, Weight: 1},
+		{From: 1, To: 2, Weight: 10},
+		{From: 2, To: 1, Weight: 10},
+		{From: 0, To: 2, Weight: 1},
+	}
+	return 3, edges, 0
+}
+
+func TestSolverCounters(t *testing.T) {
+	for _, alg := range []Algorithm{Tarjan, Contract} {
+		t.Run(alg.String(), func(t *testing.T) {
+			var cs obs.CounterSet
+			s := New(Options{Algorithm: alg})
+			s.SetCounters(&cs)
+			n, edges, root := cycleGraph()
+			if _, _, err := s.MaxArborescence(n, edges, root); err != nil {
+				t.Fatal(err)
+			}
+			a := cs.Arbor
+			if alg == Tarjan {
+				if a.TarjanSolves != 1 || a.ContractSolves != 0 {
+					t.Fatalf("solve counts: %+v", a)
+				}
+				if a.HeapMelds == 0 || a.HeapPops == 0 {
+					t.Fatalf("tarjan heap counts empty: %+v", a)
+				}
+			} else {
+				if a.ContractSolves != 1 || a.TarjanSolves != 0 {
+					t.Fatalf("solve counts: %+v", a)
+				}
+				if a.ContractLevels < 2 || a.EdgeRescans == 0 {
+					t.Fatalf("contract level counts: %+v", a)
+				}
+			}
+			if a.EdgesStaged != 4 {
+				t.Fatalf("EdgesStaged = %d, want 4", a.EdgesStaged)
+			}
+			if a.CyclesContracted != 1 {
+				t.Fatalf("CyclesContracted = %d, want 1", a.CyclesContracted)
+			}
+
+			// A second solve accumulates rather than overwrites.
+			if _, _, err := s.MaxArborescence(n, edges, root); err != nil {
+				t.Fatal(err)
+			}
+			if got := cs.Arbor.EdgesStaged; got != 8 {
+				t.Fatalf("EdgesStaged after 2 solves = %d, want 8", got)
+			}
+
+			// Detaching stops counting without breaking solves.
+			s.SetCounters(nil)
+			if _, _, err := s.MaxArborescence(n, edges, root); err != nil {
+				t.Fatal(err)
+			}
+			if got := cs.Arbor.EdgesStaged; got != 8 {
+				t.Fatalf("detached solve still counted: EdgesStaged = %d", got)
+			}
+		})
+	}
+}
+
+func TestSolverCountersMaxForest(t *testing.T) {
+	var cs obs.CounterSet
+	s := New(Options{})
+	s.SetCounters(&cs)
+	edges := []Edge{
+		{From: 0, To: 1, Weight: 2},
+		{From: 1, To: 0, Weight: 2},
+	}
+	if _, _, err := s.MaxForest(2, edges, -5); err != nil {
+		t.Fatal(err)
+	}
+	if cs.Arbor.TarjanSolves != 1 {
+		t.Fatalf("MaxForest should count one solve, got %+v", cs.Arbor)
+	}
+	// 2 real edges + 2 virtual root edges staged.
+	if cs.Arbor.EdgesStaged != 4 {
+		t.Fatalf("EdgesStaged = %d, want 4", cs.Arbor.EdgesStaged)
+	}
+}

@@ -1,6 +1,10 @@
 package arbor
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
 
 // Algorithm selects the arborescence kernel a Solver runs.
 type Algorithm int
@@ -36,6 +40,19 @@ type Options struct {
 	Algorithm Algorithm
 }
 
+// kernelStats counts one solve's kernel work. Both kernels fill the
+// subset of fields that applies to them; the Solver folds the struct into
+// its counter sink after each solve. Plain field increments keep the
+// instrumentation cheap enough to stay always-on.
+type kernelStats struct {
+	edgesStaged      int64 // candidate edges surviving the input filter
+	heapMelds        int64 // skew-heap meld steps (Tarjan, incl. recursion)
+	heapPops         int64 // skew-heap pops (Tarjan)
+	cyclesContracted int64 // super-vertices created / cycles resolved
+	levels           int64 // contraction rounds (Contract, incl. final acyclic one)
+	edgeRescans      int64 // edges re-scanned across rounds (Contract)
+}
+
 // Solver computes maximum-weight spanning arborescences and forests. It
 // owns the selected kernel's workspace — staging buffers, heap or
 // contraction arenas, the virtual-root augmentation of MaxForest — so
@@ -52,6 +69,7 @@ type Solver struct {
 	tj  *tarjan
 	ws  *Workspace
 	aug []Edge
+	cs  *obs.CounterSet
 }
 
 // New returns a Solver running the kernel selected by opts. It panics on
@@ -73,6 +91,32 @@ func New(opts Options) *Solver {
 // Algorithm reports which kernel this solver runs.
 func (s *Solver) Algorithm() Algorithm { return s.alg }
 
+// SetCounters directs the solver's algorithm-depth counters at cs —
+// typically a worker Accum's batch (obs.Accum.CS). Nil detaches; pooled
+// Solvers must detach on release so a recycled Solver never writes a
+// stale request's counters. Counting into the kernel's stats struct is
+// always on; cs only controls where (and whether) the totals land.
+func (s *Solver) SetCounters(cs *obs.CounterSet) { s.cs = cs }
+
+// fold moves the kernel's per-solve stats into the counter sink.
+func (s *Solver) fold(st *kernelStats) {
+	if s.cs == nil {
+		return
+	}
+	a := &s.cs.Arbor
+	if s.alg == Contract {
+		a.ContractSolves++
+	} else {
+		a.TarjanSolves++
+	}
+	a.EdgesStaged += st.edgesStaged
+	a.HeapMelds += st.heapMelds
+	a.HeapPops += st.heapPops
+	a.CyclesContracted += st.cyclesContracted
+	a.ContractLevels += st.levels
+	a.EdgeRescans += st.edgeRescans
+}
+
 // MaxArborescence computes the maximum-weight spanning arborescence of
 // the n-node graph rooted at root: every node except root ends up with
 // exactly one in-edge, the edge set is acyclic, and the total weight is
@@ -87,9 +131,15 @@ func (s *Solver) Algorithm() Algorithm { return s.alg }
 // is bit-identical.
 func (s *Solver) MaxArborescence(n int, edges []Edge, root int) (chosen []int, total float64, err error) {
 	if s.alg == Contract {
-		return s.ws.MaxArborescence(n, edges, root)
+		s.ws.stats = kernelStats{}
+		chosen, total, err = s.ws.MaxArborescence(n, edges, root)
+		s.fold(&s.ws.stats)
+		return chosen, total, err
 	}
-	return s.tj.maxArborescence(n, edges, root)
+	s.tj.stats = kernelStats{}
+	chosen, total, err = s.tj.maxArborescence(n, edges, root)
+	s.fold(&s.tj.stats)
+	return chosen, total, err
 }
 
 // MaxForest computes a maximum-weight spanning forest: every node either

@@ -69,6 +69,8 @@ type tarjan struct {
 
 	path []int32 // growth path (contraction), then dissolve stack (expansion)
 	sel  []int32 // selected staged edges of the final arborescence
+
+	stats kernelStats // per-solve work counts, reset by the owning Solver
 }
 
 // stage filters the caller's edge list exactly as the contraction kernel
@@ -93,6 +95,7 @@ func (t *tarjan) stage(n int, edges []Edge, root int) error {
 		origOf = append(origOf, int32(i))
 	}
 	t.edges, t.origOf = staged, origOf
+	t.stats.edgesStaged += int64(len(staged))
 	return nil
 }
 
@@ -211,6 +214,7 @@ func (t *tarjan) solve(n, root int) ([]int32, error) {
 			// heaps are melded.
 			c := nf
 			nf++
+			t.stats.cyclesContracted++
 			h := int32(-1)
 			mo := int32(math.MaxInt32)
 			rep := int32(-1)
@@ -309,6 +313,7 @@ func (t *tarjan) meld(a, b int32) int32 {
 	if b < 0 {
 		return a
 	}
+	t.stats.heapMelds++
 	if t.hnodes[a].key < t.hnodes[b].key {
 		a, b = b, a
 	}
@@ -321,6 +326,7 @@ func (t *tarjan) meld(a, b int32) int32 {
 
 // pop removes the root of heap x and returns the new root.
 func (t *tarjan) pop(x int32) int32 {
+	t.stats.heapPops++
 	t.pushdown(x)
 	return t.meld(t.hnodes[x].l, t.hnodes[x].r)
 }

@@ -311,6 +311,12 @@ func ExtractContext(ctx context.Context, snap *Snapshot, cfg Config) (*Forest, e
 	span.End()
 	rec.Add(obs.CounterInfectedNodes, int64(len(infected)))
 	rec.Add(obs.CounterComponents, int64(len(comps)))
+	if rec != nil {
+		var cs obs.CounterSet
+		cs.Cascade.InfectedNodes = int64(len(infected))
+		cs.Cascade.Components = int64(len(comps))
+		rec.MergeCounterSet(&cs)
+	}
 
 	workers := par.Workers(cfg.Parallelism)
 	treesByComp := make([][]*Tree, len(comps))
@@ -346,6 +352,11 @@ func ExtractContext(ctx context.Context, snap *Snapshot, cfg Config) (*Forest, e
 		forest.Trees = append(forest.Trees, trees...)
 	}
 	rec.Add(obs.CounterTrees, int64(len(forest.Trees)))
+	if rec != nil {
+		var cs obs.CounterSet
+		cs.Cascade.Trees = int64(len(forest.Trees))
+		rec.MergeCounterSet(&cs)
+	}
 	return forest, nil
 }
 
@@ -397,6 +408,9 @@ var scratchPool = sync.Pool{
 func getExtractScratch(rec *obs.Recorder, subNodes int) *extractScratch {
 	s := scratchPool.Get().(*extractScratch)
 	s.acc = rec.NewAccum()
+	// The pooled solver counts into this worker's batch; CS() is nil when
+	// no recorder is attached, which SetCounters treats as "don't count".
+	s.slv.SetCounters(s.acc.CS())
 	if cap(s.pos) < subNodes {
 		s.pos = make([]int32, subNodes)
 		for i := range s.pos {
@@ -412,6 +426,9 @@ func getExtractScratch(rec *obs.Recorder, subNodes int) *extractScratch {
 
 func (s *extractScratch) release() {
 	s.acc = nil
+	// Detach the counter sink: a pooled Solver must never write counters
+	// into a retired request's batch.
+	s.slv.SetCounters(nil)
 	scratchPool.Put(s)
 }
 
@@ -431,13 +448,18 @@ func extractComponent(snap *Snapshot, sub *sgraph.Subgraph, comp []int, compIdx 
 
 	edges := s.edges[:0]
 	cands := s.cands[:0]
+	// Work counts stay in locals through the scan (the batch's CounterSet
+	// may be nil when no recorder is attached) and fold in afterwards.
+	var scanned, pruned int64
 	for i, v := range comp {
 		sub.G.Out(v, func(e sgraph.Edge) {
+			scanned++
 			j := pos[e.To]
 			if j < 0 {
 				return
 			}
 			if !snap.timeAdmissible(sub.Orig[comp[i]], sub.Orig[comp[j]]) {
+				pruned++
 				return // known timestamps rule this activation out
 			}
 			score := cfg.Score(e.Sign, e.Weight, stateOf(i), stateOf(int(j)))
@@ -449,6 +471,11 @@ func extractComponent(snap *Snapshot, sub *sgraph.Subgraph, comp []int, compIdx 
 		pos[v] = -1 // restore the sentinel for the next component
 	}
 	s.edges, s.cands = edges, cands
+	cs := s.acc.CS()
+	if cs != nil {
+		cs.Cascade.EdgesScanned += scanned
+		cs.Cascade.TimePruned += pruned
+	}
 	parents, _, err := s.slv.MaxForest(len(comp), edges, cfg.RootScore)
 	span.End()
 	s.acc.Add(obs.CounterCandidateEdges, int64(len(edges)))
@@ -538,6 +565,10 @@ func extractComponent(snap *Snapshot, sub *sgraph.Subgraph, comp []int, compIdx 
 		rescore(t, cfg)
 		t.ScoreCfg = scoreCfg
 		s.acc.Add(obs.CounterTreeNodes, int64(t.Len()))
+		if cs != nil {
+			cs.Cascade.TreeSize.Observe(int64(t.Len()))
+			cs.Cascade.TreeDepth.Observe(int64(t.Depth()))
+		}
 		trees = append(trees, t)
 	}
 	span.End()

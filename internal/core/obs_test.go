@@ -98,6 +98,84 @@ func TestDetectStageCoverageBudgetDP(t *testing.T) {
 	}
 }
 
+// TestDetectCounterSet asserts a recorded detect carries the typed
+// algorithm-depth counters across every pipeline layer, consistent with
+// the legacy named counters.
+func TestDetectCounterSet(t *testing.T) {
+	sim := simulate(t, 11, 400, 2400, 12)
+	rid := mustRID(t, 0.3)
+	rec := obs.NewRecorder()
+	ctx := obs.WithRecorder(context.Background(), rec)
+	det, err := rid.DetectContext(ctx, sim.snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := rec.CounterSetSnapshot()
+	if cs == nil {
+		t.Fatal("detect recorded no CounterSet")
+	}
+	counters := rec.Counters()
+	if cs.Cascade.InfectedNodes != counters[obs.CounterInfectedNodes] ||
+		cs.Cascade.Components != counters[obs.CounterComponents] ||
+		cs.Cascade.Trees != counters[obs.CounterTrees] {
+		t.Fatalf("typed cascade counters %+v disagree with named %v", cs.Cascade, counters)
+	}
+	if cs.ISOMIT.DPCells != counters[obs.CounterDPCells] {
+		t.Fatalf("DPCells = %d, want %d", cs.ISOMIT.DPCells, counters[obs.CounterDPCells])
+	}
+	// The default objective solves every tree with the local rule.
+	if cs.ISOMIT.LocalSolves != int64(det.Trees) {
+		t.Fatalf("LocalSolves = %d, want %d", cs.ISOMIT.LocalSolves, det.Trees)
+	}
+	// One Tarjan solve per component, via the pooled extraction solvers.
+	if cs.Arbor.TarjanSolves != cs.Cascade.Components {
+		t.Fatalf("TarjanSolves = %d, want %d (one per component)",
+			cs.Arbor.TarjanSolves, cs.Cascade.Components)
+	}
+	if cs.Arbor.EdgesStaged == 0 || cs.Cascade.EdgesScanned == 0 {
+		t.Fatalf("edge work not counted: %+v / %+v", cs.Arbor, cs.Cascade)
+	}
+	if got := cs.Cascade.TreeSize.Count(); got != cs.Cascade.Trees {
+		t.Fatalf("TreeSize observations = %d, want %d", got, cs.Cascade.Trees)
+	}
+	if cs.Cascade.TreeSize.Sum != counters[obs.CounterTreeNodes] {
+		t.Fatalf("TreeSize.Sum = %d, want tree_nodes %d",
+			cs.Cascade.TreeSize.Sum, counters[obs.CounterTreeNodes])
+	}
+}
+
+// TestDetectCounterSetBudgetDP asserts the auto budget path counts its DP
+// modes, k-selection rounds and fallbacks.
+func TestDetectCounterSetBudgetDP(t *testing.T) {
+	sim := simulate(t, 11, 400, 2400, 12)
+	rid, err := NewRID(RIDConfig{
+		Alpha: 3, Beta: 0.3, Objective: ObjectivePartition,
+		UseBudgetDP: true, MaxBudgetTreeSize: 4, // tiny cap: force fallbacks
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.NewRecorder()
+	ctx := obs.WithRecorder(context.Background(), rec)
+	if _, err := rid.DetectContext(ctx, sim.snap); err != nil {
+		t.Fatal(err)
+	}
+	cs := rec.CounterSetSnapshot()
+	if cs == nil {
+		t.Fatal("no CounterSet recorded")
+	}
+	if cs.ISOMIT.BudgetSolves == 0 && cs.ISOMIT.BudgetFallbacks == 0 {
+		t.Fatalf("budget path counted neither solves nor fallbacks: %+v", cs.ISOMIT)
+	}
+	if cs.ISOMIT.BudgetSolves > 0 && cs.ISOMIT.AutoRounds < cs.ISOMIT.BudgetSolves {
+		t.Fatalf("AutoRounds %d < BudgetSolves %d: every auto solve tries ≥ 1 k",
+			cs.ISOMIT.AutoRounds, cs.ISOMIT.BudgetSolves)
+	}
+	if got := rec.Counters()[obs.CounterBudgetFallbacks]; cs.ISOMIT.BudgetFallbacks != got {
+		t.Fatalf("typed fallbacks %d != named %d", cs.ISOMIT.BudgetFallbacks, got)
+	}
+}
+
 // TestDetectNoRecorderUnchanged guards the zero-cost contract: a detect
 // without a recorder must behave identically (already covered by every
 // other test) and record nothing through a recorder attached to a

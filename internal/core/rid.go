@@ -249,6 +249,7 @@ func (r *RID) solveTree(tree *cascade.Tree, acc *obs.Accum) (*isomit.Result, *ca
 		span := acc.Start(obs.StageTreeDP)
 		res, err := isomit.Solve(tree, isomit.Options{Mode: isomit.ModeLocal, Beta: r.cfg.Beta, Lambda: lambda})
 		span.End()
+		countISOMIT(acc.CS(), isomit.ModeLocal, res)
 		return res, tree, err
 	}
 	if r.cfg.UseBudgetDP && tree.Len() <= r.cfg.MaxBudgetTreeSize {
@@ -266,11 +267,15 @@ func (r *RID) solveTree(tree *cascade.Tree, acc *obs.Accum) (*isomit.Result, *ca
 		span = acc.Start(obs.StageTreeDP)
 		res, err = isomit.Solve(bin, isomit.Options{Mode: mode, Beta: r.cfg.Beta})
 		span.End()
+		countISOMIT(acc.CS(), mode, res)
 		return res, bin, err
 	}
 	if r.cfg.UseBudgetDP {
 		// Budget DP requested but the tree exceeds MaxBudgetTreeSize.
 		acc.Add(obs.CounterBudgetFallbacks, 1)
+		if cs := acc.CS(); cs != nil {
+			cs.ISOMIT.BudgetFallbacks++
+		}
 	}
 	span := acc.Start(obs.StageTreeDP)
 	res, err := isomit.Solve(tree, isomit.Options{
@@ -280,7 +285,35 @@ func (r *RID) solveTree(tree *cascade.Tree, acc *obs.Accum) (*isomit.Result, *ca
 		MaxAncestors: r.cfg.Penalty.MaxAncestors,
 	})
 	span.End()
+	countISOMIT(acc.CS(), isomit.ModePenalized, res)
 	return res, tree, err
+}
+
+// countISOMIT folds one per-tree solve into the worker's typed counter
+// batch: which DP mode ran, its cell count, and — for the auto modes —
+// how many budget values the k-selection loop tried. No-op when cs is nil
+// (no recorder attached) or the solve failed.
+func countISOMIT(cs *obs.CounterSet, mode isomit.Mode, res *isomit.Result) {
+	if cs == nil || res == nil {
+		return
+	}
+	switch mode {
+	case isomit.ModeLocal:
+		cs.ISOMIT.LocalSolves++
+	case isomit.ModePenalized:
+		cs.ISOMIT.PenalizedSolves++
+	case isomit.ModeBudget:
+		cs.ISOMIT.BudgetSolves++
+	case isomit.ModeBudgetStates:
+		cs.ISOMIT.BudgetStateSolves++
+	case isomit.ModeAuto:
+		cs.ISOMIT.BudgetSolves++
+		cs.ISOMIT.AutoRounds += int64(res.KTried)
+	case isomit.ModeAutoStates:
+		cs.ISOMIT.BudgetStateSolves++
+		cs.ISOMIT.AutoRounds += int64(res.KTried)
+	}
+	cs.ISOMIT.DPCells += res.Cells
 }
 
 // sortDetection orders initiators ascending, keeping the parallel slices

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/sgraph"
 	"repro/internal/xrand"
 )
@@ -142,6 +143,21 @@ func newCascade(n int, initiators []int, states []sgraph.State) *Cascade {
 	return c
 }
 
+// RoundProgress is one completed propagation round's summary, delivered
+// through MFCConfig.OnRound.
+type RoundProgress struct {
+	// Round is 1-based (initiators seed round 0).
+	Round int
+	// NewlyInfected is the number of nodes first activated this round;
+	// CumInfected the ever-activated total so far, initiators included.
+	NewlyInfected int
+	CumInfected   int
+	// Flips is the number of successful state flips this round; Attempts
+	// the activation attempts made this round.
+	Flips    int
+	Attempts int
+}
+
 // MFCConfig parameterizes the asyMmetric Flipping Cascade model.
 type MFCConfig struct {
 	// Alpha is the asymmetric boosting coefficient (α > 1 in the paper;
@@ -151,6 +167,14 @@ type MFCConfig struct {
 	// DisableFlip turns off the state-flipping rule, degrading MFC to a
 	// signed independent-cascade model (used by the ablation benches).
 	DisableFlip bool
+	// OnRound, when non-nil, is invoked synchronously after every
+	// completed propagation round — the hook behind cmd/mfcsim -progress.
+	// It must not mutate the simulation's state.
+	OnRound func(RoundProgress)
+	// Counters, when non-nil, accumulates the run's algorithm-depth
+	// counts (runs, rounds, attempts, activations, flips) when the
+	// simulation finishes. The caller owns the set; MFC only adds.
+	Counters *obs.CounterSet
 }
 
 func (c MFCConfig) validate() error {
@@ -195,9 +219,11 @@ func MFC(g *sgraph.Graph, initiators []int, states []sgraph.State, cfg MFCConfig
 
 	recent := append([]int(nil), initiators...)
 	round := int32(0)
+	cumInfected := len(initiators)
 	for len(recent) > 0 {
 		round++
 		var next []int
+		newly, flipsBefore, attemptsBefore := 0, c.Flips, c.Attempts
 		for _, u := range recent {
 			su := c.States[u]
 			g.OutIndexed(u, func(i int, e sgraph.Edge) {
@@ -219,6 +245,7 @@ func MFC(g *sgraph.Graph, initiators []int, states []sgraph.State, cfg MFCConfig
 				} else {
 					c.FirstActivatedBy[v] = int32(u)
 					c.FirstRound[v] = round
+					newly++
 				}
 				c.States[v] = newState
 				c.ActivatedBy[v] = int32(u)
@@ -226,11 +253,29 @@ func MFC(g *sgraph.Graph, initiators []int, states []sgraph.State, cfg MFCConfig
 				next = append(next, v)
 			})
 		}
+		cumInfected += newly
+		if cfg.OnRound != nil && (newly > 0 || c.Flips > flipsBefore || c.Attempts > attemptsBefore) {
+			cfg.OnRound(RoundProgress{
+				Round:         int(round),
+				NewlyInfected: newly,
+				CumInfected:   cumInfected,
+				Flips:         c.Flips - flipsBefore,
+				Attempts:      c.Attempts - attemptsBefore,
+			})
+		}
 		recent = next
 	}
 	c.Rounds = int(round) - 1
 	if c.Rounds < 0 {
 		c.Rounds = 0
+	}
+	if cfg.Counters != nil {
+		d := &cfg.Counters.Diffusion
+		d.Runs++
+		d.Rounds += int64(c.Rounds)
+		d.Attempts += int64(c.Attempts)
+		d.Activations += int64(cumInfected - len(initiators))
+		d.Flips += int64(c.Flips)
 	}
 	return c, nil
 }

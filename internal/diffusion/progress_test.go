@@ -1,0 +1,109 @@
+package diffusion
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/sgraph"
+	"repro/internal/xrand"
+)
+
+// chainGraph builds 0 -> 1 -> 2 -> 3 with certain positive activations.
+func chainGraph(t *testing.T) *sgraph.Graph {
+	t.Helper()
+	b := sgraph.NewBuilder(4)
+	for v := 0; v < 3; v++ {
+		b.AddEdge(v, v+1, sgraph.Positive, 1)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestMFCOnRound(t *testing.T) {
+	g := chainGraph(t)
+	var got []RoundProgress
+	cfg := MFCConfig{Alpha: 1, OnRound: func(p RoundProgress) { got = append(got, p) }}
+	c, err := MFC(g, []int{0}, []sgraph.State{sgraph.StatePositive}, cfg, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumInfected() != 4 {
+		t.Fatalf("infected = %d, want 4", c.NumInfected())
+	}
+	// Weight-1 chain: rounds 1..3 each infect exactly one new node. The
+	// final empty round makes no attempts and must not be reported.
+	if len(got) != 3 {
+		t.Fatalf("OnRound fired %d times, want 3: %+v", len(got), got)
+	}
+	for i, p := range got {
+		if p.Round != i+1 || p.NewlyInfected != 1 || p.Attempts != 1 || p.Flips != 0 {
+			t.Fatalf("round %d progress %+v", i+1, p)
+		}
+		if p.CumInfected != i+2 {
+			t.Fatalf("round %d CumInfected = %d, want %d", i+1, p.CumInfected, i+2)
+		}
+	}
+}
+
+func TestMFCCounters(t *testing.T) {
+	g := chainGraph(t)
+	var cs obs.CounterSet
+	cfg := MFCConfig{Alpha: 1, Counters: &cs}
+	c, err := MFC(g, []int{0}, []sgraph.State{sgraph.StatePositive}, cfg, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := cs.Diffusion
+	if d.Runs != 1 {
+		t.Fatalf("Runs = %d, want 1", d.Runs)
+	}
+	if d.Rounds != int64(c.Rounds) || d.Attempts != int64(c.Attempts) || d.Flips != int64(c.Flips) {
+		t.Fatalf("counters %+v disagree with cascade rounds=%d attempts=%d flips=%d",
+			d, c.Rounds, c.Attempts, c.Flips)
+	}
+	if d.Activations != 3 {
+		t.Fatalf("Activations = %d, want 3 (beyond the initiator)", d.Activations)
+	}
+	// A second run accumulates.
+	if _, err := MFC(g, []int{0}, []sgraph.State{sgraph.StatePositive}, cfg, xrand.New(2)); err != nil {
+		t.Fatal(err)
+	}
+	if cs.Diffusion.Runs != 2 || cs.Diffusion.Activations != 6 {
+		t.Fatalf("second run did not accumulate: %+v", cs.Diffusion)
+	}
+}
+
+func TestMFCFlipProgress(t *testing.T) {
+	// 0 -(-)-> 1, 2 -(+)-> 1: node 1 activates negative via 0, then the
+	// positive link from 2 (infected separately) flips it.
+	b := sgraph.NewBuilder(3)
+	b.AddEdge(0, 1, sgraph.Negative, 1)
+	b.AddEdge(2, 1, sgraph.Positive, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flips int
+	var cs obs.CounterSet
+	cfg := MFCConfig{
+		Alpha:    1,
+		OnRound:  func(p RoundProgress) { flips += p.Flips },
+		Counters: &cs,
+	}
+	c, err := MFC(g, []int{0, 2}, []sgraph.State{sgraph.StatePositive, sgraph.StatePositive}, cfg, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Flips != 1 {
+		t.Fatalf("Flips = %d, want 1", c.Flips)
+	}
+	if flips != 1 {
+		t.Fatalf("OnRound flips = %d, want 1", flips)
+	}
+	if cs.Diffusion.Flips != 1 {
+		t.Fatalf("counter Flips = %d, want 1", cs.Diffusion.Flips)
+	}
+}

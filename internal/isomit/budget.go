@@ -177,6 +177,7 @@ func autoSearch(t *cascade.Tree, beta float64, solve func(*cascade.Tree, int) (*
 	}
 	var best *Result
 	var cells int64 // total across every k tried, surviving on the winner
+	tried := 0
 	maxK := t.NumReal()
 	for k := 1; k <= maxK; k++ {
 		r, err := solve(t, k)
@@ -184,6 +185,7 @@ func autoSearch(t *cascade.Tree, beta float64, solve func(*cascade.Tree, int) (*
 			return nil, err
 		}
 		cells += r.Cells
+		tried++
 		r.Objective = -r.Score + float64(k-1)*beta
 		if best != nil && r.Objective >= best.Objective {
 			break
@@ -192,6 +194,7 @@ func autoSearch(t *cascade.Tree, beta float64, solve func(*cascade.Tree, int) (*
 	}
 	if best != nil {
 		best.Cells = cells
+		best.KTried = tried
 	}
 	return best, nil
 }

@@ -28,6 +28,9 @@ type Result struct {
 	// for the local objective) — the per-tree work measure surfaced by the
 	// observability layer as the dp_cells counter.
 	Cells int64
+	// KTried is how many budget values the incremental k-selection loop
+	// evaluated before stopping (auto modes only; zero otherwise).
+	KTried int
 }
 
 // PenaltyConfig parameterizes the penalized DP (ModePenalized).

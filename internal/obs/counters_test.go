@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestWorkHistObserve(t *testing.T) {
+	var h WorkHist
+	for _, v := range []int64{1, 1, 2, 3, 5, 300, 1000} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 7 {
+		t.Fatalf("Count = %d, want 7", got)
+	}
+	if h.Sum != 1312 {
+		t.Fatalf("Sum = %d, want 1312", h.Sum)
+	}
+	if h.Max != 1000 {
+		t.Fatalf("Max = %d, want 1000", h.Max)
+	}
+	// Bounds {1,2,4,8,...}: 1,1 -> le1; 2 -> le2; 3 -> le4; 5 -> le8;
+	// 300,1000 -> +Inf.
+	want := [workHistLen]int64{2, 1, 1, 1, 0, 0, 0, 0, 0, 2}
+	if h.Buckets != want {
+		t.Fatalf("Buckets = %v, want %v", h.Buckets, want)
+	}
+	cum := h.Cumulative()
+	if cum[len(cum)-1] != h.Count() {
+		t.Fatalf("Cumulative +Inf = %d, want Count %d", cum[len(cum)-1], h.Count())
+	}
+	for i := 1; i < len(cum); i++ {
+		if cum[i] < cum[i-1] {
+			t.Fatalf("Cumulative not monotone at %d: %v", i, cum)
+		}
+	}
+}
+
+func TestCounterSetMergeAndZero(t *testing.T) {
+	var a, b CounterSet
+	if !a.Zero() {
+		t.Fatal("fresh CounterSet should be Zero")
+	}
+	b.Arbor.TarjanSolves = 3
+	b.Arbor.HeapMelds = 100
+	b.Cascade.TreeSize.Observe(5)
+	b.ISOMIT.DPCells = 42
+	b.Diffusion.Flips = 7
+	a.Merge(&b)
+	a.Merge(&b)
+	if a.Arbor.TarjanSolves != 6 || a.Arbor.HeapMelds != 200 {
+		t.Fatalf("arbor merge wrong: %+v", a.Arbor)
+	}
+	if a.Cascade.TreeSize.Count() != 2 || a.Cascade.TreeSize.Sum != 10 {
+		t.Fatalf("hist merge wrong: %+v", a.Cascade.TreeSize)
+	}
+	if a.ISOMIT.DPCells != 84 || a.Diffusion.Flips != 14 {
+		t.Fatalf("merge wrong: %+v", a)
+	}
+	if a.Zero() {
+		t.Fatal("merged CounterSet should not be Zero")
+	}
+	// Histogram-only content still counts as non-zero.
+	var h CounterSet
+	h.Cascade.TreeDepth.Observe(1)
+	if h.Zero() {
+		t.Fatal("histogram-only CounterSet should not be Zero")
+	}
+	// Nil receivers and operands are safe.
+	var nilCS *CounterSet
+	nilCS.Merge(&b)
+	a.Merge(nil)
+	if !nilCS.Zero() {
+		t.Fatal("nil CounterSet should be Zero")
+	}
+}
+
+func TestCounterSetEach(t *testing.T) {
+	var c CounterSet
+	c.Arbor.CyclesContracted = 9
+	c.Cascade.EdgesScanned = 1234
+	c.ISOMIT.BudgetFallbacks = 1
+	got := map[string]int64{}
+	c.Each(func(name string, v int64) {
+		if _, dup := got[name]; dup {
+			t.Fatalf("duplicate name %q", name)
+		}
+		got[name] = v
+	})
+	want := map[string]int64{
+		"arbor_cycles_contracted": 9,
+		"cascade_edges_scanned":   1234,
+		"isomit_budget_fallbacks": 1,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Each emitted %v, want %v", got, want)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("Each[%s] = %d, want %d", k, got[k], v)
+		}
+	}
+	for name := range got {
+		if strings.ToLower(name) != name || strings.Contains(name, " ") {
+			t.Fatalf("name %q not snake_case", name)
+		}
+	}
+}
+
+func TestRecorderMergeCounterSet(t *testing.T) {
+	r := NewRecorder()
+	if r.CounterSetSnapshot() != nil {
+		t.Fatal("empty recorder should snapshot nil")
+	}
+	var cs CounterSet
+	cs.Arbor.TarjanSolves = 2
+	cs.Cascade.TreeSize.Observe(3)
+	r.MergeCounterSet(&cs)
+	r.MergeCounterSet(&cs)
+	snap := r.CounterSetSnapshot()
+	if snap == nil {
+		t.Fatal("snapshot nil after merges")
+	}
+	if snap.Arbor.TarjanSolves != 4 || snap.Cascade.TreeSize.Count() != 2 {
+		t.Fatalf("snapshot wrong: %+v", snap)
+	}
+	// Snapshot is a copy: mutating it must not affect the recorder.
+	snap.Arbor.TarjanSolves = 999
+	if r.CounterSetSnapshot().Arbor.TarjanSolves != 4 {
+		t.Fatal("snapshot aliases recorder state")
+	}
+	// Nil recorder paths.
+	var nilRec *Recorder
+	nilRec.MergeCounterSet(&cs)
+	if nilRec.CounterSetSnapshot() != nil {
+		t.Fatal("nil recorder should snapshot nil")
+	}
+}
+
+func TestAccumCS(t *testing.T) {
+	r := NewRecorder()
+	acc := r.NewAccum()
+	cs := acc.CS()
+	if cs == nil {
+		t.Fatal("Accum.CS returned nil on live Accum")
+	}
+	cs.Arbor.HeapPops = 10
+	cs.ISOMIT.LocalSolves = 3
+	if r.CounterSetSnapshot() != nil {
+		t.Fatal("counters visible before Flush")
+	}
+	acc.Flush()
+	snap := r.CounterSetSnapshot()
+	if snap == nil || snap.Arbor.HeapPops != 10 || snap.ISOMIT.LocalSolves != 3 {
+		t.Fatalf("flush lost counters: %+v", snap)
+	}
+	// Flush resets the batch; a second flush adds nothing.
+	acc.Flush()
+	if got := r.CounterSetSnapshot().Arbor.HeapPops; got != 10 {
+		t.Fatalf("double flush double-counted: HeapPops = %d", got)
+	}
+	// The same CS pointer stays valid for reuse after Flush.
+	cs.Arbor.HeapPops = 5
+	acc.Flush()
+	if got := r.CounterSetSnapshot().Arbor.HeapPops; got != 15 {
+		t.Fatalf("reuse after flush: HeapPops = %d, want 15", got)
+	}
+	// Nil Accum.
+	var nilAcc *Accum
+	if nilAcc.CS() != nil {
+		t.Fatal("nil Accum.CS should be nil")
+	}
+}
+
+func TestRecorderCounterSetConcurrent(t *testing.T) {
+	r := NewRecorder()
+	const workers, rounds = 8, 100
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			acc := r.NewAccum()
+			for i := 0; i < rounds; i++ {
+				acc.CS().Cascade.EdgesScanned++
+				acc.CS().Cascade.TreeSize.Observe(int64(i%9 + 1))
+				acc.Flush()
+			}
+		}()
+	}
+	wg.Wait()
+	snap := r.CounterSetSnapshot()
+	if snap.Cascade.EdgesScanned != workers*rounds {
+		t.Fatalf("EdgesScanned = %d, want %d", snap.Cascade.EdgesScanned, workers*rounds)
+	}
+	if snap.Cascade.TreeSize.Count() != workers*rounds {
+		t.Fatalf("TreeSize count = %d, want %d", snap.Cascade.TreeSize.Count(), workers*rounds)
+	}
+}
+
+func TestStageViews(t *testing.T) {
+	r := NewRecorder()
+	r.merge(StageTreeDP, StageStat{Count: 3, Total: 6_000_000, Max: 3_000_000})
+	views := r.StageViews()
+	v, ok := views[StageTreeDP]
+	if !ok {
+		t.Fatalf("missing stage in views: %v", views)
+	}
+	if v.Count != 3 || v.TotalMS != 6 || v.MaxMS != 3 {
+		t.Fatalf("view = %+v, want {3 6 3}", v)
+	}
+	var nilRec *Recorder
+	if nilRec.StageViews() != nil {
+		t.Fatal("nil recorder StageViews should be nil")
+	}
+}

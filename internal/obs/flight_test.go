@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFlightEvictionOrder(t *testing.T) {
+	f := NewFlightRecorder(4, time.Hour)
+	for i := 1; i <= 6; i++ {
+		f.Record(FlightRecord{TraceID: fmt.Sprintf("t%d", i), Status: 200})
+	}
+	snap := f.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("retained %d records, want 4", len(snap))
+	}
+	// Newest-first: t6, t5, t4, t3 (t1 and t2 evicted).
+	want := []string{"t6", "t5", "t4", "t3"}
+	for i, w := range want {
+		if snap[i].TraceID != w {
+			t.Fatalf("snap[%d] = %s, want %s (snap: %+v)", i, snap[i].TraceID, w, snap)
+		}
+	}
+	for i := 1; i < len(snap); i++ {
+		if snap[i].Seq >= snap[i-1].Seq {
+			t.Fatalf("snapshot not newest-first by seq: %+v", snap)
+		}
+	}
+}
+
+func TestFlightPinning(t *testing.T) {
+	// slow = 10ms; pinned ring holds max(8, 4/4) = 8.
+	f := NewFlightRecorder(4, 10*time.Millisecond)
+	f.Record(FlightRecord{TraceID: "err", Status: 500, Error: "boom"})
+	f.Record(FlightRecord{TraceID: "slow", Status: 200, ElapsedMS: 50})
+	f.Record(FlightRecord{TraceID: "client-err", Status: 404})
+	// Flood the recent ring with fast successes.
+	for i := 0; i < 20; i++ {
+		f.Record(FlightRecord{TraceID: fmt.Sprintf("ok%d", i), Status: 200, ElapsedMS: 1})
+	}
+	snap := f.Snapshot()
+	byID := map[string]FlightRecord{}
+	for _, fr := range snap {
+		byID[fr.TraceID] = fr
+	}
+	for _, id := range []string{"err", "slow", "client-err"} {
+		fr, ok := byID[id]
+		if !ok {
+			t.Fatalf("%s evicted despite pinning (snap %+v)", id, snap)
+		}
+		if !fr.Pinned {
+			t.Fatalf("%s retained but not marked pinned", id)
+		}
+	}
+	if _, ok := byID["ok0"]; ok {
+		t.Fatal("ok0 should have been evicted from the recent ring")
+	}
+	if fr, ok := byID["ok19"]; !ok || fr.Pinned {
+		t.Fatalf("ok19 missing or wrongly pinned: %+v ok=%v", fr, ok)
+	}
+	// A request exactly at the threshold pins.
+	f.Record(FlightRecord{TraceID: "at-threshold", Status: 200, ElapsedMS: 10})
+	if fr, ok := f.Lookup("at-threshold"); !ok || !fr.Pinned {
+		t.Fatalf("at-threshold not pinned: %+v ok=%v", fr, ok)
+	}
+}
+
+func TestFlightLookup(t *testing.T) {
+	f := NewFlightRecorder(8, time.Hour)
+	f.Record(FlightRecord{TraceID: "dup", Status: 200, Detail: "first"})
+	f.Record(FlightRecord{TraceID: "dup", Status: 200, Detail: "second"})
+	fr, ok := f.Lookup("dup")
+	if !ok || fr.Detail != "second" {
+		t.Fatalf("Lookup(dup) = %+v ok=%v, want newest (second)", fr, ok)
+	}
+	if _, ok := f.Lookup("absent"); ok {
+		t.Fatal("Lookup(absent) should miss")
+	}
+}
+
+func TestFlightDefaults(t *testing.T) {
+	f := NewFlightRecorder(0, 0)
+	if got := len(f.recent.buf); got != DefaultFlightSize {
+		t.Fatalf("default size = %d, want %d", got, DefaultFlightSize)
+	}
+	if got := f.SlowThreshold(); got != DefaultSlowThreshold {
+		t.Fatalf("default slow = %v, want %v", got, DefaultSlowThreshold)
+	}
+	if got := len(f.pinned.buf); got != DefaultFlightSize/4 {
+		t.Fatalf("pinned capacity = %d, want %d", got, DefaultFlightSize/4)
+	}
+}
+
+func TestFlightNil(t *testing.T) {
+	var f *FlightRecorder
+	f.Record(FlightRecord{TraceID: "x"})
+	if f.Snapshot() != nil {
+		t.Fatal("nil Snapshot should be nil")
+	}
+	if _, ok := f.Lookup("x"); ok {
+		t.Fatal("nil Lookup should miss")
+	}
+	if f.SlowThreshold() != 0 {
+		t.Fatal("nil SlowThreshold should be 0")
+	}
+}
+
+func TestFlightConcurrent(t *testing.T) {
+	f := NewFlightRecorder(16, 5*time.Millisecond)
+	const workers, per = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				st := 200
+				if i%17 == 0 {
+					st = 500
+				}
+				f.Record(FlightRecord{
+					TraceID:   fmt.Sprintf("w%d-%d", w, i),
+					Status:    st,
+					ElapsedMS: float64(i % 9),
+				})
+			}
+		}(w)
+	}
+	// Render concurrently with the writers.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			for _, fr := range f.Snapshot() {
+				if fr.TraceID == "" || fr.Seq == 0 {
+					t.Error("snapshot exposed an incomplete record")
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	snap := f.Snapshot()
+	seen := map[uint64]bool{}
+	for _, fr := range snap {
+		if seen[fr.Seq] {
+			t.Fatalf("duplicate seq %d in snapshot", fr.Seq)
+		}
+		seen[fr.Seq] = true
+	}
+}

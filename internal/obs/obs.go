@@ -107,6 +107,11 @@ type Recorder struct {
 	// guards insertion of a new name.
 	cmu      sync.RWMutex
 	counters map[string]*atomic.Int64
+
+	// cs aggregates the typed algorithm-depth counters merged in by worker
+	// Accums (or directly via MergeCounterSet); csMu serializes the merges.
+	csMu sync.Mutex
+	cs   CounterSet
 }
 
 // NewRecorder returns an empty recorder.
@@ -211,6 +216,59 @@ func (r *Recorder) StageMillis() map[string]float64 {
 	return out
 }
 
+// MergeCounterSet folds a typed counter batch into the recorder. No-op on
+// a nil recorder or nil batch.
+func (r *Recorder) MergeCounterSet(cs *CounterSet) {
+	if r == nil || cs == nil {
+		return
+	}
+	r.csMu.Lock()
+	r.cs.Merge(cs)
+	r.csMu.Unlock()
+}
+
+// CounterSetSnapshot returns a copy of the merged typed counters, or nil
+// when the recorder is nil or nothing was counted.
+func (r *Recorder) CounterSetSnapshot() *CounterSet {
+	if r == nil {
+		return nil
+	}
+	r.csMu.Lock()
+	cs := r.cs
+	r.csMu.Unlock()
+	if cs.Zero() {
+		return nil
+	}
+	return &cs
+}
+
+// StageView is the wire shape of one stage aggregate: count, summed and
+// max wall time in milliseconds.
+type StageView struct {
+	Count   int64   `json:"count"`
+	TotalMS float64 `json:"total_ms"`
+	MaxMS   float64 `json:"max_ms"`
+}
+
+// StageViews returns the per-stage aggregates in wire shape — the form
+// flight-recorder entries and debug handlers serve.
+func (r *Recorder) StageViews() map[string]StageView {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]StageView, len(r.stages))
+	for name, st := range r.stages {
+		out[name] = StageView{
+			Count:   st.Count,
+			TotalMS: float64(st.Total) / float64(time.Millisecond),
+			MaxMS:   float64(st.Max) / float64(time.Millisecond),
+		}
+	}
+	return out
+}
+
 // Counters returns a copy of the counter map.
 func (r *Recorder) Counters() map[string]int64 {
 	if r == nil {
@@ -234,6 +292,7 @@ type Accum struct {
 	rec      *Recorder
 	stages   map[string]*StageStat
 	counters map[string]int64
+	cs       CounterSet
 }
 
 // NewAccum returns a local accumulator bound to the recorder. On a nil
@@ -292,6 +351,16 @@ func (a *Accum) Add(name string, n int64) {
 	a.counters[name] += n
 }
 
+// CS returns the Accum's typed counter batch for hot kernels to write
+// directly (it is merged into the recorder at Flush), or nil on a nil
+// Accum — callers hand the result to nil-tolerant sinks.
+func (a *Accum) CS() *CounterSet {
+	if a == nil {
+		return nil
+	}
+	return &a.cs
+}
+
 // Flush merges everything batched so far into the recorder and resets the
 // Accum for reuse. Safe to call concurrently with other workers' flushes
 // (the recorder serializes), but not with this Accum's own Start/Add.
@@ -306,6 +375,10 @@ func (a *Accum) Flush() {
 	for name, n := range a.counters {
 		a.rec.Add(name, n)
 		delete(a.counters, name)
+	}
+	if !a.cs.Zero() {
+		a.rec.MergeCounterSet(&a.cs)
+		a.cs = CounterSet{}
 	}
 }
 

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"runtime/metrics"
+)
+
+// QuantileSummary condenses a runtime/metrics float histogram (GC pause,
+// scheduler latency) into the quantiles an operator actually reads.
+// Values are seconds.
+type QuantileSummary struct {
+	Count int64   `json:"count"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+// RuntimeStats is the Go runtime health snapshot folded into the metrics
+// exposition: enough to distinguish "the pipeline is slow" from "the
+// runtime is struggling" without shipping the full runtime/metrics
+// namespace.
+type RuntimeStats struct {
+	// Goroutines is the live goroutine count.
+	Goroutines int64 `json:"goroutines"`
+	// HeapBytes is live heap memory occupied by objects
+	// (/memory/classes/heap/objects:bytes).
+	HeapBytes int64 `json:"heap_bytes"`
+	// TotalAllocBytes is cumulative bytes allocated on the heap
+	// (/gc/heap/allocs:bytes) — a counter.
+	TotalAllocBytes int64 `json:"total_alloc_bytes"`
+	// GCCycles is the number of completed GC cycles
+	// (/gc/cycles/total:gc-cycles) — a counter.
+	GCCycles int64 `json:"gc_cycles"`
+	// GCPause summarizes stop-the-world pause latencies; SchedLatency the
+	// time goroutines spend runnable before running. Either may be nil if
+	// the runtime doesn't expose the metric (version drift).
+	GCPause      *QuantileSummary `json:"gc_pause,omitempty"`
+	SchedLatency *QuantileSummary `json:"sched_latency,omitempty"`
+}
+
+// runtimeSampleNames are the metrics we read, in the order sampled.
+// Unknown names are tolerated per metric (metrics.Read reports KindBad),
+// so a runtime that renames or drops one degrades that field to zero/nil
+// instead of failing the exposition.
+var runtimeSampleNames = []string{
+	"/sched/goroutines:goroutines",
+	"/memory/classes/heap/objects:bytes",
+	"/gc/heap/allocs:bytes",
+	"/gc/cycles/total:gc-cycles",
+	"/sched/pauses/total/gc:seconds", // go ≥ 1.22 name
+	"/gc/pauses:seconds",             // pre-1.22 fallback
+	"/sched/latencies:seconds",
+}
+
+// ReadRuntimeStats samples the Go runtime. It never fails: metrics the
+// runtime doesn't expose are left at their zero values.
+func ReadRuntimeStats() RuntimeStats {
+	samples := make([]metrics.Sample, len(runtimeSampleNames))
+	for i, name := range runtimeSampleNames {
+		samples[i].Name = name
+	}
+	metrics.Read(samples)
+
+	var rs RuntimeStats
+	rs.Goroutines = sampleInt(samples[0])
+	rs.HeapBytes = sampleInt(samples[1])
+	rs.TotalAllocBytes = sampleInt(samples[2])
+	rs.GCCycles = sampleInt(samples[3])
+	if s := summarize(samples[4]); s != nil {
+		rs.GCPause = s
+	} else {
+		rs.GCPause = summarize(samples[5])
+	}
+	rs.SchedLatency = summarize(samples[6])
+	return rs
+}
+
+func sampleInt(s metrics.Sample) int64 {
+	if s.Value.Kind() != metrics.KindUint64 {
+		return 0
+	}
+	v := s.Value.Uint64()
+	if v > 1<<62 {
+		return 1 << 62
+	}
+	return int64(v)
+}
+
+// summarize reduces a runtime float histogram to quantiles. Returns nil
+// when the metric is missing, the wrong kind, or empty.
+func summarize(s metrics.Sample) *QuantileSummary {
+	if s.Value.Kind() != metrics.KindFloat64Histogram {
+		return nil
+	}
+	h := s.Value.Float64Histogram()
+	if h == nil {
+		return nil
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return nil
+	}
+	qs := &QuantileSummary{Count: int64(total)}
+	qs.P50 = histQuantile(h, total, 0.50)
+	qs.P90 = histQuantile(h, total, 0.90)
+	qs.P99 = histQuantile(h, total, 0.99)
+	// Max: upper edge of the highest non-empty bucket (clamped below for
+	// the +Inf bucket).
+	for i := len(h.Counts) - 1; i >= 0; i-- {
+		if h.Counts[i] != 0 {
+			qs.Max = bucketUpper(h, i)
+			break
+		}
+	}
+	return qs
+}
+
+// histQuantile returns the upper edge of the bucket holding the q-th
+// observation — a conservative (over-)estimate, standard for
+// fixed-boundary histograms.
+func histQuantile(h *metrics.Float64Histogram, total uint64, q float64) float64 {
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen uint64
+	for i, c := range h.Counts {
+		seen += c
+		if seen > rank {
+			return bucketUpper(h, i)
+		}
+	}
+	return bucketUpper(h, len(h.Counts)-1)
+}
+
+// bucketUpper returns a finite upper edge for bucket i: runtime histograms
+// have len(Buckets) == len(Counts)+1 edges, with the outer edges possibly
+// ±Inf, in which case the nearest finite edge stands in.
+func bucketUpper(h *metrics.Float64Histogram, i int) float64 {
+	up := h.Buckets[i+1]
+	if !isInf(up) {
+		return up
+	}
+	// +Inf bucket: report its finite lower edge rather than Inf.
+	lo := h.Buckets[i]
+	if !isInf(lo) {
+		return lo
+	}
+	return 0
+}
+
+func isInf(f float64) bool {
+	return f > 1e308 || f < -1e308
+}

@@ -1,0 +1,215 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"net/http"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// This file serves the flight recorder at GET /debug/requests: an
+// net/trace-style HTML table of the last N completed compute requests
+// (newest first, failed and slow rows pinned past eviction and tinted),
+// with per-request drill-down (?trace=<id>) into the span tree, pipeline
+// counters and typed algorithm counters. ?format=json serves the same data
+// machine-readable.
+
+// flightJSON is the JSON document served on /debug/requests?format=json.
+type flightJSON struct {
+	SlowThresholdMS float64            `json:"slow_threshold_ms"`
+	Count           int                `json:"count"`
+	Records         []obs.FlightRecord `json:"records"`
+}
+
+func (s *Server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
+	if s.flight == nil {
+		writeError(w, &httpError{status: http.StatusNotFound, msg: "flight recorder disabled (FlightSize < 0)"})
+		return
+	}
+	q := r.URL.Query()
+	format := q.Get("format")
+	if format != "" && format != "json" && format != "html" {
+		writeError(w, badRequest("unknown format %q (want html or json)", format))
+		return
+	}
+	if traceID := q.Get("trace"); traceID != "" {
+		fr, ok := s.flight.Lookup(traceID)
+		if !ok {
+			writeError(w, &httpError{status: http.StatusNotFound,
+				msg: fmt.Sprintf("trace %q not retained (evicted or never recorded)", traceID)})
+			return
+		}
+		if format == "json" {
+			writeJSON(w, http.StatusOK, fr)
+			return
+		}
+		renderHTML(w, flightDetailTmpl, newFlightDetailView(fr))
+		return
+	}
+	records := s.flight.Snapshot()
+	slowMS := float64(s.flight.SlowThreshold()) / float64(time.Millisecond)
+	if format == "json" {
+		writeJSON(w, http.StatusOK, flightJSON{
+			SlowThresholdMS: slowMS,
+			Count:           len(records),
+			Records:         records,
+		})
+		return
+	}
+	renderHTML(w, flightListTmpl, newFlightListView(records, slowMS))
+}
+
+func renderHTML(w http.ResponseWriter, tmpl *template.Template, v any) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := tmpl.Execute(w, v); err != nil {
+		// Headers are gone; all we can do is log through the error path.
+		_ = err
+	}
+}
+
+// flightRowView is one table row of the list page.
+type flightRowView struct {
+	Seq       uint64
+	TraceID   string
+	Route     string
+	Detail    string
+	Start     string
+	ElapsedMS float64
+	Status    int
+	Pinned    bool
+	Error     string
+	Class     string // row tint: "err", "pin" or ""
+}
+
+type flightListView struct {
+	SlowMS  float64
+	Records []flightRowView
+}
+
+func newFlightListView(records []obs.FlightRecord, slowMS float64) flightListView {
+	v := flightListView{SlowMS: slowMS, Records: make([]flightRowView, len(records))}
+	for i, fr := range records {
+		row := flightRowView{
+			Seq:       fr.Seq,
+			TraceID:   fr.TraceID,
+			Route:     fr.Route,
+			Detail:    fr.Detail,
+			Start:     fr.Start.Format("15:04:05.000"),
+			ElapsedMS: fr.ElapsedMS,
+			Status:    fr.Status,
+			Pinned:    fr.Pinned,
+			Error:     fr.Error,
+		}
+		switch {
+		case fr.Error != "" || fr.Status >= 400:
+			row.Class = "err"
+		case fr.Pinned:
+			row.Class = "pin"
+		}
+		v.Records[i] = row
+	}
+	return v
+}
+
+// stageRowView is one span aggregate on the drill-down page.
+type stageRowView struct {
+	Name    string
+	Count   int64
+	TotalMS float64
+	MaxMS   float64
+}
+
+// kvRow is one named counter on the drill-down page.
+type kvRow struct {
+	Name  string
+	Value int64
+}
+
+type flightDetailView struct {
+	R        obs.FlightRecord
+	Row      flightRowView
+	Stages   []stageRowView
+	Counters []kvRow
+	AlgoJSON string
+}
+
+func newFlightDetailView(fr obs.FlightRecord) flightDetailView {
+	v := flightDetailView{R: fr}
+	v.Row = newFlightListView([]obs.FlightRecord{fr}, 0).Records[0]
+	for _, name := range obs.SortedKeys(fr.Stages) {
+		st := fr.Stages[name]
+		v.Stages = append(v.Stages, stageRowView{
+			Name: name, Count: st.Count, TotalMS: st.TotalMS, MaxMS: st.MaxMS,
+		})
+	}
+	for _, name := range obs.SortedKeys(fr.Counters) {
+		v.Counters = append(v.Counters, kvRow{Name: name, Value: fr.Counters[name]})
+	}
+	if fr.Algo != nil {
+		if b, err := json.MarshalIndent(fr.Algo, "", "  "); err == nil {
+			v.AlgoJSON = string(b)
+		}
+	}
+	return v
+}
+
+const flightStyle = `<style>
+body { font-family: sans-serif; margin: 1em; color: #222; }
+h1 { font-size: 1.3em; } h2 { font-size: 1.1em; margin-top: 1.2em; }
+table { border-collapse: collapse; font-size: 13px; }
+th, td { padding: 2px 8px; text-align: left; border-bottom: 1px solid #ddd; }
+th { background: #eee; }
+tr.err td { background: #fdd; }
+tr.pin td { background: #ffd; }
+td.num { text-align: right; font-variant-numeric: tabular-nums; }
+a { text-decoration: none; color: #036; }
+pre { background: #f6f6f6; padding: 8px; font-size: 12px; }
+</style>`
+
+var flightListTmpl = template.Must(template.New("flight-list").Parse(`<!DOCTYPE html>
+<html><head><title>ridserve flight recorder</title>` + flightStyle + `</head><body>
+<h1>ridserve flight recorder</h1>
+<p>{{len .Records}} retained requests, newest first; requests slower than
+{{printf "%.0f" .SlowMS}} ms or failed are <b>pinned</b> past eviction.
+<a href="?format=json">json</a></p>
+<table>
+<tr><th>seq</th><th>trace</th><th>route</th><th>detail</th><th>start</th><th>elapsed ms</th><th>status</th><th>error</th></tr>
+{{range .Records}}<tr class="{{.Class}}">
+<td class="num">{{.Seq}}</td>
+<td><a href="?trace={{.TraceID}}">{{.TraceID}}</a></td>
+<td>{{.Route}}</td><td>{{.Detail}}</td><td>{{.Start}}</td>
+<td class="num">{{printf "%.2f" .ElapsedMS}}</td>
+<td class="num">{{.Status}}</td><td>{{.Error}}</td>
+</tr>
+{{end}}</table>
+</body></html>
+`))
+
+var flightDetailTmpl = template.Must(template.New("flight-detail").Parse(`<!DOCTYPE html>
+<html><head><title>request {{.R.TraceID}}</title>` + flightStyle + `</head><body>
+<h1>request {{.R.TraceID}}</h1>
+<p><a href="/debug/requests">&laquo; all requests</a> &middot;
+<a href="?trace={{.R.TraceID}}&amp;format=json">json</a></p>
+<table>
+<tr><th>seq</th><th>route</th><th>detail</th><th>start</th><th>elapsed ms</th><th>status</th><th>pinned</th><th>error</th></tr>
+<tr class="{{.Row.Class}}">
+<td class="num">{{.R.Seq}}</td><td>{{.R.Route}}</td><td>{{.R.Detail}}</td>
+<td>{{.Row.Start}}</td><td class="num">{{printf "%.2f" .R.ElapsedMS}}</td>
+<td class="num">{{.R.Status}}</td><td>{{.R.Pinned}}</td><td>{{.R.Error}}</td>
+</tr></table>
+{{if .Stages}}<h2>stages</h2>
+<table><tr><th>stage</th><th>count</th><th>total ms</th><th>max ms</th></tr>
+{{range .Stages}}<tr><td>{{.Name}}</td><td class="num">{{.Count}}</td>
+<td class="num">{{printf "%.3f" .TotalMS}}</td><td class="num">{{printf "%.3f" .MaxMS}}</td></tr>
+{{end}}</table>{{end}}
+{{if .Counters}}<h2>pipeline counters</h2>
+<table><tr><th>counter</th><th>value</th></tr>
+{{range .Counters}}<tr><td>{{.Name}}</td><td class="num">{{.Value}}</td></tr>
+{{end}}</table>{{end}}
+{{if .AlgoJSON}}<h2>algorithm counters</h2>
+<pre>{{.AlgoJSON}}</pre>{{end}}
+</body></html>
+`))

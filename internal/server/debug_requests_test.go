@@ -1,0 +1,320 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// doTraced posts a JSON request with an explicit X-Trace-Id header.
+func doTraced(t *testing.T, ts *httptest.Server, path, traceID string, body any) (*http.Response, []byte) {
+	t.Helper()
+	payload, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, ts.URL+path, strings.NewReader(string(payload)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if traceID != "" {
+		req.Header.Set("X-Trace-Id", traceID)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+// TestDetectResponseAlgoCounters asserts a served detection carries the
+// typed algorithm counters next to its stage timings, deep enough to name
+// the kernel that ran.
+func TestDetectResponseAlgoCounters(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	tr := sampleTrace(t, 41, 200, 1200, 4)
+	resp, body := postJSON(t, ts, "/v1/detect", DetectRequest{Trace: tr, Beta: 0.3})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var det DetectResponse
+	if err := json.Unmarshal(body, &det); err != nil {
+		t.Fatal(err)
+	}
+	if len(det.StageTimings) == 0 {
+		t.Fatal("no stage_timings")
+	}
+	cs := det.Algo
+	if cs == nil {
+		t.Fatal("no algo_counters in detect response")
+	}
+	if cs.Cascade.Components < 1 || cs.Cascade.Trees != int64(det.Trees) {
+		t.Errorf("cascade counters %+v disagree with response trees=%d", cs.Cascade, det.Trees)
+	}
+	if cs.Arbor.TarjanSolves != cs.Cascade.Components {
+		t.Errorf("TarjanSolves = %d, want one per component (%d)",
+			cs.Arbor.TarjanSolves, cs.Cascade.Components)
+	}
+	if cs.ISOMIT.LocalSolves != cs.Cascade.Trees || cs.ISOMIT.DPCells == 0 {
+		t.Errorf("isomit counters %+v for %d trees", cs.ISOMIT, det.Trees)
+	}
+	if got := cs.Cascade.TreeSize.Count(); got != cs.Cascade.Trees {
+		t.Errorf("TreeSize histogram has %d observations, want %d", got, cs.Cascade.Trees)
+	}
+}
+
+// TestSimulateResponseAlgoCounters asserts a served simulation carries the
+// diffusion counters and its trace ID.
+func TestSimulateResponseAlgoCounters(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	tr := sampleTrace(t, 42, 150, 900, 3)
+	resp, body := postJSON(t, ts, "/v1/simulate", SimulateRequest{
+		Trace: tr, Initiators: []int{0, 1}, Seed: 7,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var sim SimulateResponse
+	if err := json.Unmarshal(body, &sim); err != nil {
+		t.Fatal(err)
+	}
+	if sim.Algo == nil || sim.Algo.Diffusion.Runs != 1 {
+		t.Fatalf("simulate algo_counters = %+v, want one diffusion run", sim.Algo)
+	}
+	if sim.Algo.Diffusion.Rounds != int64(sim.Rounds) || sim.Algo.Diffusion.Flips != int64(sim.Flips) {
+		t.Errorf("diffusion counters %+v disagree with response rounds=%d flips=%d",
+			sim.Algo.Diffusion, sim.Rounds, sim.Flips)
+	}
+	if sim.TraceID == "" {
+		t.Error("simulate response has no trace_id")
+	}
+	// The run's counters also accumulate into the registry snapshot.
+	snap := s.Metrics().Snapshot(QueueSnapshot{}, 0, 0)
+	if snap.Algo == nil || snap.Algo.Diffusion.Runs != 1 {
+		t.Errorf("registry algo = %+v, want the simulate run folded in", snap.Algo)
+	}
+	if snap.Runtime == nil || snap.Runtime.Goroutines < 1 {
+		t.Errorf("registry runtime sample missing: %+v", snap.Runtime)
+	}
+}
+
+// TestDebugRequestsEndToEnd drives real traffic — a successful detect, a
+// successful simulate and a failed simulate — and checks the flight
+// recorder serves all three on /debug/requests in JSON and HTML, newest
+// first, with the failure pinned and the drill-down carrying the span tree
+// and counters.
+func TestDebugRequestsEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	tr := sampleTrace(t, 43, 200, 1200, 4)
+	if resp, body := doTraced(t, ts, "/v1/detect", "flight-detect-1", DetectRequest{Trace: tr, Beta: 0.3}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("detect status = %d %s", resp.StatusCode, body)
+	}
+	if resp, body := postJSON(t, ts, "/v1/simulate", SimulateRequest{GraphHash: tr.NetworkHash(), Initiators: []int{0}}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("simulate status = %d, body %s", resp.StatusCode, body)
+	}
+	if resp, _ := postJSON(t, ts, "/v1/simulate", SimulateRequest{GraphHash: "deadbeef", Initiators: []int{0}}); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing-graph simulate status = %d, want 404", resp.StatusCode)
+	}
+
+	resp, body := getBody(t, ts, "/debug/requests?format=json")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("debug requests status = %d, body %s", resp.StatusCode, body)
+	}
+	var doc flightJSON
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Count != 3 || len(doc.Records) != 3 {
+		t.Fatalf("retained %d records, want 3: %s", doc.Count, body)
+	}
+	if doc.SlowThresholdMS != float64(obs.DefaultSlowThreshold)/float64(time.Millisecond) {
+		t.Errorf("slow_threshold_ms = %g", doc.SlowThresholdMS)
+	}
+	for i := 1; i < len(doc.Records); i++ {
+		if doc.Records[i-1].Seq <= doc.Records[i].Seq {
+			t.Fatalf("records not newest-first: %+v", doc.Records)
+		}
+	}
+	failed := doc.Records[0]
+	if failed.Route != "/v1/simulate" || failed.Status != http.StatusNotFound || !failed.Pinned || failed.Error == "" {
+		t.Errorf("newest record should be the pinned 404 simulate: %+v", failed)
+	}
+	var detectRec *obs.FlightRecord
+	for i := range doc.Records {
+		if doc.Records[i].Route == "/v1/detect" {
+			detectRec = &doc.Records[i]
+		}
+	}
+	if detectRec == nil {
+		t.Fatal("detect not retained")
+	}
+	if detectRec.TraceID != "flight-detect-1" {
+		t.Errorf("detect record trace = %q, want the client-supplied ID", detectRec.TraceID)
+	}
+	if !strings.HasPrefix(detectRec.Detail, "detector=") {
+		t.Errorf("detect record detail = %q", detectRec.Detail)
+	}
+	if len(detectRec.Stages) == 0 || detectRec.Stages["tree_dp"].Count == 0 {
+		t.Errorf("detect record has no span tree: %+v", detectRec.Stages)
+	}
+	if len(detectRec.Counters) == 0 || detectRec.Algo == nil || detectRec.Algo.Cascade.Trees == 0 {
+		t.Errorf("detect record missing counters: named=%v algo=%+v", detectRec.Counters, detectRec.Algo)
+	}
+
+	// HTML list names all three trace IDs and tints the failed row.
+	resp, body = getBody(t, ts, "/debug/requests")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("html status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Errorf("content type = %q", ct)
+	}
+	html := string(body)
+	for _, rec := range doc.Records {
+		if !strings.Contains(html, rec.TraceID) {
+			t.Errorf("html list missing trace %q", rec.TraceID)
+		}
+	}
+	if !strings.Contains(html, `<tr class="err">`) {
+		t.Error("html list does not tint the failed request")
+	}
+
+	// Drill-down: HTML carries stages and algorithm counters; JSON round-trips.
+	resp, body = getBody(t, ts, "/debug/requests?trace=flight-detect-1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("drill-down status = %d", resp.StatusCode)
+	}
+	detail := string(body)
+	for _, want := range []string{"tree_dp", "algorithm counters", "tarjan_solves", "flight-detect-1"} {
+		if !strings.Contains(detail, want) {
+			t.Errorf("drill-down missing %q", want)
+		}
+	}
+	resp, body = getBody(t, ts, "/debug/requests?trace=flight-detect-1&format=json")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("drill-down json status = %d", resp.StatusCode)
+	}
+	var one obs.FlightRecord
+	if err := json.Unmarshal(body, &one); err != nil {
+		t.Fatal(err)
+	}
+	if one.TraceID != "flight-detect-1" || one.Seq != detectRec.Seq {
+		t.Errorf("drill-down json = %+v, want record %d", one, detectRec.Seq)
+	}
+
+	// Unknown trace and unknown format are client errors.
+	if resp, _ := getBody(t, ts, "/debug/requests?trace=nope"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown trace status = %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := getBody(t, ts, "/debug/requests?format=xml"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown format status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestDebugRequestsSlowPinning runs a server whose slow threshold is below
+// any real detection, so every record lands pinned.
+func TestDebugRequestsSlowPinning(t *testing.T) {
+	_, ts := newTestServer(t, Config{SlowThreshold: time.Nanosecond})
+	tr := sampleTrace(t, 44, 150, 900, 3)
+	if resp, body := postJSON(t, ts, "/v1/detect", DetectRequest{Trace: tr, Beta: 0.3}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("detect status = %d, body %s", resp.StatusCode, body)
+	}
+	_, body := getBody(t, ts, "/debug/requests?format=json")
+	var doc flightJSON
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Records) != 1 || !doc.Records[0].Pinned {
+		t.Fatalf("successful-but-slow detect not pinned: %+v", doc.Records)
+	}
+}
+
+// TestDebugRequestsDisabled turns the recorder off via FlightSize < 0.
+func TestDebugRequestsDisabled(t *testing.T) {
+	s, ts := newTestServer(t, Config{FlightSize: -1})
+	if s.Flight() != nil {
+		t.Fatal("flight recorder created despite FlightSize < 0")
+	}
+	tr := sampleTrace(t, 45, 100, 600, 2)
+	if resp, body := postJSON(t, ts, "/v1/detect", DetectRequest{Trace: tr, Beta: 0.3}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("detect with disabled recorder = %d, body %s", resp.StatusCode, body)
+	}
+	if resp, _ := getBody(t, ts, "/debug/requests"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("disabled /debug/requests status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestServerDebugHandler checks the per-server debug mux carries pprof,
+// expvar and the flight view.
+func TestServerDebugHandler(t *testing.T) {
+	s, svc := newTestServer(t, Config{})
+	tr := sampleTrace(t, 46, 100, 600, 2)
+	if resp, body := postJSON(t, svc, "/v1/detect", DetectRequest{Trace: tr, Beta: 0.3}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("detect status = %d, body %s", resp.StatusCode, body)
+	}
+	ts := httptest.NewServer(s.DebugHandler())
+	defer ts.Close()
+	for _, path := range []string{"/debug/pprof/", "/debug/vars", "/debug/requests", "/debug/requests?format=json"} {
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d, want 200", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestTraceIDSanitized: malformed inbound X-Trace-Id headers are replaced
+// with a freshly minted ID instead of flowing into logs and flight records.
+func TestTraceIDSanitized(t *testing.T) {
+	unit := []struct {
+		in   string
+		keep bool
+	}{
+		{"cafe0123cafe0123", true},
+		{"req-2024.08_06", true},
+		{"a", true},
+		{strings.Repeat("x", 64), true},
+		{"", false},
+		{strings.Repeat("x", 65), false},
+		{"has space", false},
+		{"inject\nline", false},
+		{`quote"val`, false},
+		{"semi;colon", false},
+		{"日本語", false},
+	}
+	for _, tc := range unit {
+		got := sanitizeTraceID(tc.in)
+		if tc.keep && got != tc.in {
+			t.Errorf("sanitizeTraceID(%q) = %q, want kept", tc.in, got)
+		}
+		if !tc.keep && got != "" {
+			t.Errorf("sanitizeTraceID(%q) = %q, want rejected", tc.in, got)
+		}
+	}
+
+	_, ts := newTestServer(t, Config{})
+	tr := sampleTrace(t, 47, 100, 600, 2)
+	resp, _ := doTraced(t, ts, "/v1/detect", "bad header!", DetectRequest{Trace: tr, Beta: 0.3})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	minted := resp.Header.Get("X-Trace-Id")
+	if len(minted) != 16 || strings.Contains(minted, " ") {
+		t.Errorf("malformed inbound header echoed %q, want a fresh 16-hex ID", minted)
+	}
+}

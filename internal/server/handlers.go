@@ -70,6 +70,12 @@ type DetectResponse struct {
 	// most ElapsedMS; the remainder is unattributed overhead (JSON
 	// decoding, queueing, ranking).
 	StageTimings map[string]float64 `json:"stage_timings,omitempty"`
+	// Algo carries the typed algorithm-depth counters recorded while
+	// serving this request — which arborescence kernel ran and its heap and
+	// contraction work, the extracted forest's shape histograms, the ISOMIT
+	// DP modes and cell counts. Omitted when the pipeline counted nothing
+	// (e.g. identity-only detectors).
+	Algo *obs.CounterSet `json:"algo_counters,omitempty"`
 	// TraceID echoes the request's X-Trace-Id for log correlation.
 	TraceID string `json:"trace_id,omitempty"`
 	// Truth is present when the trace carries ground-truth seeds.
@@ -111,6 +117,11 @@ type SimulateResponse struct {
 	GraphHash   string  `json:"graph_hash"`
 	Cache       string  `json:"cache"`
 	ElapsedMS   float64 `json:"elapsed_ms"`
+	// Algo carries the run's typed diffusion counters (rounds, attempts,
+	// activations, flips).
+	Algo *obs.CounterSet `json:"algo_counters,omitempty"`
+	// TraceID echoes the request's X-Trace-Id for log correlation.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // errorResponse is the JSON body of every non-2xx response.
@@ -136,19 +147,28 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, err error) {
-	status := http.StatusInternalServerError
+// statusOf maps a handler error to the HTTP status it is served with (200
+// for nil) — shared by writeError and the flight recorder so a retained
+// record always matches the response the client saw.
+func statusOf(err error) int {
+	if err == nil {
+		return http.StatusOK
+	}
 	var he *httpError
 	switch {
 	case errors.As(err, &he):
-		status = he.status
+		return he.status
 	case errors.Is(err, context.DeadlineExceeded):
-		status = http.StatusGatewayTimeout
+		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
 		// Client went away; the status is for the access log only.
-		status = 499
+		return 499
 	}
-	writeJSON(w, status, errorResponse{Error: err.Error()})
+	return http.StatusInternalServerError
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	writeJSON(w, statusOf(err), errorResponse{Error: err.Error()})
 }
 
 // buildDetector mirrors the ridlab CLI's method names so traces move
@@ -233,10 +253,30 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) detect(ctx context.Context, req *DetectRequest, detector core.Detector) (*DetectResponse, error) {
+func (s *Server) detect(ctx context.Context, req *DetectRequest, detector core.Detector) (resp *DetectResponse, err error) {
 	start := time.Now()
 	rec := obs.NewRecorder()
 	ctx = obs.WithRecorder(ctx, rec)
+	// Every outcome — including early validation and timeout errors — lands
+	// in the flight recorder with whatever spans and counters the pipeline
+	// managed to record before failing.
+	defer func() {
+		fr := obs.FlightRecord{
+			TraceID:   obs.TraceID(ctx),
+			Route:     "/v1/detect",
+			Detail:    "detector=" + detector.Name(),
+			Start:     start,
+			ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+			Status:    statusOf(err),
+			Stages:    rec.StageViews(),
+			Counters:  rec.Counters(),
+			Algo:      rec.CounterSetSnapshot(),
+		}
+		if err != nil {
+			fr.Error = err.Error()
+		}
+		s.flight.Record(fr)
+	}()
 	span := rec.Start(obs.StageGraphBuild)
 	g, hash, cacheState, err := s.resolveGraph(req.Trace)
 	span.End()
@@ -254,7 +294,7 @@ func (s *Server) detect(ctx context.Context, req *DetectRequest, detector core.D
 		return nil, err
 	}
 	s.reg.MergeRecorder(rec)
-	resp := &DetectResponse{
+	resp = &DetectResponse{
 		Detector:     detector.Name(),
 		Initiators:   rankInitiators(det, req.K),
 		Trees:        det.Trees,
@@ -263,6 +303,7 @@ func (s *Server) detect(ctx context.Context, req *DetectRequest, detector core.D
 		Cache:        cacheState,
 		ElapsedMS:    float64(time.Since(start)) / float64(time.Millisecond),
 		StageTimings: rec.StageMillis(),
+		Algo:         rec.CounterSetSnapshot(),
 		TraceID:      obs.TraceID(ctx),
 	}
 	if seeds, _, err := req.Trace.GroundTruth(); err == nil && len(seeds) > 0 {
@@ -328,12 +369,30 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.runPooled(w, r, req.TimeoutMS, func(ctx context.Context) (any, error) {
-		return s.simulate(&req)
+		return s.simulate(ctx, &req)
 	})
 }
 
-func (s *Server) simulate(req *SimulateRequest) (*SimulateResponse, error) {
+func (s *Server) simulate(ctx context.Context, req *SimulateRequest) (resp *SimulateResponse, err error) {
 	start := time.Now()
+	var cs obs.CounterSet
+	defer func() {
+		fr := obs.FlightRecord{
+			TraceID:   obs.TraceID(ctx),
+			Route:     "/v1/simulate",
+			Start:     start,
+			ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+			Status:    statusOf(err),
+		}
+		if !cs.Zero() {
+			algo := cs
+			fr.Algo = &algo
+		}
+		if err != nil {
+			fr.Error = err.Error()
+		}
+		s.flight.Record(fr)
+	}()
 	var (
 		g          *sgraph.Graph
 		hash       string
@@ -377,12 +436,13 @@ func (s *Server) simulate(req *SimulateRequest) (*SimulateResponse, error) {
 	if seed == 0 {
 		seed = 1
 	}
-	cfg := diffusion.MFCConfig{Alpha: alpha, DisableFlip: req.DisableFlip}
+	cfg := diffusion.MFCConfig{Alpha: alpha, DisableFlip: req.DisableFlip, Counters: &cs}
 	c, err := diffusion.MFC(g, req.Initiators, states, cfg, xrand.New(seed))
 	if err != nil {
 		return nil, badRequest("%v", err)
 	}
-	resp := &SimulateResponse{
+	s.reg.MergeCounterSet(&cs)
+	resp = &SimulateResponse{
 		Infected:    c.NumInfected(),
 		Flips:       c.Flips,
 		Rounds:      c.Rounds,
@@ -391,6 +451,11 @@ func (s *Server) simulate(req *SimulateRequest) (*SimulateResponse, error) {
 		GraphHash:   hash,
 		Cache:       cacheState,
 		ElapsedMS:   float64(time.Since(start)) / float64(time.Millisecond),
+		TraceID:     obs.TraceID(ctx),
+	}
+	if !cs.Zero() {
+		algo := cs
+		resp.Algo = &algo
 	}
 	for v, st := range c.States {
 		resp.Observed[v] = int8(st)

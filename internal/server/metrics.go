@@ -60,6 +60,7 @@ type Registry struct {
 	requests map[string]map[int]int64
 	latency  map[string]*Histogram
 	pipeline map[string]int64
+	algo     obs.CounterSet
 	rejected int64
 	hits     int64
 	misses   int64
@@ -135,10 +136,24 @@ func (r *Registry) MergeRecorder(rec *obs.Recorder) {
 		r.Observe(stagePrefix+name, st.Total)
 	}
 	counters := rec.Counters()
+	cs := rec.CounterSetSnapshot()
 	r.mu.Lock()
 	for name, n := range counters {
 		r.pipeline[name] += n
 	}
+	r.algo.Merge(cs)
+	r.mu.Unlock()
+}
+
+// MergeCounterSet folds a typed algorithm-counter batch into the
+// registry's cumulative set directly — for endpoints (simulate) that count
+// kernel work without carrying a full pipeline Recorder.
+func (r *Registry) MergeCounterSet(cs *obs.CounterSet) {
+	if cs == nil || cs.Zero() {
+		return
+	}
+	r.mu.Lock()
+	r.algo.Merge(cs)
 	r.mu.Unlock()
 }
 
@@ -195,10 +210,20 @@ type Snapshot struct {
 	// edges, components, trees, DP cells, budget fallbacks) across every
 	// detect served. Omitted until the first instrumented request.
 	Pipeline map[string]int64 `json:"pipeline,omitempty"`
+	// Algo accumulates the typed algorithm-depth counters (arborescence
+	// kernel operations, forest shape histograms, per-tree DP modes,
+	// diffusion work) across every served request. Omitted until the first
+	// request that counted anything.
+	Algo *obs.CounterSet `json:"algo,omitempty"`
+	// Runtime is the Go runtime health sample (goroutines, heap, GC pause
+	// and scheduler-latency quantiles) taken at snapshot time.
+	Runtime *obs.RuntimeStats `json:"runtime,omitempty"`
 }
 
-// Snapshot captures the registry contents plus the supplied live gauges.
+// Snapshot captures the registry contents plus the supplied live gauges
+// and a fresh runtime/metrics sample.
 func (r *Registry) Snapshot(queue QueueSnapshot, cacheSize, cacheCap int) *Snapshot {
+	rt := obs.ReadRuntimeStats() // sampled outside the lock; it never fails
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	uptime := time.Since(r.start).Seconds()
@@ -209,11 +234,16 @@ func (r *Registry) Snapshot(queue QueueSnapshot, cacheSize, cacheCap int) *Snaps
 		Requests:      make(map[string]map[string]int64, len(r.requests)),
 		LatencyMS:     make(map[string]*HistogramSnapshot, len(r.latency)),
 	}
+	s.Runtime = &rt
 	if len(r.pipeline) > 0 {
 		s.Pipeline = make(map[string]int64, len(r.pipeline))
 		for name, n := range r.pipeline {
 			s.Pipeline[name] = n
 		}
+	}
+	if !r.algo.Zero() {
+		cp := r.algo
+		s.Algo = &cp
 	}
 	for route, byStatus := range r.requests {
 		m := make(map[string]int64, len(byStatus))

@@ -63,6 +63,20 @@ func RenderPrometheus(w io.Writer, s *Snapshot) error {
 		}
 	}
 
+	if s.Algo != nil {
+		p.Header("ridserve_algo_events_total",
+			"Algorithm-depth work counters (arborescence kernel ops, forest extraction, tree DP modes, diffusion) accumulated across requests.",
+			"counter")
+		s.Algo.Each(func(name string, v int64) {
+			p.IntSample("ridserve_algo_events_total",
+				[]obs.PromLabel{{Name: "event", Value: name}}, v)
+		})
+		writeWorkHist(p, "ridserve_cascade_tree_size",
+			"Extracted cascade-tree sizes (nodes per tree), across requests.", &s.Algo.Cascade.TreeSize)
+		writeWorkHist(p, "ridserve_cascade_tree_depth",
+			"Extracted cascade-tree depths, across requests.", &s.Algo.Cascade.TreeDepth)
+	}
+
 	p.Header("ridserve_queue_depth", "Jobs waiting in the worker-pool queue.", "gauge")
 	p.IntSample("ridserve_queue_depth", nil, int64(s.Queue.Depth))
 	p.Header("ridserve_queue_capacity", "Worker-pool queue capacity.", "gauge")
@@ -80,7 +94,54 @@ func RenderPrometheus(w io.Writer, s *Snapshot) error {
 	p.Header("ridserve_cache_capacity", "Graph-cache capacity.", "gauge")
 	p.IntSample("ridserve_cache_capacity", nil, int64(s.Cache.Capacity))
 
+	if rt := s.Runtime; rt != nil {
+		p.Header("ridserve_go_goroutines", "Live goroutines.", "gauge")
+		p.IntSample("ridserve_go_goroutines", nil, rt.Goroutines)
+		p.Header("ridserve_go_heap_bytes", "Live heap memory occupied by objects.", "gauge")
+		p.IntSample("ridserve_go_heap_bytes", nil, rt.HeapBytes)
+		p.Header("ridserve_go_alloc_bytes_total", "Cumulative bytes allocated on the heap.", "counter")
+		p.IntSample("ridserve_go_alloc_bytes_total", nil, rt.TotalAllocBytes)
+		p.Header("ridserve_go_gc_cycles_total", "Completed GC cycles.", "counter")
+		p.IntSample("ridserve_go_gc_cycles_total", nil, rt.GCCycles)
+		writeQuantiles(p, "ridserve_go_gc_pause_seconds",
+			"Stop-the-world GC pause latency quantiles (quantile 1 is the max).", rt.GCPause)
+		writeQuantiles(p, "ridserve_go_sched_latency_seconds",
+			"Time goroutines spend runnable before running, as quantiles (quantile 1 is the max).", rt.SchedLatency)
+	}
+
 	return p.Err()
+}
+
+// writeWorkHist renders one obs.WorkHist as a Prometheus histogram family.
+// Skipped entirely while empty.
+func writeWorkHist(p *obs.PromWriter, name, help string, h *obs.WorkHist) {
+	count := h.Count()
+	if count == 0 {
+		return
+	}
+	bounds := make([]float64, len(obs.WorkHistBounds))
+	for i, b := range obs.WorkHistBounds {
+		bounds[i] = float64(b)
+	}
+	p.Header(name, help, "histogram")
+	p.Histogram(name, nil, bounds, h.Cumulative(), float64(h.Sum), count)
+}
+
+// writeQuantiles renders a runtime quantile summary as a gauge family
+// labelled by quantile — the exposition stays a pure snapshot function, so
+// the summary type (which implies cumulative _sum/_count series) is not
+// used. Skipped when the runtime didn't expose the source histogram.
+func writeQuantiles(p *obs.PromWriter, name, help string, q *obs.QuantileSummary) {
+	if q == nil {
+		return
+	}
+	p.Header(name, help, "gauge")
+	for _, s := range []struct {
+		q string
+		v float64
+	}{{"0.5", q.P50}, {"0.9", q.P90}, {"0.99", q.P99}, {"1", q.Max}} {
+		p.Sample(name, []obs.PromLabel{{Name: "quantile", Value: s.q}}, s.v)
+	}
 }
 
 // writeLatencyFamily renders one histogram family from the snapshot's

@@ -148,6 +148,10 @@ func TestMetricsPrometheusEndpoint(t *testing.T) {
 			}
 			leAt := strings.LastIndex(name, ",le=")
 			if leAt < 0 {
+				// Histograms without other labels open with le.
+				leAt = strings.LastIndex(name, "{le=")
+			}
+			if leAt < 0 {
 				t.Fatalf("bucket series without le label: %q", line)
 			}
 			key := name[:leAt]

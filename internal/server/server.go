@@ -52,6 +52,15 @@ type Config struct {
 	// Workers × Parallelism, so deployments co-tuning both typically set
 	// Parallelism to 1 and scale Workers, or the reverse.
 	Parallelism int
+	// FlightSize is the flight recorder's capacity: the last FlightSize
+	// completed compute requests (plus a smaller pinned ring of slow or
+	// failed ones) are retained for /debug/requests. Zero defaults to
+	// obs.DefaultFlightSize; negative disables the recorder.
+	FlightSize int
+	// SlowThreshold is the latency at or above which a request is pinned in
+	// the flight recorder past normal eviction; zero defaults to
+	// obs.DefaultSlowThreshold.
+	SlowThreshold time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -76,18 +85,25 @@ func (c Config) withDefaults() Config {
 	if c.RetryAfter == 0 {
 		c.RetryAfter = time.Second
 	}
+	if c.FlightSize == 0 {
+		c.FlightSize = obs.DefaultFlightSize
+	}
+	if c.SlowThreshold == 0 {
+		c.SlowThreshold = obs.DefaultSlowThreshold
+	}
 	return c
 }
 
 // Server is the detection service. Create one with New, serve with
 // ListenAndServe (or mount Handler in a test server), stop with Shutdown.
 type Server struct {
-	cfg   Config
-	pool  *Pool
-	cache *GraphCache
-	reg   *Registry
-	mux   *http.ServeMux
-	http  *http.Server
+	cfg    Config
+	pool   *Pool
+	cache  *GraphCache
+	reg    *Registry
+	flight *obs.FlightRecorder
+	mux    *http.ServeMux
+	http   *http.Server
 }
 
 // New wires a server from the configuration.
@@ -100,10 +116,14 @@ func New(cfg Config) *Server {
 		reg:   NewRegistry(),
 		mux:   http.NewServeMux(),
 	}
+	if cfg.FlightSize > 0 {
+		s.flight = obs.NewFlightRecorder(cfg.FlightSize, cfg.SlowThreshold)
+	}
 	s.mux.HandleFunc("POST /v1/detect", s.instrument("detect", s.handleDetect))
 	s.mux.HandleFunc("POST /v1/simulate", s.instrument("simulate", s.handleSimulate))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	s.mux.HandleFunc("GET /debug/requests", s.instrument("debug_requests", s.handleDebugRequests))
 	s.http = &http.Server{
 		Addr:              cfg.Addr,
 		Handler:           s.mux,
@@ -117,6 +137,21 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // Metrics exposes the registry (for embedding the server elsewhere).
 func (s *Server) Metrics() *Registry { return s.reg }
+
+// Flight exposes the flight recorder, nil when disabled (FlightSize < 0).
+func (s *Server) Flight() *obs.FlightRecorder { return s.flight }
+
+// DebugHandler returns the package-level profiling mux (net/http/pprof,
+// expvar) extended with this server's flight-recorder view at
+// /debug/requests, so a deployment running a separate debug listener
+// (-debug-addr) gets request introspection there too. The view is also on
+// the service mux — unlike pprof, it only exposes request metadata.
+func (s *Server) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", DebugHandler())
+	mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
+	return mux
+}
 
 // ListenAndServe blocks serving on the configured address until Shutdown.
 func (s *Server) ListenAndServe() error {
@@ -148,13 +183,13 @@ func (r *statusRecorder) WriteHeader(status int) {
 }
 
 // instrument wraps a handler with request counting, route latency, a
-// request-scoped trace ID (honoring an inbound X-Trace-Id, echoed on the
-// response and propagated via context into the pipeline's slog lines) and
-// a structured access log.
+// request-scoped trace ID (honoring a well-formed inbound X-Trace-Id,
+// echoed on the response and propagated via context into the pipeline's
+// slog lines and flight records) and a structured access log.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		traceID := r.Header.Get("X-Trace-Id")
+		traceID := sanitizeTraceID(r.Header.Get("X-Trace-Id"))
 		if traceID == "" {
 			traceID = obs.NewTraceID()
 		}
@@ -172,6 +207,26 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 			slog.Int("status", rec.status),
 			slog.Duration("elapsed", elapsed))
 	}
+}
+
+// sanitizeTraceID accepts a client-supplied trace ID only when it is 1–64
+// bytes of [0-9A-Za-z._-]; anything else (empty, oversized, control
+// characters, log-injection attempts) returns "" and the caller mints a
+// fresh ID. The accepted alphabet is safe verbatim in logs, HTML, URLs and
+// Prometheus label values.
+func sanitizeTraceID(id string) string {
+	if len(id) == 0 || len(id) > 64 {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		switch c := id[i]; {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z',
+			c == '.', c == '_', c == '-':
+		default:
+			return ""
+		}
+	}
+	return id
 }
 
 // poolResult is what a pooled job hands back to its waiting handler.

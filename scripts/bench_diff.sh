@@ -1,0 +1,102 @@
+#!/bin/sh
+# bench_diff.sh — compare two BENCH_*.json files (as written by
+# scripts/bench_json.sh) per benchmark and cpu width on ns/op. Prints a
+# delta table and exits 1 if any benchmark slowed down by more than
+# BENCH_DIFF_THRESHOLD percent (default 10), so CI can gate on benchmark
+# regressions without re-running the suite.
+#
+# Usage:
+#
+#	scripts/bench_diff.sh OLD.json NEW.json
+#
+# Environment:
+#
+#	BENCH_DIFF_THRESHOLD  regression threshold in percent (default 10)
+#	BENCH_DIFF_WARN_ONLY  non-empty = report regressions but exit 0
+#	                      (for CI on shared runners, where committed
+#	                      baselines came from different hardware)
+#
+# The parser only understands the fixed layout bench_json.sh emits: a
+# benchmark-name line followed by "cpuN" lines carrying ns_op. That keeps
+# the script dependency-free (POSIX sh + awk, no jq).
+set -eu
+
+if [ $# -ne 2 ]; then
+    echo "usage: $0 OLD.json NEW.json" >&2
+    exit 2
+fi
+old=$1
+new=$2
+for f in "$old" "$new"; do
+    if [ ! -f "$f" ]; then
+        echo "bench_diff: no such file: $f" >&2
+        exit 2
+    fi
+done
+
+threshold=${BENCH_DIFF_THRESHOLD:-10}
+warn_only=${BENCH_DIFF_WARN_ONLY:-}
+
+# Emit "name/cpuN ns_op" pairs from one bench JSON file.
+extract() {
+    awk '
+    /^[[:space:]]*"[^"]+": \{[[:space:]]*$/ {
+        line = $0
+        sub(/^[[:space:]]*"/, "", line)
+        sub(/": \{[[:space:]]*$/, "", line)
+        if (line != "benchmarks") name = line
+        next
+    }
+    /"ns_op":/ {
+        line = $0
+        cpu = line
+        sub(/^[[:space:]]*"/, "", cpu)
+        sub(/".*$/, "", cpu)
+        ns = line
+        sub(/.*"ns_op":[[:space:]]*/, "", ns)
+        sub(/[^0-9.].*$/, "", ns)
+        if (name != "" && ns != "") printf "%s/%s %s\n", name, cpu, ns
+    }' "$1"
+}
+
+extract "$old" > /tmp/bench_diff_old.$$
+extract "$new" > /tmp/bench_diff_new.$$
+trap 'rm -f /tmp/bench_diff_old.$$ /tmp/bench_diff_new.$$' EXIT
+
+awk -v threshold="$threshold" -v warn_only="$warn_only" \
+    -v oldfile="$old" -v newfile="$new" '
+NR == FNR { old_ns[$1] = $2; next }
+{ new_ns[$1] = $2; ordered[n++] = $1 }
+END {
+    printf "bench_diff: %s -> %s (threshold %s%%)\n\n", oldfile, newfile, threshold
+    printf "%-32s %14s %14s %9s  %s\n", "benchmark", "old ns/op", "new ns/op", "delta", "verdict"
+    regressions = 0
+    for (i = 0; i < n; i++) {
+        key = ordered[i]
+        if (!(key in old_ns)) {
+            printf "%-32s %14s %14.0f %9s  %s\n", key, "-", new_ns[key], "-", "new"
+            continue
+        }
+        delta = 100 * (new_ns[key] - old_ns[key]) / old_ns[key]
+        verdict = "ok"
+        if (delta > threshold) {
+            verdict = "REGRESSED"
+            regressions++
+        } else if (delta < -threshold) {
+            verdict = "improved"
+        }
+        printf "%-32s %14.0f %14.0f %+8.1f%%  %s\n", key, old_ns[key], new_ns[key], delta, verdict
+    }
+    for (key in old_ns)
+        if (!(key in new_ns))
+            printf "%-32s %14.0f %14s %9s  %s\n", key, old_ns[key], "-", "-", "removed"
+    if (regressions > 0) {
+        printf "\nbench_diff: %d benchmark(s) regressed beyond %s%%\n", regressions, threshold
+        if (warn_only != "") {
+            printf "bench_diff: BENCH_DIFF_WARN_ONLY set, not failing\n"
+            exit 0
+        }
+        exit 1
+    }
+    printf "\nbench_diff: no regressions beyond %s%%\n", threshold
+}' /tmp/bench_diff_old.$$ /tmp/bench_diff_new.$$
