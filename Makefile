@@ -11,7 +11,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/obs/ ./internal/core/ ./internal/cascade/ ./internal/arbor/ ./internal/isomit/ ./internal/sgraph/ ./internal/par/ ./internal/influence/ ./internal/experiment/ ./internal/server/ .
+	$(GO) test -race ./internal/obs/ ./internal/core/ ./internal/cascade/ ./internal/arbor/ ./internal/isomit/ ./internal/sgraph/ ./internal/par/ ./internal/influence/ ./internal/experiment/ ./internal/ingest/ ./internal/trace/ ./internal/server/ .
 
 # fuzz-smoke runs the arbor kernel-equivalence fuzzer briefly; CI does the
 # same. Longer local runs: go test -fuzz FuzzKernelEquivalence ./internal/arbor/
@@ -22,15 +22,16 @@ bench:
 	$(GO) test -bench=. -benchmem -benchtime 1x .
 
 # bench-json runs the headline benchmarks at -cpu 1 and 4 and writes
-# BENCH_pr4.json with ns/op, B/op, allocs/op per width plus the measured
-# parallel speedup and the arbor kernel comparison.
+# BENCH_pr6.json with ns/op, B/op, allocs/op per width plus the measured
+# parallel speedup, the arbor kernel comparison, and the incremental-vs-full
+# detect comparison.
 bench-json:
 	./scripts/bench_json.sh
 
 # bench-diff compares two bench-json snapshots on ns/op and fails if any
 # benchmark slowed past BENCH_DIFF_THRESHOLD percent (default 10). Override
-# the files: make bench-diff BENCH_OLD=BENCH_pr3.json BENCH_NEW=BENCH_pr4.json
-BENCH_OLD ?= BENCH_pr4.json
+# the files: make bench-diff BENCH_OLD=BENCH_pr4.json BENCH_NEW=BENCH_pr6.json
+BENCH_OLD ?= BENCH_pr6.json
 BENCH_NEW ?= BENCH_new.json
 bench-diff:
 	./scripts/bench_diff.sh $(BENCH_OLD) $(BENCH_NEW)

@@ -9,24 +9,35 @@
 //	       [-method rid|rid-tree|rid-positive|rumor-centrality|jordan-center|degree-max|ensemble]
 //	       [-beta 0.3] [-alpha 3] [-n 0] [-seed-frac 0.05] [-theta 0.5]
 //	       [-mask 0] [-seed 1] [-save-trace t.json] [-dot out.dot] [-v]
+//	       [-replay] [-replay-checks 10]
 //	       [-log-level info] [-log-format text] [-cpuprofile f] [-memprofile f]
 //
 // With -file, a real SNAP signed edge list (optionally .gz) is loaded
 // instead of the synthetic preset (weights re-derived via Jaccard, as in
 // the paper). With -load-trace, a previously saved instance is replayed
 // verbatim — network, snapshot and ground truth.
+//
+// With -replay, the instance is linearized into a deterministic activation
+// event stream (internal/ingest) and streamed through an incremental
+// detection session; at -replay-checks evenly spaced prefixes the
+// incremental result is asserted bit-identical to a one-shot detection on
+// the same partial snapshot, and the dirty/reused component work is
+// reported. Replay supports the rid method only.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"reflect"
 
 	"repro/internal/cascade"
 	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/diffusion"
+	"repro/internal/ingest"
 	"repro/internal/metrics"
 	"repro/internal/sgraph"
 	"repro/internal/trace"
@@ -40,6 +51,8 @@ type options struct {
 	n                                                    int
 	seed                                                 uint64
 	verbose                                              bool
+	replay                                               bool
+	replayChecks                                         int
 	profile                                              *cli.ProfileConfig
 }
 
@@ -60,6 +73,8 @@ func main() {
 	flag.Float64Var(&o.mask, "mask", 0, "fraction of infected states hidden as '?'")
 	flag.Uint64Var(&o.seed, "seed", 1, "RNG seed")
 	flag.BoolVar(&o.verbose, "v", false, "print forest statistics and per-initiator detail")
+	flag.BoolVar(&o.replay, "replay", false, "stream the instance as events through an incremental session, asserting prefix bit-identity")
+	flag.IntVar(&o.replayChecks, "replay-checks", 10, "number of evenly spaced prefix equivalence checks during -replay")
 	logCfg := cli.LogFlags()
 	o.profile = cli.ProfileFlags()
 	flag.Parse()
@@ -85,6 +100,9 @@ func run(o options) error {
 	snap, seeds, states, err := instance(o)
 	if err != nil {
 		return err
+	}
+	if o.replay {
+		return replay(o, snap, seeds, states)
 	}
 	if o.dotFile != "" {
 		if err := writeInfectedDOT(o.dotFile, snap); err != nil {
@@ -155,6 +173,80 @@ func run(o options) error {
 			}
 		}
 	}
+	return nil
+}
+
+// replay linearizes the instance into a deterministic event stream and
+// feeds it through an incremental ingest session, asserting at evenly
+// spaced prefixes that incremental detection matches a one-shot detect on
+// the same partial snapshot bit for bit.
+func replay(o options, snap *cascade.Snapshot, seeds []int, states []sgraph.State) error {
+	if o.method != "rid" {
+		return cli.Usagef("-replay supports the rid method only, got %q", o.method)
+	}
+	if o.replayChecks < 1 {
+		return cli.Usagef("-replay-checks must be >= 1, got %d", o.replayChecks)
+	}
+	tr := trace.FromSnapshot("ridlab-replay", snap, seeds, states)
+	events, err := ingest.EventsFromTrace(tr)
+	if err != nil {
+		return err
+	}
+	ridCfg := core.RIDConfig{Alpha: o.alpha, Beta: o.beta}
+	sess, err := ingest.NewSession(snap.G, tr.NetworkHash(), ridCfg)
+	if err != nil {
+		return err
+	}
+	rid, err := core.NewRID(ridCfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replay: %d events over %d nodes, %d equivalence checks\n",
+		len(events), snap.G.NumNodes(), o.replayChecks)
+
+	stride := len(events) / o.replayChecks
+	if stride < 1 {
+		stride = 1
+	}
+	shadow := make([]sgraph.State, snap.G.NumNodes())
+	ctx := context.Background()
+	var totalDirty, totalReused, checks int
+	for i, e := range events {
+		if n, err := sess.Apply(ctx, []trace.Event{e}); err != nil || n != 1 {
+			return fmt.Errorf("event %d (%+v): %w", i, e, err)
+		}
+		st, err := trace.StateFromCode(e.State)
+		if err != nil {
+			return err
+		}
+		shadow[e.To] = st
+		if (i+1)%stride != 0 && i != len(events)-1 {
+			continue
+		}
+		inc, stats, err := sess.Detect(ctx)
+		if err != nil {
+			return fmt.Errorf("incremental detect at prefix %d: %w", i+1, err)
+		}
+		totalDirty += stats.Dirty
+		totalReused += stats.Reused
+		checks++
+		partial, err := cascade.NewSnapshot(snap.G, shadow)
+		if err != nil {
+			return err
+		}
+		full, err := rid.Detect(partial)
+		if err != nil {
+			return fmt.Errorf("one-shot detect at prefix %d: %w", i+1, err)
+		}
+		if !reflect.DeepEqual(inc, full) {
+			return fmt.Errorf("prefix %d/%d: incremental detection diverged from one-shot (%d vs %d initiators)",
+				i+1, len(events), len(inc.Initiators), len(full.Initiators))
+		}
+		fmt.Printf("  prefix %6d/%d: %3d components (%3d dirty, %3d reused), %d initiators — identical\n",
+			i+1, len(events), stats.Components, stats.Dirty, stats.Reused, len(inc.Initiators))
+	}
+	fmt.Printf("replay: %d checks passed; component solves: %d dirty, %d reused (%.1f%% saved)\n",
+		checks, totalDirty, totalReused, 100*float64(totalReused)/float64(max(totalDirty+totalReused, 1)))
 	return nil
 }
 

@@ -5,6 +5,15 @@
 // for request counts, per-detector latency histograms, queue depth and
 // graph-cache hit rate; GET /healthz for liveness.
 //
+// The session API streams a cascade instead of re-POSTing it: POST
+// /v1/sessions opens an event-sourced session over a network (inline
+// trace or a cached graph_hash), POST /v1/sessions/{id}/events appends
+// activation-link events, and GET /v1/sessions/{id}/detect answers with
+// initiators bit-identical to a one-shot /v1/detect on the equivalent
+// snapshot while re-solving only the infected components the new events
+// touched. Sessions are bounded (-max-sessions; exceeding answers 429)
+// and evicted after an idle TTL (-session-ttl).
+//
 // The server runs a bounded worker pool (default GOMAXPROCS workers) with
 // a fixed-depth queue — saturation answers 429 with Retry-After instead of
 // queueing without bound — and every request carries a deadline that
@@ -28,7 +37,7 @@
 //
 //	ridserve [-addr :8080] [-workers 0] [-queue 0] [-cache 64]
 //	         [-parallelism 0] [-timeout 30s] [-drain 15s] [-max-body-mb 32]
-//	         [-flight 128] [-slow 1s]
+//	         [-flight 128] [-slow 1s] [-max-sessions 64] [-session-ttl 15m]
 //	         [-log-level info] [-log-format text] [-debug-addr addr]
 //
 // -workers bounds how many requests compute at once; -parallelism bounds
@@ -72,6 +81,8 @@ func main() {
 		flight    = flag.Int("flight", 0, "flight-recorder capacity in requests (0 = default 128, -1 = disabled)")
 		slow      = flag.Duration("slow", 0, "latency at which requests pin in the flight recorder (0 = default 1s)")
 		debugAddr = flag.String("debug-addr", "", "pprof/expvar/flight-recorder listen address (empty = disabled)")
+		maxSess   = flag.Int("max-sessions", 64, "live ingest-session cap (exceeding answers 429)")
+		sessTTL   = flag.Duration("session-ttl", 15*time.Minute, "idle lifetime of an ingest session")
 		logCfg    = cli.LogFlags()
 	)
 	flag.Parse()
@@ -79,15 +90,15 @@ func main() {
 	if err := logCfg.Setup(); err != nil {
 		cli.Fatal("ridserve", err)
 	}
-	if err := validate(*workers, *queue, *cacheSize, *parallel, *timeout, *drain, *maxBodyMB, *slow); err != nil {
+	if err := validate(*workers, *queue, *cacheSize, *parallel, *timeout, *drain, *maxBodyMB, *slow, *maxSess, *sessTTL); err != nil {
 		cli.Fatal("ridserve", err)
 	}
-	if err := run(*addr, *workers, *queue, *cacheSize, *parallel, *timeout, *drain, *maxBodyMB, *flight, *slow, *debugAddr); err != nil {
+	if err := run(*addr, *workers, *queue, *cacheSize, *parallel, *timeout, *drain, *maxBodyMB, *flight, *slow, *debugAddr, *maxSess, *sessTTL); err != nil {
 		cli.Fatal("ridserve", err)
 	}
 }
 
-func validate(workers, queue, cacheSize, parallel int, timeout, drain time.Duration, maxBodyMB int64, slow time.Duration) error {
+func validate(workers, queue, cacheSize, parallel int, timeout, drain time.Duration, maxBodyMB int64, slow time.Duration, maxSess int, sessTTL time.Duration) error {
 	switch {
 	case workers < 0:
 		return cli.Usagef("-workers must be non-negative, got %d", workers)
@@ -105,11 +116,15 @@ func validate(workers, queue, cacheSize, parallel int, timeout, drain time.Durat
 		return cli.Usagef("-max-body-mb must be positive, got %d", maxBodyMB)
 	case slow < 0:
 		return cli.Usagef("-slow must be non-negative, got %v", slow)
+	case maxSess < 1:
+		return cli.Usagef("-max-sessions must be positive, got %d", maxSess)
+	case sessTTL <= 0:
+		return cli.Usagef("-session-ttl must be positive, got %v", sessTTL)
 	}
 	return nil
 }
 
-func run(addr string, workers, queue, cacheSize, parallel int, timeout, drain time.Duration, maxBodyMB int64, flight int, slow time.Duration, debugAddr string) error {
+func run(addr string, workers, queue, cacheSize, parallel int, timeout, drain time.Duration, maxBodyMB int64, flight int, slow time.Duration, debugAddr string, maxSess int, sessTTL time.Duration) error {
 	s := server.New(server.Config{
 		Addr:           addr,
 		Workers:        workers,
@@ -120,6 +135,8 @@ func run(addr string, workers, queue, cacheSize, parallel int, timeout, drain ti
 		Parallelism:    parallel,
 		FlightSize:     flight,
 		SlowThreshold:  slow,
+		MaxSessions:    maxSess,
+		SessionTTL:     sessTTL,
 	})
 	errc := make(chan error, 1)
 	go func() { errc <- s.ListenAndServe() }()

@@ -1,0 +1,105 @@
+package cascade
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/obs"
+	"repro/internal/sgraph"
+)
+
+// Workspace is a reusable arena for component-scoped forest extraction —
+// the building block of incremental detection (internal/ingest), where only
+// the infected components touched by new events are re-solved. The heavy
+// per-solve state (dense indices, candidate edge lists, the arborescence
+// solver) comes from the shared scratch pool exactly as ExtractContext's
+// workers use it; the Workspace itself only amortizes the small identity
+// slices between calls. A Workspace is not safe for concurrent use — hold
+// one per goroutine.
+type Workspace struct {
+	comp []int
+}
+
+// NewWorkspace returns an empty workspace.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// InfectedComponents partitions the snapshot's infected subgraph into
+// weakly connected components (Definition 6), returned as slices of
+// original node IDs — ascending within each component, components ordered
+// by smallest member. This is exactly the partition and order
+// ExtractContext fans out over, so feeding each slice to
+// Workspace.ExtractComponent with its index reproduces the full forest
+// bit-for-bit. positiveOnly mirrors Config.PositiveOnly: negative links are
+// dropped before connectivity, which can split components.
+func InfectedComponents(snap *Snapshot, positiveOnly bool) [][]int {
+	infected := snap.Infected()
+	if len(infected) == 0 {
+		return nil
+	}
+	sub := sgraph.Induce(snap.G, infected)
+	if positiveOnly {
+		sub = dropNegative(sub)
+	}
+	comps := sgraph.ConnectedComponents(sub.G)
+	out := make([][]int, len(comps))
+	for ci, comp := range comps {
+		nodes := make([]int, len(comp))
+		for i, v := range comp {
+			nodes[i] = sub.Orig[v]
+		}
+		out[ci] = nodes
+	}
+	return out
+}
+
+// ExtractComponent extracts the cascade trees of one infected connected
+// component, identified by its member nodes as ascending original graph
+// IDs. The nodes must form exactly one weakly connected component of the
+// infected subgraph (as returned by InfectedComponents) — the component is
+// induced in isolation, so links to nodes outside the slice are invisible.
+// compIdx is stamped on the returned trees' Component field.
+//
+// The result is bit-identical to the compIdx-th component's trees in
+// ExtractContext's forest: inducing the component alone preserves dense-ID
+// order (members ascend in both paths), every infected-subgraph edge
+// touching a component member stays inside the component, and the
+// per-component math is pure. This is what lets incremental detection cache
+// clean components' results and re-solve only dirty ones.
+func (w *Workspace) ExtractComponent(ctx context.Context, snap *Snapshot, nodes []int, compIdx int, cfg Config) ([]*Tree, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cascade: component %d is empty", compIdx)
+	}
+	for i, v := range nodes {
+		if v < 0 || v >= snap.G.NumNodes() {
+			return nil, fmt.Errorf("cascade: component %d: node %d out of range", compIdx, v)
+		}
+		if i > 0 && nodes[i-1] >= v {
+			return nil, fmt.Errorf("cascade: component %d: nodes not strictly ascending at index %d", compIdx, i)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	rec := obs.RecorderFrom(ctx)
+	sub := sgraph.Induce(snap.G, nodes)
+	if cfg.PositiveOnly {
+		sub = dropNegative(sub)
+	}
+	comp := w.comp[:0]
+	for i := range nodes {
+		comp = append(comp, i)
+	}
+	w.comp = comp
+	s := getExtractScratch(rec, sub.G.NumNodes())
+	trees, err := extractComponent(snap, sub, comp, compIdx, cfg, s)
+	s.acc.Flush()
+	s.release()
+	if err != nil {
+		return nil, err
+	}
+	return trees, nil
+}

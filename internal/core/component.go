@@ -1,0 +1,94 @@
+package core
+
+import (
+	"context"
+
+	"repro/internal/cascade"
+	"repro/internal/sgraph"
+)
+
+// ComponentDetection is a Detection fragment scoped to one infected
+// connected component: what RID inferred from that component's cascade
+// trees alone. Fragments are the cacheable unit of incremental detection
+// (internal/ingest) — a component untouched by new events keeps serving its
+// fragment while dirty components are re-solved, and MergeComponents
+// reassembles the full Detection bit-for-bit.
+type ComponentDetection struct {
+	// Initiators holds the component's detected initiators, ascending.
+	Initiators []int
+	// States holds inferred initial states, parallel to Initiators.
+	States []sgraph.State
+	// Confidence scores each detection in [0, 1], parallel to Initiators.
+	Confidence []float64
+	// Trees is the number of cascade trees extracted from the component.
+	Trees int
+}
+
+// ExtractComponentContext extracts one infected component's cascade trees
+// under this detector's extraction settings — the component-scoped
+// counterpart of ExtractContext. nodes must be one weakly connected
+// component of the infected subgraph as ascending original IDs (see
+// cascade.InfectedComponents); compIdx is stamped on the trees.
+func (r *RID) ExtractComponentContext(ctx context.Context, ws *cascade.Workspace, snap *cascade.Snapshot, nodes []int, compIdx int) ([]*cascade.Tree, error) {
+	ext := r.cfg.Extraction
+	ext.Alpha = r.cfg.Alpha
+	ext.Mode = cascade.ModeBoosted
+	ext.PositiveOnly = false
+	ext.Parallelism = r.cfg.Parallelism
+	return ws.ExtractComponent(ctx, snap, nodes, compIdx, ext)
+}
+
+// DetectComponentContext runs per-tree initiator inference over one
+// component's trees (as returned by ExtractComponentContext) and returns
+// the component's detection fragment. The per-tree solvers are pure
+// functions of their tree, so a fragment computed in isolation is
+// bit-identical to the component's share of a full DetectForest.
+func (r *RID) DetectComponentContext(ctx context.Context, trees []*cascade.Tree) (*ComponentDetection, error) {
+	det, err := r.DetectForestContext(ctx, &cascade.Forest{Trees: trees, Components: 1})
+	if err != nil {
+		return nil, err
+	}
+	return &ComponentDetection{
+		Initiators: det.Initiators,
+		States:     det.States,
+		Confidence: det.Confidence,
+		Trees:      det.Trees,
+	}, nil
+}
+
+// MergeComponents reassembles per-component fragments — one per infected
+// component, in any order — into a full Detection. Every node belongs to
+// exactly one component, so initiator IDs are unique across fragments and
+// the ascending re-sort reproduces exactly the order a one-shot
+// DetectForest over all the trees would emit.
+func MergeComponents(comps []*ComponentDetection) *Detection {
+	det := &Detection{Components: len(comps)}
+	size := 0
+	hasStates, hasConf := false, false
+	for _, c := range comps {
+		size += len(c.Initiators)
+		det.Trees += c.Trees
+		hasStates = hasStates || c.States != nil
+		hasConf = hasConf || c.Confidence != nil
+	}
+	if size > 0 { // keep nil slices nil, as DetectForestContext does
+		det.Initiators = make([]int, 0, size)
+		if hasStates {
+			det.States = make([]sgraph.State, 0, size)
+		}
+		if hasConf {
+			det.Confidence = make([]float64, 0, size)
+		}
+	}
+	for _, c := range comps {
+		det.Initiators = append(det.Initiators, c.Initiators...)
+		if hasStates {
+			det.States = append(det.States, c.States...)
+		}
+		if hasConf {
+			det.Confidence = append(det.Confidence, c.Confidence...)
+		}
+	}
+	sortDetection(det)
+	return det
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/cascade"
+	"repro/internal/sgraph"
+)
+
+// multiOutbreakSnapshot stitches several independent cascades onto one
+// graph so detection sees many infected components.
+func multiOutbreakSnapshot(t *testing.T, outbreaks, nodesEach int) *cascade.Snapshot {
+	t.Helper()
+	total := outbreaks * nodesEach
+	b := sgraph.NewBuilder(total)
+	states := make([]sgraph.State, 0, total)
+	for s := 0; s < outbreaks; s++ {
+		sim := simulate(t, uint64(2000+s), nodesEach, nodesEach*5, 3)
+		off := s * nodesEach
+		sim.snap.G.Edges(func(e sgraph.Edge) {
+			b.AddEdge(e.From+off, e.To+off, e.Sign, e.Weight)
+		})
+		states = append(states, sim.snap.States...)
+	}
+	snap, err := cascade.NewSnapshot(b.MustBuild(), states)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+// TestComponentDetectionMatchesFull is the merge half of the incremental
+// bit-identity contract: extracting and solving each infected component in
+// isolation, then merging the fragments, reproduces exactly the one-shot
+// DetectContext output.
+func TestComponentDetectionMatchesFull(t *testing.T) {
+	snap := multiOutbreakSnapshot(t, 5, 120)
+	rid := mustRID(t, 0.1)
+	full, err := rid.Detect(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comps := cascade.InfectedComponents(snap, false)
+	if len(comps) != full.Components {
+		t.Fatalf("InfectedComponents found %d components, Detect %d", len(comps), full.Components)
+	}
+	if len(comps) < 2 {
+		t.Fatalf("want a multi-component snapshot, got %d", len(comps))
+	}
+	ws := cascade.NewWorkspace()
+	ctx := context.Background()
+	frags := make([]*ComponentDetection, len(comps))
+	for ci, nodes := range comps {
+		trees, err := rid.ExtractComponentContext(ctx, ws, snap, nodes, ci)
+		if err != nil {
+			t.Fatalf("extract component %d: %v", ci, err)
+		}
+		frag, err := rid.DetectComponentContext(ctx, trees)
+		if err != nil {
+			t.Fatalf("detect component %d: %v", ci, err)
+		}
+		frags[ci] = frag
+	}
+	merged := MergeComponents(frags)
+	if !reflect.DeepEqual(merged, full) {
+		t.Errorf("merged component detections differ from one-shot detect:\nmerged: %+v\nfull:   %+v", merged, full)
+	}
+	// Merge must be order-independent: fragments arrive in cache order in
+	// the incremental path, not component order.
+	rev := make([]*ComponentDetection, len(frags))
+	for i, f := range frags {
+		rev[len(frags)-1-i] = f
+	}
+	if !reflect.DeepEqual(MergeComponents(rev), full) {
+		t.Error("merge is order-dependent")
+	}
+}
+
+func TestMergeComponentsEmpty(t *testing.T) {
+	det := MergeComponents(nil)
+	if det.Components != 0 || det.Trees != 0 {
+		t.Fatalf("empty merge: %+v", det)
+	}
+	// sortDetection reallocates Initiators (empty, non-nil) exactly as a
+	// zero-initiator DetectForest would; States/Confidence stay nil.
+	if len(det.Initiators) != 0 || det.States != nil || det.Confidence != nil {
+		t.Fatalf("empty merge slices wrong: %+v", det)
+	}
+	// Identity-only fragments (nil States/Confidence) stay identity-only.
+	det = MergeComponents([]*ComponentDetection{
+		{Initiators: []int{5}, Trees: 1},
+		{Initiators: []int{2}, Trees: 2},
+	})
+	if !reflect.DeepEqual(det.Initiators, []int{2, 5}) || det.Trees != 3 || det.Components != 2 {
+		t.Fatalf("merge wrong: %+v", det)
+	}
+	if det.States != nil || det.Confidence != nil {
+		t.Fatalf("identity-only merge grew aligned slices: %+v", det)
+	}
+}

@@ -1,0 +1,115 @@
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrSessionLimit is returned by Create when the manager is at capacity;
+// the HTTP layer maps it to 429.
+var ErrSessionLimit = errors.New("ingest: session limit reached")
+
+// ErrNotFound is returned for unknown (or expired) session IDs.
+var ErrNotFound = errors.New("ingest: session not found")
+
+// ManagerConfig bounds the session table.
+type ManagerConfig struct {
+	// MaxSessions caps live sessions; zero defaults to 64.
+	MaxSessions int
+	// TTL is the idle lifetime — a session untouched (no Get) for longer
+	// is evicted lazily on the next Create or Get. Zero defaults to 15
+	// minutes.
+	TTL time.Duration
+	// Now overrides the clock for tests; nil means time.Now.
+	Now func() time.Time
+}
+
+func (c ManagerConfig) withDefaults() ManagerConfig {
+	if c.MaxSessions == 0 {
+		c.MaxSessions = 64
+	}
+	if c.TTL == 0 {
+		c.TTL = 15 * time.Minute
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+type managed struct {
+	s       *Session
+	expires time.Time
+}
+
+// Manager owns the live sessions: bounded count, idle-TTL eviction,
+// opaque IDs. Safe for concurrent use.
+type Manager struct {
+	mu       sync.Mutex
+	cfg      ManagerConfig
+	sessions map[string]*managed
+	seq      uint64
+}
+
+// NewManager builds a session table.
+func NewManager(cfg ManagerConfig) *Manager {
+	return &Manager{cfg: cfg.withDefaults(), sessions: make(map[string]*managed)}
+}
+
+// evictExpired runs under the mutex.
+func (m *Manager) evictExpired(now time.Time) {
+	for id, e := range m.sessions {
+		if now.After(e.expires) {
+			delete(m.sessions, id)
+		}
+	}
+}
+
+// Create registers a session and returns its ID, or ErrSessionLimit when
+// the table is full even after evicting idle sessions.
+func (m *Manager) Create(s *Session) (string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := m.cfg.Now()
+	m.evictExpired(now)
+	if len(m.sessions) >= m.cfg.MaxSessions {
+		return "", ErrSessionLimit
+	}
+	m.seq++
+	id := fmt.Sprintf("s%d", m.seq)
+	m.sessions[id] = &managed{s: s, expires: now.Add(m.cfg.TTL)}
+	return id, nil
+}
+
+// Get resolves a session ID and refreshes its idle deadline.
+func (m *Manager) Get(id string) (*Session, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := m.cfg.Now()
+	m.evictExpired(now)
+	e, ok := m.sessions[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	e.expires = now.Add(m.cfg.TTL)
+	return e.s, nil
+}
+
+// Delete removes a session, reporting whether it existed.
+func (m *Manager) Delete(id string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.sessions[id]
+	delete(m.sessions, id)
+	return ok
+}
+
+// Len returns the number of live (non-expired) sessions.
+func (m *Manager) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.evictExpired(m.cfg.Now())
+	return len(m.sessions)
+}

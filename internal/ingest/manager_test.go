@@ -1,0 +1,91 @@
+package ingest
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sgraph"
+)
+
+func testSession(t *testing.T) *Session {
+	t.Helper()
+	b := sgraph.NewBuilder(2)
+	b.AddEdge(0, 1, sgraph.Positive, 0.5)
+	s, err := NewSession(b.MustBuild(), "test", core.RIDConfig{Beta: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestManagerLimitAndDelete(t *testing.T) {
+	m := NewManager(ManagerConfig{MaxSessions: 2})
+	id1, err := m.Create(testSession(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := m.Create(testSession(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 == id2 {
+		t.Fatalf("duplicate session IDs: %q", id1)
+	}
+	if _, err := m.Create(testSession(t)); !errors.Is(err, ErrSessionLimit) {
+		t.Fatalf("want ErrSessionLimit, got %v", err)
+	}
+	if s, err := m.Get(id1); err != nil || s == nil {
+		t.Fatalf("Get(%q): %v", id1, err)
+	}
+	if !m.Delete(id1) {
+		t.Fatal("Delete should report an existing session")
+	}
+	if m.Delete(id1) {
+		t.Fatal("double Delete should report missing")
+	}
+	if _, err := m.Get(id1); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("want ErrNotFound after delete, got %v", err)
+	}
+	if _, err := m.Create(testSession(t)); err != nil {
+		t.Fatalf("capacity should free up after delete: %v", err)
+	}
+}
+
+func TestManagerTTLEviction(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	m := NewManager(ManagerConfig{MaxSessions: 2, TTL: time.Minute, Now: clock})
+	id1, err := m.Create(testSession(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := m.Create(testSession(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Touch id1 at +40s: its deadline slides, id2's does not.
+	now = now.Add(40 * time.Second)
+	if _, err := m.Get(id1); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(30 * time.Second) // +70s: id2 idle 70s > TTL, id1 idle 30s
+	if _, err := m.Get(id2); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("id2 should have expired, got %v", err)
+	}
+	if _, err := m.Get(id1); err != nil {
+		t.Fatalf("id1 should survive (touched): %v", err)
+	}
+	if got := m.Len(); got != 1 {
+		t.Fatalf("Len = %d, want 1", got)
+	}
+	// Eviction frees capacity for Create.
+	now = now.Add(2 * time.Minute)
+	if _, err := m.Create(testSession(t)); err != nil {
+		t.Fatalf("Create after expiry: %v", err)
+	}
+	if got := m.Len(); got != 1 {
+		t.Fatalf("Len = %d, want 1 (expired evicted on create)", got)
+	}
+}

@@ -1,0 +1,97 @@
+package ingest
+
+import (
+	"fmt"
+
+	"repro/internal/sgraph"
+	"repro/internal/trace"
+)
+
+// EventsFromTrace linearizes a one-shot trace into a deterministic event
+// stream that, replayed through a Session on the trace's graph, rebuilds
+// exactly the trace's observed snapshot: ground-truth seeds come first as
+// From=-1 seed events (ascending), then repeated ascending passes emit
+// each remaining infected node activated by its smallest already-emitted
+// in-neighbor; a pass that emits nothing promotes the smallest remaining
+// infected node to a seed event (an outbreak whose true origin the trace
+// does not record). The stream is a pure function of the trace, so replays
+// are comparable across runs and parallelism settings.
+func EventsFromTrace(t *trace.Trace) ([]trace.Event, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	g, err := t.BuildGraph()
+	if err != nil {
+		return nil, err
+	}
+	states, err := t.States()
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, st := range states {
+		if infected(st) {
+			total++
+		}
+	}
+	events := make([]trace.Event, 0, total)
+	emitted := make([]bool, t.Nodes)
+	round := func(v int) int32 {
+		if t.Rounds == nil {
+			return -1
+		}
+		return t.Rounds[v]
+	}
+	emit := func(from, v int) {
+		events = append(events, trace.Event{From: from, To: v, State: t.Observed[v], Round: round(v)})
+		emitted[v] = true
+	}
+
+	seeds := append([]int(nil), t.Seeds...)
+	sortInts(seeds)
+	for _, v := range seeds {
+		if !infected(states[v]) {
+			return nil, fmt.Errorf("ingest: ground-truth seed %d is not infected in the observed snapshot", v)
+		}
+		emit(-1, v)
+	}
+	for len(events) < total {
+		progressed := false
+		for v := 0; v < t.Nodes; v++ {
+			if emitted[v] || !infected(states[v]) {
+				continue
+			}
+			from := -1
+			g.In(v, func(e sgraph.Edge) {
+				if emitted[e.From] && (from < 0 || e.From < from) {
+					from = e.From
+				}
+			})
+			if from >= 0 {
+				emit(from, v)
+				progressed = true
+			}
+		}
+		if progressed {
+			continue
+		}
+		// No remaining node has an emitted in-neighbor: the next outbreak's
+		// origin. Promote the smallest to a seed event.
+		for v := 0; v < t.Nodes; v++ {
+			if !emitted[v] && infected(states[v]) {
+				emit(-1, v)
+				break
+			}
+		}
+	}
+	return events, nil
+}
+
+// sortInts is a tiny insertion sort — seed lists are a handful of IDs.
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

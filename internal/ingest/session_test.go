@@ -1,0 +1,311 @@
+package ingest
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/cascade"
+	"repro/internal/core"
+	"repro/internal/diffusion"
+	"repro/internal/gen"
+	"repro/internal/obs"
+	"repro/internal/sgraph"
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+// multiOutbreak simulates several disjoint MFC cascades on one composite
+// graph and returns the trace (graph + observed snapshot + ground truth).
+func multiOutbreak(t *testing.T, outbreaks, nodesEach int, baseSeed uint64) *trace.Trace {
+	t.Helper()
+	total := outbreaks * nodesEach
+	b := sgraph.NewBuilder(total)
+	states := make([]sgraph.State, 0, total)
+	var seeds []int
+	var seedStates []sgraph.State
+	for s := 0; s < outbreaks; s++ {
+		rng := xrand.New(baseSeed + uint64(s))
+		g, err := gen.PreferentialAttachment(gen.Config{
+			Nodes: nodesEach, Edges: nodesEach * 5, PositiveRatio: 0.8,
+		}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dif := sgraph.WeightByJaccard(g, 0.1, rng).Reverse()
+		sd, st, err := diffusion.SampleInitiators(nodesEach, 3, 0.5, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := diffusion.MFC(dif, sd, st, diffusion.MFCConfig{Alpha: 3}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		off := s * nodesEach
+		dif.Edges(func(e sgraph.Edge) {
+			b.AddEdge(e.From+off, e.To+off, e.Sign, e.Weight)
+		})
+		states = append(states, c.States...)
+		for i, v := range sd {
+			seeds = append(seeds, v+off)
+			seedStates = append(seedStates, st[i])
+		}
+	}
+	snap, err := cascade.NewSnapshot(b.MustBuild(), states)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trace.FromSnapshot("multi-outbreak", snap, seeds, seedStates)
+}
+
+func newSession(t *testing.T, tr *trace.Trace, parallelism int) *Session {
+	t.Helper()
+	g, err := tr.BuildGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(g, tr.NetworkHash(), core.RIDConfig{Beta: 0.1, Parallelism: parallelism})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestPrefixEquivalence is the tentpole property: at EVERY prefix of the
+// event stream, incremental detection is bit-identical to a one-shot
+// core.RID.Detect on the snapshot those events describe — initiators,
+// states, confidences, tree and component counts.
+func TestPrefixEquivalence(t *testing.T) {
+	tr := multiOutbreak(t, 3, 70, 4000)
+	events, err := EventsFromTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) < 20 {
+		t.Fatalf("cascade too small to exercise prefixes: %d events", len(events))
+	}
+	sess := newSession(t, tr, 0)
+	rid, err := core.NewRID(core.RIDConfig{Beta: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := tr.BuildGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	shadow := make([]sgraph.State, g.NumNodes())
+	ctx := context.Background()
+	for i, e := range events {
+		if n, err := sess.Apply(ctx, []trace.Event{e}); err != nil || n != 1 {
+			t.Fatalf("apply event %d (%+v): n=%d err=%v", i, e, n, err)
+		}
+		st, err := trace.StateFromCode(e.State)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shadow[e.To] = st
+		inc, _, err := sess.Detect(ctx)
+		if err != nil {
+			t.Fatalf("incremental detect at prefix %d: %v", i+1, err)
+		}
+		snap, err := cascade.NewSnapshot(g, shadow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := rid.Detect(snap)
+		if err != nil {
+			t.Fatalf("one-shot detect at prefix %d: %v", i+1, err)
+		}
+		if !reflect.DeepEqual(inc, full) {
+			t.Fatalf("prefix %d/%d: incremental detection diverged\nincremental: %+v\none-shot:    %+v",
+				i+1, len(events), inc, full)
+		}
+	}
+	// The final snapshot must be exactly the trace's observed snapshot.
+	wantStates, err := tr.States()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(shadow, wantStates) {
+		t.Fatal("replayed events do not rebuild the trace's observed snapshot")
+	}
+}
+
+// TestDetectDirtyAccounting pins the incremental contract down to the
+// counters: after a converged Detect, a single-component change re-solves
+// exactly one component and reuses every other.
+func TestDetectDirtyAccounting(t *testing.T) {
+	tr := multiOutbreak(t, 8, 60, 5000)
+	events, err := EventsFromTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := newSession(t, tr, 0)
+	ctx := context.Background()
+	if n, err := sess.Apply(ctx, events); err != nil || n != len(events) {
+		t.Fatalf("apply: n=%d err=%v", n, err)
+	}
+	first, stats, err := sess.Detect(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Dirty != stats.Components || stats.Reused != 0 {
+		t.Fatalf("first detect should solve everything: %+v", stats)
+	}
+	if stats.Components < 8 {
+		t.Fatalf("want >= 8 components, got %d", stats.Components)
+	}
+	// A repeat detect with no new events reuses everything.
+	again, stats, err := sess.Detect(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Dirty != 0 || stats.Reused != stats.Components {
+		t.Fatalf("idle detect should reuse everything: %+v", stats)
+	}
+	if !reflect.DeepEqual(again, first) {
+		t.Fatal("idle detect changed the result")
+	}
+	// Flip one infected node's observed opinion: exactly one dirty.
+	states, err := tr.States()
+	if err != nil {
+		t.Fatal(err)
+	}
+	flip := -1
+	for v, st := range states {
+		if st == sgraph.StatePositive {
+			flip = v
+			break
+		}
+	}
+	if flip < 0 {
+		t.Fatal("no positive node to flip")
+	}
+	if err := sess.SetState(flip, -1); err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.NewRecorder()
+	_, stats, err = sess.Detect(obs.WithRecorder(ctx, rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Dirty != 1 || stats.Reused != stats.Components-1 {
+		t.Fatalf("single-component change: %+v", stats)
+	}
+	cs := rec.CounterSetSnapshot()
+	if cs == nil || cs.Ingest.ComponentsDirty != 1 || cs.Ingest.ComponentsReused != int64(stats.Components-1) {
+		t.Fatalf("recorder ingest counters wrong: %+v", cs)
+	}
+}
+
+// TestDetectParallelismDeterminism replays one fixed event stream at
+// Parallelism 1 and 8 and requires identical detections at several
+// prefixes — the determinism contract CI pins.
+func TestDetectParallelismDeterminism(t *testing.T) {
+	tr := multiOutbreak(t, 4, 60, 6000)
+	events, err := EventsFromTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := newSession(t, tr, 1)
+	parallel := newSession(t, tr, 8)
+	ctx := context.Background()
+	checkpoints := []int{len(events) / 3, 2 * len(events) / 3, len(events)}
+	prev := 0
+	for _, cut := range checkpoints {
+		batch := events[prev:cut]
+		prev = cut
+		if _, err := serial.Apply(ctx, batch); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := parallel.Apply(ctx, batch); err != nil {
+			t.Fatal(err)
+		}
+		a, _, err := serial.Detect(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, err := parallel.Detect(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("prefix %d: detections differ between Parallelism 1 and 8", cut)
+		}
+	}
+}
+
+func TestApplyRejectsInvalidEvents(t *testing.T) {
+	// 0 -> 1 -> 2 chain plus an isolated node 3.
+	b := sgraph.NewBuilder(4)
+	b.AddEdge(0, 1, sgraph.Positive, 0.5)
+	b.AddEdge(1, 2, sgraph.Positive, 0.5)
+	g := b.MustBuild()
+	sess, err := NewSession(g, "test", core.RIDConfig{Beta: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	seedAnd := func(more ...trace.Event) []trace.Event {
+		return append([]trace.Event{{From: -1, To: 0, State: 1}}, more...)
+	}
+	cases := []struct {
+		name   string
+		events []trace.Event
+		wantN  int
+		want   string
+	}{
+		{"no diffusion link", seedAnd(trace.Event{From: 0, To: 2, State: 1}), 1, "no diffusion link"},
+		{"uninfected activator", seedAnd(trace.Event{From: 1, To: 2, State: 1}), 1, "activation of uninfected endpoint 1"},
+		{"already infected", seedAnd(trace.Event{From: -1, To: 0, State: 1}), 1, "already infected"},
+		{"self loop", seedAnd(trace.Event{From: 0, To: 0, State: 1}), 1, "self-loop"},
+		{"out of range", []trace.Event{{From: -1, To: 9, State: 1}}, 0, "out of range"},
+		{"bad state", []trace.Event{{From: -1, To: 0, State: 3}}, 0, "invalid state code"},
+	}
+	for _, tc := range cases {
+		s2, err := NewSession(g, "test", core.RIDConfig{Beta: 0.1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := s2.Apply(ctx, tc.events)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if n != tc.wantN {
+			t.Errorf("%s: applied %d events, want %d", tc.name, n, tc.wantN)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not contain %q", tc.name, err, tc.want)
+		}
+		if s2.Events() != int64(tc.wantN) {
+			t.Errorf("%s: Events() = %d, want %d", tc.name, s2.Events(), tc.wantN)
+		}
+	}
+	// Duplicate activation edge needs the link applied once first.
+	if _, err := sess.Apply(ctx, []trace.Event{
+		{From: -1, To: 0, State: 1},
+		{From: 0, To: 1, State: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.SetState(1, 0); err == nil {
+		t.Error("SetState accepted un-infecting a node")
+	}
+	if err := sess.SetState(2, 1); err == nil {
+		t.Error("SetState accepted an uninfected node")
+	}
+	if err := sess.SetState(1, -1); err != nil {
+		t.Errorf("SetState flip rejected: %v", err)
+	}
+	// Detect on an empty session reports no infected nodes.
+	empty, err := NewSession(g, "test", core.RIDConfig{Beta: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := empty.Detect(ctx); !errors.Is(err, cascade.ErrNoInfected) {
+		t.Errorf("empty detect: want ErrNoInfected, got %v", err)
+	}
+}

@@ -147,6 +147,25 @@ type ISOMITCounters struct {
 	BudgetFallbacks int64 `json:"budget_fallbacks,omitempty"`
 }
 
+// IngestCounters instruments the event-sourced ingest sessions
+// (internal/ingest): how many activation events a session absorbed and, per
+// incremental detect, how many infected components actually had to be
+// re-extracted and re-solved versus served from their cached result. The
+// dirty/reused split is the proof that the delta path does less work than a
+// one-shot detect.
+type IngestCounters struct {
+	// EventsApplied counts activation-link events applied to the session.
+	EventsApplied int64 `json:"events_applied,omitempty"`
+	// ComponentsDirty counts infected components re-extracted and re-solved
+	// by incremental detects; ComponentsReused those served verbatim from
+	// the per-component result cache.
+	ComponentsDirty  int64 `json:"components_dirty,omitempty"`
+	ComponentsReused int64 `json:"components_reused,omitempty"`
+	// Unions counts union-find merges of infected components performed
+	// while applying events.
+	Unions int64 `json:"unions,omitempty"`
+}
+
 // DiffusionCounters instruments the diffusion simulators
 // (internal/diffusion MFC and the models built on it).
 type DiffusionCounters struct {
@@ -171,6 +190,7 @@ type CounterSet struct {
 	Arbor     ArborCounters     `json:"arbor"`
 	Cascade   CascadeCounters   `json:"cascade"`
 	ISOMIT    ISOMITCounters    `json:"isomit"`
+	Ingest    IngestCounters    `json:"ingest"`
 	Diffusion DiffusionCounters `json:"diffusion"`
 }
 
@@ -201,6 +221,10 @@ func (c *CounterSet) Merge(o *CounterSet) {
 	c.ISOMIT.AutoRounds += o.ISOMIT.AutoRounds
 	c.ISOMIT.DPCells += o.ISOMIT.DPCells
 	c.ISOMIT.BudgetFallbacks += o.ISOMIT.BudgetFallbacks
+	c.Ingest.EventsApplied += o.Ingest.EventsApplied
+	c.Ingest.ComponentsDirty += o.Ingest.ComponentsDirty
+	c.Ingest.ComponentsReused += o.Ingest.ComponentsReused
+	c.Ingest.Unions += o.Ingest.Unions
 	c.Diffusion.Runs += o.Diffusion.Runs
 	c.Diffusion.Rounds += o.Diffusion.Rounds
 	c.Diffusion.Attempts += o.Diffusion.Attempts
@@ -251,6 +275,10 @@ func (c *CounterSet) Each(fn func(name string, v int64)) {
 	emit("isomit_auto_rounds", c.ISOMIT.AutoRounds)
 	emit("isomit_dp_cells", c.ISOMIT.DPCells)
 	emit("isomit_budget_fallbacks", c.ISOMIT.BudgetFallbacks)
+	emit("ingest_events_applied", c.Ingest.EventsApplied)
+	emit("ingest_components_dirty", c.Ingest.ComponentsDirty)
+	emit("ingest_components_reused", c.Ingest.ComponentsReused)
+	emit("ingest_unions", c.Ingest.Unions)
 	emit("diffusion_runs", c.Diffusion.Runs)
 	emit("diffusion_rounds", c.Diffusion.Rounds)
 	emit("diffusion_attempts", c.Diffusion.Attempts)

@@ -76,6 +76,39 @@ func TestCounterSetMergeAndZero(t *testing.T) {
 	}
 }
 
+func TestCounterSetIngestMergeAndEach(t *testing.T) {
+	var a, b CounterSet
+	b.Ingest.EventsApplied = 12
+	b.Ingest.ComponentsDirty = 1
+	b.Ingest.ComponentsReused = 7
+	b.Ingest.Unions = 3
+	a.Merge(&b)
+	a.Merge(&b)
+	if a.Ingest.EventsApplied != 24 || a.Ingest.ComponentsDirty != 2 ||
+		a.Ingest.ComponentsReused != 14 || a.Ingest.Unions != 6 {
+		t.Fatalf("ingest merge wrong: %+v", a.Ingest)
+	}
+	if a.Zero() {
+		t.Fatal("ingest-only CounterSet should not be Zero")
+	}
+	got := map[string]int64{}
+	a.Each(func(name string, v int64) { got[name] = v })
+	want := map[string]int64{
+		"ingest_events_applied":    24,
+		"ingest_components_dirty":  2,
+		"ingest_components_reused": 14,
+		"ingest_unions":            6,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Each emitted %v, want %v", got, want)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("Each[%s] = %d, want %d", k, got[k], v)
+		}
+	}
+}
+
 func TestCounterSetEach(t *testing.T) {
 	var c CounterSet
 	c.Arbor.CyclesContracted = 9

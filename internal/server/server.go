@@ -22,6 +22,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/ingest"
 	"repro/internal/obs"
 )
 
@@ -61,6 +62,12 @@ type Config struct {
 	// the flight recorder past normal eviction; zero defaults to
 	// obs.DefaultSlowThreshold.
 	SlowThreshold time.Duration
+	// MaxSessions caps live ingest sessions (POST /v1/sessions); creating
+	// past the cap answers 429 + Retry-After. Zero defaults to 64.
+	MaxSessions int
+	// SessionTTL is the idle lifetime of an ingest session: one untouched
+	// for longer is evicted lazily. Zero defaults to 15 minutes.
+	SessionTTL time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -97,30 +104,36 @@ func (c Config) withDefaults() Config {
 // Server is the detection service. Create one with New, serve with
 // ListenAndServe (or mount Handler in a test server), stop with Shutdown.
 type Server struct {
-	cfg    Config
-	pool   *Pool
-	cache  *GraphCache
-	reg    *Registry
-	flight *obs.FlightRecorder
-	mux    *http.ServeMux
-	http   *http.Server
+	cfg      Config
+	pool     *Pool
+	cache    *GraphCache
+	reg      *Registry
+	flight   *obs.FlightRecorder
+	sessions *ingest.Manager
+	mux      *http.ServeMux
+	http     *http.Server
 }
 
 // New wires a server from the configuration.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		pool:  NewPool(cfg.Workers, cfg.QueueDepth),
-		cache: NewGraphCache(cfg.CacheSize),
-		reg:   NewRegistry(),
-		mux:   http.NewServeMux(),
+		cfg:      cfg,
+		pool:     NewPool(cfg.Workers, cfg.QueueDepth),
+		cache:    NewGraphCache(cfg.CacheSize),
+		reg:      NewRegistry(),
+		sessions: ingest.NewManager(ingest.ManagerConfig{MaxSessions: cfg.MaxSessions, TTL: cfg.SessionTTL}),
+		mux:      http.NewServeMux(),
 	}
 	if cfg.FlightSize > 0 {
 		s.flight = obs.NewFlightRecorder(cfg.FlightSize, cfg.SlowThreshold)
 	}
 	s.mux.HandleFunc("POST /v1/detect", s.instrument("detect", s.handleDetect))
 	s.mux.HandleFunc("POST /v1/simulate", s.instrument("simulate", s.handleSimulate))
+	s.mux.HandleFunc("POST /v1/sessions", s.instrument("session_create", s.handleSessionCreate))
+	s.mux.HandleFunc("POST /v1/sessions/{id}/events", s.instrument("session_events", s.handleSessionEvents))
+	s.mux.HandleFunc("GET /v1/sessions/{id}/detect", s.instrument("session_detect", s.handleSessionDetect))
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.instrument("session_delete", s.handleSessionDelete))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	s.mux.HandleFunc("GET /debug/requests", s.instrument("debug_requests", s.handleDebugRequests))

@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/sgraph"
+)
+
+// Event is one streamed activation-link arrival: node To is observed newly
+// infected with the given state, activated (when From >= 0) over the
+// diffusion link From -> To. From = -1 marks a seed event — To starts a new
+// outbreak with no observed activator. Events are the wire unit of the
+// ingest sessions (internal/ingest, POST /v1/sessions/{id}/events); a
+// replayed sequence of events reconstructs exactly the observed snapshot a
+// one-shot trace would carry.
+type Event struct {
+	// From is the activating node, or -1 for a seed event.
+	From int `json:"from"`
+	// To is the newly infected node.
+	To int `json:"to"`
+	// State is To's observed state as a trace code: +1, -1 or UnknownCode
+	// (infected, opinion unobserved). 0 (inactive) is not an infection.
+	State int8 `json:"state"`
+	// Round optionally carries To's first-infection round; -1 means
+	// unknown. On the wire the field is simply omitted for "unknown" —
+	// the JSON codec below maps absence to -1, so round 0 stays a real
+	// round (temporal pruning treats 0 and "unknown" very differently).
+	Round int32 `json:"round"`
+}
+
+// eventWire is Event's JSON shape. Round is a pointer so that an omitted
+// field is distinguishable from an explicit round 0: a client streaming
+// untimed events must not accidentally claim every node was infected in
+// round 0.
+type eventWire struct {
+	From  int    `json:"from"`
+	To    int    `json:"to"`
+	State int8   `json:"state"`
+	Round *int32 `json:"round,omitempty"`
+}
+
+// MarshalJSON omits the round field when it is unknown (< 0).
+func (e Event) MarshalJSON() ([]byte, error) {
+	w := eventWire{From: e.From, To: e.To, State: e.State}
+	if e.Round >= 0 {
+		w.Round = &e.Round
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON decodes an event, treating an absent round as unknown
+// (-1) rather than round 0.
+func (e *Event) UnmarshalJSON(b []byte) error {
+	var w eventWire
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	e.From, e.To, e.State, e.Round = w.From, w.To, w.State, -1
+	if w.Round != nil {
+		e.Round = *w.Round
+	}
+	return nil
+}
+
+// Validate checks the event's structure against a node count: endpoint
+// range, self-loop activation, state code and round. It is the stateless
+// half of event admission; ValidateAgainst adds the checks that depend on
+// the session's current observed states.
+func (e Event) Validate(nodes int) error {
+	if e.To < 0 || e.To >= nodes {
+		return fmt.Errorf("trace: event (%d,%d): activated node %d out of range for %d nodes", e.From, e.To, e.To, nodes)
+	}
+	if e.From < -1 || e.From >= nodes {
+		return fmt.Errorf("trace: event (%d,%d): activator %d out of range for %d nodes", e.From, e.To, e.From, nodes)
+	}
+	if e.From == e.To {
+		return fmt.Errorf("trace: event (%d,%d): self-loop activation on node %d", e.From, e.To, e.To)
+	}
+	s, err := StateFromCode(e.State)
+	if err != nil {
+		return fmt.Errorf("trace: event (%d,%d): invalid state code %d (want +1, -1 or %d)", e.From, e.To, e.State, UnknownCode)
+	}
+	if s == sgraph.StateInactive {
+		return fmt.Errorf("trace: event (%d,%d): state code 0 is not an infection (want +1, -1 or %d)", e.From, e.To, UnknownCode)
+	}
+	if e.Round < -1 {
+		return fmt.Errorf("trace: event (%d,%d): invalid round %d (want -1 or >= 0)", e.From, e.To, e.Round)
+	}
+	return nil
+}
+
+// ValidateAgainst checks the event against the current observed states and
+// the set of activation links already applied: the link must be fresh, the
+// activator already infected, and the target not yet infected. applied
+// reports whether an activation link (from, to) was applied before; a nil
+// applied skips the duplicate check. states must be indexed by node ID
+// (len(states) is trusted to cover both endpoints — call Validate first).
+func (e Event) ValidateAgainst(states []sgraph.State, applied func(from, to int) bool) error {
+	if applied != nil && applied(e.From, e.To) {
+		return fmt.Errorf("trace: event (%d,%d): duplicate activation edge", e.From, e.To)
+	}
+	if e.From >= 0 {
+		if s := states[e.From]; !s.Active() && s != sgraph.StateUnknown {
+			return fmt.Errorf("trace: event (%d,%d): activation of uninfected endpoint %d", e.From, e.To, e.From)
+		}
+	}
+	if s := states[e.To]; s.Active() || s == sgraph.StateUnknown {
+		return fmt.Errorf("trace: event (%d,%d): node %d is already infected", e.From, e.To, e.To)
+	}
+	return nil
+}

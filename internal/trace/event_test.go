@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/sgraph"
+)
+
+// TestEventJSONRound pins the wire semantics of the round field: absent
+// means unknown (-1), an explicit 0 is a real round, and marshaling an
+// unknown round omits the field (so decode(encode(e)) is the identity).
+func TestEventJSONRound(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want int32
+	}{
+		{"absent round", `{"from":-1,"to":3,"state":1}`, -1},
+		{"explicit round 0", `{"from":-1,"to":3,"state":1,"round":0}`, 0},
+		{"explicit round 4", `{"from":-1,"to":3,"state":1,"round":4}`, 4},
+	}
+	for _, tc := range cases {
+		var e Event
+		if err := json.Unmarshal([]byte(tc.body), &e); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if e.Round != tc.want {
+			t.Errorf("%s: Round = %d, want %d", tc.name, e.Round, tc.want)
+		}
+		if e.From != -1 || e.To != 3 || e.State != 1 {
+			t.Errorf("%s: decoded %+v, want From=-1 To=3 State=1", tc.name, e)
+		}
+		out, err := json.Marshal(e)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", tc.name, err)
+		}
+		if got := strings.Contains(string(out), `"round"`); got != (tc.want >= 0) {
+			t.Errorf("%s: marshaled %s; round presence = %v, want %v", tc.name, out, got, tc.want >= 0)
+		}
+		var back Event
+		if err := json.Unmarshal(out, &back); err != nil {
+			t.Fatalf("%s: re-decode: %v", tc.name, err)
+		}
+		if back != e {
+			t.Errorf("%s: round trip %+v -> %s -> %+v", tc.name, e, out, back)
+		}
+	}
+}
+
+func TestEventValidateStructural(t *testing.T) {
+	const nodes = 4
+	ok := Event{From: 0, To: 1, State: 1, Round: -1}
+	if err := ok.Validate(nodes); err != nil {
+		t.Fatalf("valid event rejected: %v", err)
+	}
+	if err := (Event{From: -1, To: 2, State: UnknownCode}).Validate(nodes); err != nil {
+		t.Fatalf("seed event rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		e    Event
+		want string // pinned message fragment: the ingest API serves these verbatim
+	}{
+		{"target out of range", Event{From: 0, To: 4, State: 1}, "activated node 4 out of range"},
+		{"negative target", Event{From: 0, To: -1, State: 1}, "activated node -1 out of range"},
+		{"activator out of range", Event{From: 4, To: 1, State: 1}, "activator 4 out of range"},
+		{"activator below seed marker", Event{From: -2, To: 1, State: 1}, "activator -2 out of range"},
+		{"self-loop activation", Event{From: 2, To: 2, State: 1}, "self-loop activation on node 2"},
+		{"invalid state code", Event{From: 0, To: 1, State: 5}, "invalid state code 5"},
+		{"inactive state", Event{From: 0, To: 1, State: 0}, "state code 0 is not an infection"},
+		{"bad round", Event{From: 0, To: 1, State: 1, Round: -3}, "invalid round -3"},
+	}
+	for _, tc := range cases {
+		err := tc.e.Validate(nodes)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not contain %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestEventValidateAgainst(t *testing.T) {
+	states := []sgraph.State{
+		sgraph.StatePositive, // 0: infected
+		sgraph.StateInactive, // 1: clean
+		sgraph.StateUnknown,  // 2: infected, opinion unobserved
+		sgraph.StateInactive, // 3: clean
+	}
+	dup := func(from, to int) bool { return from == 0 && to == 3 }
+
+	if err := (Event{From: 0, To: 1, State: 1}).ValidateAgainst(states, dup); err != nil {
+		t.Fatalf("valid activation rejected: %v", err)
+	}
+	// Unknown-state activators count as infected (they are in the infected
+	// subgraph), and nil applied skips the duplicate check.
+	if err := (Event{From: 2, To: 3, State: -1}).ValidateAgainst(states, nil); err != nil {
+		t.Fatalf("unknown-state activator rejected: %v", err)
+	}
+
+	cases := []struct {
+		name string
+		e    Event
+		want string
+	}{
+		{"duplicate activation edge", Event{From: 0, To: 3, State: 1}, "event (0,3): duplicate activation edge"},
+		{"uninfected activator", Event{From: 1, To: 3, State: 1}, "event (1,3): activation of uninfected endpoint 1"},
+		{"already infected target", Event{From: 0, To: 2, State: 1}, "event (0,2): node 2 is already infected"},
+		{"seed onto infected node", Event{From: -1, To: 0, State: 1}, "event (-1,0): node 0 is already infected"},
+	}
+	for _, tc := range cases {
+		err := tc.e.ValidateAgainst(states, dup)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not contain %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestStateCodeRoundTrip(t *testing.T) {
+	for _, s := range []sgraph.State{sgraph.StatePositive, sgraph.StateNegative, sgraph.StateInactive, sgraph.StateUnknown} {
+		back, err := StateFromCode(StateCode(s))
+		if err != nil {
+			t.Fatalf("state %v: %v", s, err)
+		}
+		if back != s {
+			t.Fatalf("state %v round-tripped to %v", s, back)
+		}
+	}
+	if _, err := StateFromCode(5); err == nil {
+		t.Fatal("StateFromCode accepted code 5")
+	}
+}

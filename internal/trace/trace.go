@@ -46,19 +46,25 @@ type EdgeRecord struct {
 	Weight float64 `json:"weight"`
 }
 
-// unknownCode encodes sgraph.StateUnknown in traces (the in-memory value 2
+// UnknownCode encodes sgraph.StateUnknown in traces (the in-memory value 2
 // is an implementation detail kept out of the format; 9 is visually
 // distinct in raw JSON).
-const unknownCode int8 = 9
+const UnknownCode int8 = 9
 
-func stateToCode(s sgraph.State) int8 {
+// unknownCode is kept as the historical internal name.
+const unknownCode = UnknownCode
+
+// StateCode encodes an in-memory node state as its wire code: +1, -1, 0 or
+// UnknownCode.
+func StateCode(s sgraph.State) int8 {
 	if s == sgraph.StateUnknown {
 		return unknownCode
 	}
 	return int8(s)
 }
 
-func codeToState(c int8) (sgraph.State, error) {
+// StateFromCode decodes a wire state code (+1, -1, 0 or UnknownCode).
+func StateFromCode(c int8) (sgraph.State, error) {
 	switch c {
 	case 1, -1, 0:
 		return sgraph.State(c), nil
@@ -68,6 +74,10 @@ func codeToState(c int8) (sgraph.State, error) {
 		return 0, fmt.Errorf("trace: invalid state code %d", c)
 	}
 }
+
+func stateToCode(s sgraph.State) int8 { return StateCode(s) }
+
+func codeToState(c int8) (sgraph.State, error) { return StateFromCode(c) }
 
 // FromSnapshot captures a snapshot plus optional ground truth.
 func FromSnapshot(name string, snap *cascade.Snapshot, seeds []int, seedStates []sgraph.State) *Trace {

@@ -71,10 +71,19 @@ END {
     printf "bench_diff: %s -> %s (threshold %s%%)\n\n", oldfile, newfile, threshold
     printf "%-32s %14s %14s %9s  %s\n", "benchmark", "old ns/op", "new ns/op", "delta", "verdict"
     regressions = 0
+    skipped = 0
     for (i = 0; i < n; i++) {
         key = ordered[i]
+        # A benchmark in only one snapshot has no delta to judge (a new
+        # bench added this PR, or one retired since the baseline). Skip it
+        # with a note instead of emitting an empty or divide-by-zero row;
+        # only benchmarks present on both sides can gate CI.
         if (!(key in old_ns)) {
-            printf "%-32s %14s %14.0f %9s  %s\n", key, "-", new_ns[key], "-", "new"
+            skipnote[skipped++] = key " (only in " newfile ")"
+            continue
+        }
+        if (old_ns[key] + 0 == 0) {
+            skipnote[skipped++] = key " (zero baseline in " oldfile ")"
             continue
         }
         delta = 100 * (new_ns[key] - old_ns[key]) / old_ns[key]
@@ -89,7 +98,9 @@ END {
     }
     for (key in old_ns)
         if (!(key in new_ns))
-            printf "%-32s %14.0f %14s %9s  %s\n", key, old_ns[key], "-", "-", "removed"
+            skipnote[skipped++] = key " (only in " oldfile ")"
+    for (i = 0; i < skipped; i++)
+        printf "bench_diff: skipped %s: no counterpart to diff\n", skipnote[i]
     if (regressions > 0) {
         printf "\nbench_diff: %d benchmark(s) regressed beyond %s%%\n", regressions, threshold
         if (warn_only != "") {
