@@ -22,22 +22,34 @@
 // SIGTERM triggers a graceful drain.
 //
 // Observability: /metrics serves JSON by default and the Prometheus text
-// format with ?format=prometheus, including algorithm-depth counters and
-// Go runtime health. Requests are access-logged via slog (-log-level,
-// -log-format) with an X-Trace-Id that propagates into the pipeline; a
-// well-formed client-supplied X-Trace-Id ([0-9A-Za-z._-], at most 64
-// bytes) is honored for correlation. The flight recorder retains the last
-// -flight completed compute requests (slow or failed ones pinned past
-// eviction; -slow sets the threshold) and serves them on /debug/requests
-// as an HTML table with per-request drill-down, or JSON with ?format=json.
-// -debug-addr starts a second listener with net/http/pprof, expvar and the
-// same /debug/requests view — keep it off public interfaces.
+// format with ?format=prometheus, including algorithm-depth counters, SLO
+// burn rates, session gauges and Go runtime health. Requests are
+// access-logged via slog (-log-level, -log-format) under a W3C trace
+// context: an inbound traceparent header is honored (tracestate validated,
+// malformed ones dropped per spec), a legacy X-Trace-Id ([0-9A-Za-z._-],
+// at most 64 bytes) maps onto a deterministic valid trace id, and
+// responses carry both traceparent and X-Trace-Id. Completed requests
+// export as OTLP/JSON spans — stages as child spans, work and algorithm
+// counters as attributes — to an OTLP/HTTP collector (-otlp-endpoint)
+// and/or an NDJSON capture file (-otlp-file), under tail-based sampling:
+// failed and slow requests always export, the rest keep a deterministic
+// -otlp-sample fraction by trace id so replicas agree. Per-route SLO burn
+// rates against -slo-target / -slo-latency-ms are tracked over 5m/30m/1h/6h
+// windows and served in /metrics and on /debug/slo. The flight recorder
+// retains the last -flight completed compute requests (slow or failed ones
+// pinned past eviction; -slow sets the threshold) and serves them on
+// /debug/requests as an HTML table with per-request drill-down, or JSON
+// with ?format=json. -debug-addr starts a second listener with
+// net/http/pprof, expvar and the same /debug views — keep it off public
+// interfaces.
 //
 // Usage:
 //
 //	ridserve [-addr :8080] [-workers 0] [-queue 0] [-cache 64]
 //	         [-parallelism 0] [-timeout 30s] [-drain 15s] [-max-body-mb 32]
 //	         [-flight 128] [-slow 1s] [-max-sessions 64] [-session-ttl 15m]
+//	         [-otlp-endpoint url] [-otlp-file path] [-otlp-sample 1]
+//	         [-slo-target 0.99] [-slo-latency-ms 500]
 //	         [-log-level info] [-log-format text] [-debug-addr addr]
 //
 // -workers bounds how many requests compute at once; -parallelism bounds
@@ -65,91 +77,142 @@ import (
 	"time"
 
 	"repro/internal/cli"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
+// options collects every flag so validate/run stay readable as the flag
+// surface grows.
+type options struct {
+	addr         string
+	workers      int
+	queue        int
+	cacheSize    int
+	parallel     int
+	timeout      time.Duration
+	drain        time.Duration
+	maxBodyMB    int64
+	flight       int
+	slow         time.Duration
+	debugAddr    string
+	maxSess      int
+	sessTTL      time.Duration
+	otlpEndpoint string
+	otlpFile     string
+	otlpSample   float64
+	sloTarget    float64
+	sloLatencyMS int
+}
+
 func main() {
-	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		workers   = flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
-		queue     = flag.Int("queue", 0, "job-queue depth (0 = 4x workers)")
-		cacheSize = flag.Int("cache", 64, "graph-cache capacity (networks)")
-		parallel  = flag.Int("parallelism", 0, "per-detection pipeline parallelism (0 = GOMAXPROCS)")
-		timeout   = flag.Duration("timeout", 30*time.Second, "per-request deadline ceiling")
-		drain     = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain budget")
-		maxBodyMB = flag.Int64("max-body-mb", 32, "request body cap in MiB")
-		flight    = flag.Int("flight", 0, "flight-recorder capacity in requests (0 = default 128, -1 = disabled)")
-		slow      = flag.Duration("slow", 0, "latency at which requests pin in the flight recorder (0 = default 1s)")
-		debugAddr = flag.String("debug-addr", "", "pprof/expvar/flight-recorder listen address (empty = disabled)")
-		maxSess   = flag.Int("max-sessions", 64, "live ingest-session cap (exceeding answers 429)")
-		sessTTL   = flag.Duration("session-ttl", 15*time.Minute, "idle lifetime of an ingest session")
-		logCfg    = cli.LogFlags()
-	)
+	var o options
+	flag.StringVar(&o.addr, "addr", ":8080", "listen address")
+	flag.IntVar(&o.workers, "workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+	flag.IntVar(&o.queue, "queue", 0, "job-queue depth (0 = 4x workers)")
+	flag.IntVar(&o.cacheSize, "cache", 64, "graph-cache capacity (networks)")
+	flag.IntVar(&o.parallel, "parallelism", 0, "per-detection pipeline parallelism (0 = GOMAXPROCS)")
+	flag.DurationVar(&o.timeout, "timeout", 30*time.Second, "per-request deadline ceiling")
+	flag.DurationVar(&o.drain, "drain", 15*time.Second, "graceful-shutdown drain budget")
+	flag.Int64Var(&o.maxBodyMB, "max-body-mb", 32, "request body cap in MiB")
+	flag.IntVar(&o.flight, "flight", 0, "flight-recorder capacity in requests (0 = default 128, -1 = disabled)")
+	flag.DurationVar(&o.slow, "slow", 0, "latency at which requests pin in the flight recorder and export unconditionally (0 = default 1s)")
+	flag.StringVar(&o.debugAddr, "debug-addr", "", "pprof/expvar/flight-recorder listen address (empty = disabled)")
+	flag.IntVar(&o.maxSess, "max-sessions", 64, "live ingest-session cap (exceeding answers 429)")
+	flag.DurationVar(&o.sessTTL, "session-ttl", 15*time.Minute, "idle lifetime of an ingest session")
+	flag.StringVar(&o.otlpEndpoint, "otlp-endpoint", "", "OTLP/HTTP traces URL for span export (empty = no HTTP sink)")
+	flag.StringVar(&o.otlpFile, "otlp-file", "", "NDJSON file appending one OTLP/JSON export request per line (empty = no file sink)")
+	flag.Float64Var(&o.otlpSample, "otlp-sample", 1, "fraction of ordinary requests to export, decided deterministically from the trace id; failed and slow requests always export")
+	flag.Float64Var(&o.sloTarget, "slo-target", 0.99, "per-route availability objective in (0,1)")
+	flag.IntVar(&o.sloLatencyMS, "slo-latency-ms", 500, "per-route latency objective in milliseconds")
+	logCfg := cli.LogFlags()
 	flag.Parse()
 	cli.NoPositionalArgs("ridserve")
 	if err := logCfg.Setup(); err != nil {
 		cli.Fatal("ridserve", err)
 	}
-	if err := validate(*workers, *queue, *cacheSize, *parallel, *timeout, *drain, *maxBodyMB, *slow, *maxSess, *sessTTL); err != nil {
+	if err := validate(&o); err != nil {
 		cli.Fatal("ridserve", err)
 	}
-	if err := run(*addr, *workers, *queue, *cacheSize, *parallel, *timeout, *drain, *maxBodyMB, *flight, *slow, *debugAddr, *maxSess, *sessTTL); err != nil {
+	if err := run(&o); err != nil {
 		cli.Fatal("ridserve", err)
 	}
 }
 
-func validate(workers, queue, cacheSize, parallel int, timeout, drain time.Duration, maxBodyMB int64, slow time.Duration, maxSess int, sessTTL time.Duration) error {
+func validate(o *options) error {
 	switch {
-	case workers < 0:
-		return cli.Usagef("-workers must be non-negative, got %d", workers)
-	case parallel < 0:
-		return cli.Usagef("-parallelism must be non-negative, got %d", parallel)
-	case queue < 0:
-		return cli.Usagef("-queue must be non-negative, got %d", queue)
-	case cacheSize < 1:
-		return cli.Usagef("-cache must be positive, got %d", cacheSize)
-	case timeout <= 0:
-		return cli.Usagef("-timeout must be positive, got %v", timeout)
-	case drain <= 0:
-		return cli.Usagef("-drain must be positive, got %v", drain)
-	case maxBodyMB < 1:
-		return cli.Usagef("-max-body-mb must be positive, got %d", maxBodyMB)
-	case slow < 0:
-		return cli.Usagef("-slow must be non-negative, got %v", slow)
-	case maxSess < 1:
-		return cli.Usagef("-max-sessions must be positive, got %d", maxSess)
-	case sessTTL <= 0:
-		return cli.Usagef("-session-ttl must be positive, got %v", sessTTL)
+	case o.workers < 0:
+		return cli.Usagef("-workers must be non-negative, got %d", o.workers)
+	case o.parallel < 0:
+		return cli.Usagef("-parallelism must be non-negative, got %d", o.parallel)
+	case o.queue < 0:
+		return cli.Usagef("-queue must be non-negative, got %d", o.queue)
+	case o.cacheSize < 1:
+		return cli.Usagef("-cache must be positive, got %d", o.cacheSize)
+	case o.timeout <= 0:
+		return cli.Usagef("-timeout must be positive, got %v", o.timeout)
+	case o.drain <= 0:
+		return cli.Usagef("-drain must be positive, got %v", o.drain)
+	case o.maxBodyMB < 1:
+		return cli.Usagef("-max-body-mb must be positive, got %d", o.maxBodyMB)
+	case o.slow < 0:
+		return cli.Usagef("-slow must be non-negative, got %v", o.slow)
+	case o.maxSess < 1:
+		return cli.Usagef("-max-sessions must be positive, got %d", o.maxSess)
+	case o.sessTTL <= 0:
+		return cli.Usagef("-session-ttl must be positive, got %v", o.sessTTL)
+	case o.otlpSample < 0 || o.otlpSample > 1:
+		return cli.Usagef("-otlp-sample must be in [0,1], got %g", o.otlpSample)
+	case o.sloTarget <= 0 || o.sloTarget >= 1:
+		return cli.Usagef("-slo-target must be in (0,1), got %g", o.sloTarget)
+	case o.sloLatencyMS < 1:
+		return cli.Usagef("-slo-latency-ms must be positive, got %d", o.sloLatencyMS)
 	}
 	return nil
 }
 
-func run(addr string, workers, queue, cacheSize, parallel int, timeout, drain time.Duration, maxBodyMB int64, flight int, slow time.Duration, debugAddr string, maxSess int, sessTTL time.Duration) error {
+func run(o *options) error {
+	// The exporter is constructed here, not inside server.New, so sink
+	// errors (unreachable parse, unwritable file) fail startup loudly.
+	exporter, err := obs.NewExporter(obs.ExporterConfig{
+		Endpoint:      o.otlpEndpoint,
+		File:          o.otlpFile,
+		SampleRatio:   o.otlpSample,
+		SlowThreshold: o.slow,
+	})
+	if err != nil {
+		return err
+	}
 	s := server.New(server.Config{
-		Addr:           addr,
-		Workers:        workers,
-		QueueDepth:     queue,
-		CacheSize:      cacheSize,
-		DefaultTimeout: timeout,
-		MaxBodyBytes:   maxBodyMB << 20,
-		Parallelism:    parallel,
-		FlightSize:     flight,
-		SlowThreshold:  slow,
-		MaxSessions:    maxSess,
-		SessionTTL:     sessTTL,
+		Addr:           o.addr,
+		Workers:        o.workers,
+		QueueDepth:     o.queue,
+		CacheSize:      o.cacheSize,
+		DefaultTimeout: o.timeout,
+		MaxBodyBytes:   o.maxBodyMB << 20,
+		Parallelism:    o.parallel,
+		FlightSize:     o.flight,
+		SlowThreshold:  o.slow,
+		MaxSessions:    o.maxSess,
+		SessionTTL:     o.sessTTL,
+		Exporter:       exporter,
+		SLOTarget:      o.sloTarget,
+		SLOLatency:     time.Duration(o.sloLatencyMS) * time.Millisecond,
 	})
 	errc := make(chan error, 1)
 	go func() { errc <- s.ListenAndServe() }()
-	slog.Info("ridserve: listening", "addr", addr)
+	slog.Info("ridserve: listening", "addr", o.addr)
+	if exporter != nil {
+		slog.Info("ridserve: otlp export on", "endpoint", o.otlpEndpoint, "file", o.otlpFile, "sample", o.otlpSample)
+	}
 
-	if debugAddr != "" {
-		debug := &http.Server{Addr: debugAddr, Handler: s.DebugHandler(), ReadHeaderTimeout: 10 * time.Second}
+	if o.debugAddr != "" {
+		debug := &http.Server{Addr: o.debugAddr, Handler: s.DebugHandler(), ReadHeaderTimeout: 10 * time.Second}
 		go func() {
-			slog.Info("ridserve: debug endpoints up", "addr", debugAddr)
+			slog.Info("ridserve: debug endpoints up", "addr", o.debugAddr)
 			if err := debug.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				// Profiling is auxiliary: losing it should not take the
 				// service down, but it must be visible.
-				slog.Error("ridserve: debug listener failed", "addr", debugAddr, "err", err)
+				slog.Error("ridserve: debug listener failed", "addr", o.debugAddr, "err", err)
 			}
 		}()
 		defer debug.Close()
@@ -161,8 +224,8 @@ func run(addr string, workers, queue, cacheSize, parallel int, timeout, drain ti
 	case err := <-errc:
 		return err
 	case got := <-sig:
-		slog.Info("ridserve: draining", "signal", got.String(), "budget", drain)
-		ctx, cancel := context.WithTimeout(context.Background(), drain)
+		slog.Info("ridserve: draining", "signal", got.String(), "budget", o.drain)
+		ctx, cancel := context.WithTimeout(context.Background(), o.drain)
 		defer cancel()
 		return s.Shutdown(ctx)
 	}

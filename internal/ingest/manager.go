@@ -51,6 +51,18 @@ type Manager struct {
 	cfg      ManagerConfig
 	sessions map[string]*managed
 	seq      uint64
+	evicted  int64
+	rejected int64
+}
+
+// ManagerStats snapshots session-table pressure for /metrics.
+type ManagerStats struct {
+	// Active is the live (non-expired) session count.
+	Active int `json:"active"`
+	// Evicted counts sessions removed by idle-TTL expiry since start.
+	Evicted int64 `json:"evicted_total"`
+	// Rejected counts Create calls refused at capacity since start.
+	Rejected int64 `json:"rejected_total"`
 }
 
 // NewManager builds a session table.
@@ -63,6 +75,7 @@ func (m *Manager) evictExpired(now time.Time) {
 	for id, e := range m.sessions {
 		if now.After(e.expires) {
 			delete(m.sessions, id)
+			m.evicted++
 		}
 	}
 }
@@ -75,6 +88,7 @@ func (m *Manager) Create(s *Session) (string, error) {
 	now := m.cfg.Now()
 	m.evictExpired(now)
 	if len(m.sessions) >= m.cfg.MaxSessions {
+		m.rejected++
 		return "", ErrSessionLimit
 	}
 	m.seq++
@@ -112,4 +126,13 @@ func (m *Manager) Len() int {
 	defer m.mu.Unlock()
 	m.evictExpired(m.cfg.Now())
 	return len(m.sessions)
+}
+
+// Stats snapshots the table's pressure counters (evicting lazily first, so
+// Active reflects the idle-TTL).
+func (m *Manager) Stats() ManagerStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.evictExpired(m.cfg.Now())
+	return ManagerStats{Active: len(m.sessions), Evicted: m.evicted, Rejected: m.rejected}
 }

@@ -1,0 +1,362 @@
+package obs
+
+// Background OTLP/JSON span exporter. The request path pays one bounded
+// non-blocking channel send per sampled request; a single worker goroutine
+// batches telemetry and flushes it to an OTLP/HTTP endpoint and/or an
+// NDJSON capture file. Delivery is best-effort by design: when the queue
+// is full the request is dropped and counted, when the endpoint is down
+// sends retry with exponential backoff + jitter and then drop — the
+// serving path never blocks on the collector.
+//
+// Sampling is tail-based: the decision happens at Enqueue time, after the
+// outcome is known. Failed and slow requests (the flight recorder's pin
+// predicate) always export; ordinary requests export iff a deterministic
+// hash of the trace id clears the configured ratio, so every replica of a
+// fleet keeps or drops the same trace and cross-process traces stay whole.
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ExporterConfig configures NewExporter. The zero value of every field has
+// a usable default; at least one of Endpoint and File must be set for an
+// exporter to be constructed at all.
+type ExporterConfig struct {
+	// Endpoint is the OTLP/HTTP traces URL (e.g.
+	// http://collector:4318/v1/traces). Empty disables the HTTP sink.
+	Endpoint string
+	// File appends one OTLP/JSON export request per line (NDJSON) — the
+	// offline capture format CI goldens replay. Empty disables the file
+	// sink.
+	File string
+	// Service is the resource service.name (default "ridserve").
+	Service string
+	// QueueSize bounds the request-path channel (default 256). A full
+	// queue drops, never blocks.
+	QueueSize int
+	// BatchSize caps telemetry entries per flush (default 64).
+	BatchSize int
+	// FlushInterval bounds how long a non-full batch waits (default 3s).
+	FlushInterval time.Duration
+	// SampleRatio is the head-ratio for ordinary (not failed, not slow)
+	// requests in [0,1]; 0 means 1.0 (export everything). Failed and slow
+	// requests bypass it.
+	SampleRatio float64
+	// SlowThreshold marks a request slow for tail pinning (default
+	// DefaultSlowThreshold).
+	SlowThreshold time.Duration
+	// MaxRetries bounds HTTP send attempts per batch beyond the first
+	// (default 3).
+	MaxRetries int
+	// RetryBase seeds the exponential backoff (default 200ms).
+	RetryBase time.Duration
+	// Timeout bounds one HTTP send (default 5s).
+	Timeout time.Duration
+}
+
+func (c ExporterConfig) withDefaults() ExporterConfig {
+	if c.Service == "" {
+		c.Service = "ridserve"
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 256
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 64
+	}
+	if c.FlushInterval <= 0 {
+		c.FlushInterval = 3 * time.Second
+	}
+	if c.SampleRatio <= 0 {
+		c.SampleRatio = 1
+	}
+	if c.SampleRatio > 1 {
+		c.SampleRatio = 1
+	}
+	if c.SlowThreshold <= 0 {
+		c.SlowThreshold = DefaultSlowThreshold
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	} else if c.MaxRetries == 0 {
+		c.MaxRetries = 3
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 200 * time.Millisecond
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 5 * time.Second
+	}
+	return c
+}
+
+// ExporterStats is a point-in-time snapshot of exporter counters.
+type ExporterStats struct {
+	Enqueued        int64 `json:"enqueued"`
+	SampledOut      int64 `json:"sampled_out"`
+	DroppedQueue    int64 `json:"dropped_queue"`
+	DroppedSend     int64 `json:"dropped_send"`
+	Retries         int64 `json:"retries"`
+	ExportedBatches int64 `json:"exported_batches"`
+	ExportedSpans   int64 `json:"exported_spans"`
+}
+
+// Exporter batches RequestTelemetry in the background. All methods are
+// safe on a nil *Exporter (no-ops), so callers thread it through
+// unconditionally.
+type Exporter struct {
+	cfg    ExporterConfig
+	ch     chan *RequestTelemetry
+	file   *os.File
+	client *http.Client
+	stop   chan struct{}
+	done   chan struct{}
+	closed atomic.Bool
+	once   sync.Once
+	rng    *rand.Rand
+	rngMu  sync.Mutex
+
+	enqueued        atomic.Int64
+	sampledOut      atomic.Int64
+	droppedQueue    atomic.Int64
+	droppedSend     atomic.Int64
+	retries         atomic.Int64
+	exportedBatches atomic.Int64
+	exportedSpans   atomic.Int64
+}
+
+// NewExporter starts the background worker. With neither Endpoint nor File
+// configured it returns (nil, nil): a nil exporter whose methods all no-op,
+// so "telemetry export off" needs no branching at call sites.
+func NewExporter(cfg ExporterConfig) (*Exporter, error) {
+	if cfg.Endpoint == "" && cfg.File == "" {
+		return nil, nil
+	}
+	cfg = cfg.withDefaults()
+	e := &Exporter{
+		cfg:  cfg,
+		ch:   make(chan *RequestTelemetry, cfg.QueueSize),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+		rng:  rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+	if cfg.File != "" {
+		f, err := os.OpenFile(cfg.File, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("obs: otlp file sink: %w", err)
+		}
+		e.file = f
+	}
+	if cfg.Endpoint != "" {
+		e.client = &http.Client{Timeout: cfg.Timeout}
+	}
+	go e.loop()
+	return e, nil
+}
+
+// SampleTrace is the deterministic head-sampling decision: interpret the
+// low 64 bits of the trace id as an unsigned integer and keep the trace
+// iff it falls under ratio·2⁶⁴. Pure function of (traceID, ratio) — every
+// replica makes the same call, so distributed traces are kept or dropped
+// whole. Invalid trace ids are kept (they indicate a bug worth seeing).
+func SampleTrace(traceID string, ratio float64) bool {
+	if ratio >= 1 {
+		return true
+	}
+	if ratio <= 0 {
+		return false
+	}
+	if len(traceID) != 32 {
+		return true
+	}
+	v, err := strconv.ParseUint(traceID[16:], 16, 64)
+	if err != nil {
+		return true
+	}
+	bound := uint64(ratio * math.MaxUint64)
+	return v < bound
+}
+
+// Sampled reports the exporter's head-sampling decision for a trace id —
+// used by the middleware to set the response traceparent sampled flag. A
+// nil exporter samples nothing.
+func (e *Exporter) Sampled(traceID string) bool {
+	if e == nil {
+		return false
+	}
+	return SampleTrace(traceID, e.cfg.SampleRatio)
+}
+
+// Enqueue applies the tail-sampling decision and, if the request is kept,
+// hands it to the background worker without blocking: a full queue drops
+// and counts. Failed (status ≥ 400 or errored) and slow (elapsed ≥
+// SlowThreshold) requests always export; the rest follow SampleTrace.
+func (e *Exporter) Enqueue(rt *RequestTelemetry) {
+	if e == nil || rt == nil || e.closed.Load() {
+		return
+	}
+	pinned := rt.Failed() || rt.End.Sub(rt.Start) >= e.cfg.SlowThreshold
+	if !pinned && !SampleTrace(rt.Trace.TraceID, e.cfg.SampleRatio) {
+		e.sampledOut.Add(1)
+		return
+	}
+	select {
+	case e.ch <- rt:
+		e.enqueued.Add(1)
+	default:
+		e.droppedQueue.Add(1)
+	}
+}
+
+// Stats snapshots the exporter counters; zero value on a nil exporter.
+func (e *Exporter) Stats() ExporterStats {
+	if e == nil {
+		return ExporterStats{}
+	}
+	return ExporterStats{
+		Enqueued:        e.enqueued.Load(),
+		SampledOut:      e.sampledOut.Load(),
+		DroppedQueue:    e.droppedQueue.Load(),
+		DroppedSend:     e.droppedSend.Load(),
+		Retries:         e.retries.Load(),
+		ExportedBatches: e.exportedBatches.Load(),
+		ExportedSpans:   e.exportedSpans.Load(),
+	}
+}
+
+// Close stops the worker, flushes whatever is queued, and closes the file
+// sink. Idempotent and nil-safe, so both the server's Shutdown and the
+// constructing main may call it.
+func (e *Exporter) Close() error {
+	if e == nil {
+		return nil
+	}
+	e.once.Do(func() {
+		e.closed.Store(true)
+		close(e.stop)
+		<-e.done
+		if e.file != nil {
+			e.file.Close()
+		}
+	})
+	return nil
+}
+
+// loop is the worker. The data channel is never closed (Enqueue could race
+// a close and panic); Close signals via stop and the worker drains what is
+// already buffered before the final flush.
+func (e *Exporter) loop() {
+	defer close(e.done)
+	ticker := time.NewTicker(e.cfg.FlushInterval)
+	defer ticker.Stop()
+	batch := make([]*RequestTelemetry, 0, e.cfg.BatchSize)
+	for {
+		select {
+		case rt := <-e.ch:
+			batch = append(batch, rt)
+			if len(batch) >= e.cfg.BatchSize {
+				e.flush(batch)
+				batch = batch[:0]
+			}
+		case <-ticker.C:
+			if len(batch) > 0 {
+				e.flush(batch)
+				batch = batch[:0]
+			}
+		case <-e.stop:
+			for {
+				select {
+				case rt := <-e.ch:
+					batch = append(batch, rt)
+					if len(batch) >= e.cfg.BatchSize {
+						e.flush(batch)
+						batch = batch[:0]
+					}
+				default:
+					e.flush(batch)
+					return
+				}
+			}
+		}
+	}
+}
+
+func (e *Exporter) flush(batch []*RequestTelemetry) {
+	if len(batch) == 0 {
+		return
+	}
+	payload, err := MarshalOTLP(e.cfg.Service, batch)
+	if err != nil {
+		// Marshaling is a pure function of our own structs; failure here
+		// is a programming error, but dropping beats crashing the worker.
+		e.droppedSend.Add(int64(len(batch)))
+		return
+	}
+	var spans int64
+	for _, rt := range batch {
+		spans += rt.SpanCount()
+	}
+	ok := true
+	if e.file != nil {
+		if _, err := e.file.Write(append(payload, '\n')); err != nil {
+			ok = false
+		}
+	}
+	if e.client != nil {
+		if err := e.send(payload); err != nil {
+			ok = false
+		}
+	}
+	if ok {
+		e.exportedBatches.Add(1)
+		e.exportedSpans.Add(spans)
+	} else {
+		e.droppedSend.Add(int64(len(batch)))
+	}
+}
+
+// send POSTs one payload with exponential backoff + jitter. Client errors
+// (4xx) don't retry — the payload won't get better; server errors and
+// transport failures do, up to MaxRetries.
+func (e *Exporter) send(payload []byte) error {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		resp, err := e.client.Post(e.cfg.Endpoint, "application/json", bytes.NewReader(payload))
+		if err == nil {
+			code := resp.StatusCode
+			resp.Body.Close()
+			if code < 300 {
+				return nil
+			}
+			lastErr = fmt.Errorf("obs: otlp endpoint answered %d", code)
+			if code >= 400 && code < 500 && code != http.StatusTooManyRequests {
+				return lastErr
+			}
+		} else {
+			lastErr = err
+		}
+		if attempt >= e.cfg.MaxRetries {
+			return lastErr
+		}
+		e.retries.Add(1)
+		time.Sleep(e.backoff(attempt))
+	}
+}
+
+// backoff returns RetryBase·2^attempt with up to 50% uniform jitter.
+func (e *Exporter) backoff(attempt int) time.Duration {
+	d := e.cfg.RetryBase << uint(attempt)
+	e.rngMu.Lock()
+	j := time.Duration(e.rng.Int63n(int64(d)/2 + 1))
+	e.rngMu.Unlock()
+	return d + j
+}

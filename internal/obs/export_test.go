@@ -1,0 +1,376 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// exportTelemetry builds a minimal telemetry whose trace id (and therefore
+// sampling decision) the caller controls.
+func exportTelemetry(traceID string, status int, elapsed time.Duration) *RequestTelemetry {
+	start := time.Unix(1700000000, 0).UTC()
+	return &RequestTelemetry{
+		Trace:      TraceContext{TraceID: traceID, SpanID: "00f067aa0ba902b7", Flags: FlagSampled},
+		Route:      "/v1/detect",
+		Start:      start,
+		End:        start.Add(elapsed),
+		HTTPStatus: status,
+		Rec:        NewRecorder(),
+	}
+}
+
+// Trace ids whose low 64 bits sit at the extremes, so a 0.5 ratio decides
+// them predictably: kept sorts under 2^63, dropped above.
+const (
+	traceKeptAtHalf    = "0af7651916cd43dd0000000000000001"
+	traceDroppedAtHalf = "0af7651916cd43ddffffffffffffffff"
+)
+
+func TestSampleTrace(t *testing.T) {
+	if !SampleTrace(traceDroppedAtHalf, 1) {
+		t.Fatal("ratio 1 keeps everything")
+	}
+	if SampleTrace(traceKeptAtHalf, 0) {
+		t.Fatal("ratio 0 keeps nothing")
+	}
+	if !SampleTrace(traceKeptAtHalf, 0.5) {
+		t.Fatalf("low trace id must be kept at ratio 0.5")
+	}
+	if SampleTrace(traceDroppedAtHalf, 0.5) {
+		t.Fatalf("high trace id must be dropped at ratio 0.5")
+	}
+	// Invalid ids are kept: they indicate a bug worth seeing.
+	if !SampleTrace("not-a-trace-id-but-32-bytes-long", 0.001) || !SampleTrace("short", 0.001) {
+		t.Fatal("invalid trace ids must be kept")
+	}
+}
+
+// TestSamplingAgreesAcrossExporters pins the fleet property: the keep/drop
+// decision for an ordinary request is a pure function of the trace id, so
+// two exporter instances (two replicas) always agree.
+func TestSamplingAgreesAcrossExporters(t *testing.T) {
+	dir := t.TempDir()
+	newE := func(name string) *Exporter {
+		e, err := NewExporter(ExporterConfig{File: filepath.Join(dir, name), SampleRatio: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	e1, e2 := newE("a.ndjson"), newE("b.ndjson")
+	defer e1.Close()
+	defer e2.Close()
+	ids := []string{traceKeptAtHalf, traceDroppedAtHalf}
+	for i := 0; i < 64; i++ {
+		ids = append(ids, NewTraceContext().TraceID)
+	}
+	for _, id := range ids {
+		d1, d2, pure := e1.Sampled(id), e2.Sampled(id), SampleTrace(id, 0.5)
+		if d1 != d2 || d1 != pure {
+			t.Fatalf("trace %s: exporter decisions %v/%v, pure %v — replicas disagree", id, d1, d2, pure)
+		}
+	}
+}
+
+// readNDJSON returns the decoded export requests in the capture file, one
+// per line.
+func readNDJSON(t *testing.T, path string) []otlpWire {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var out []otlpWire
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var w otlpWire
+		if err := json.Unmarshal(sc.Bytes(), &w); err != nil {
+			t.Fatalf("capture line is not valid OTLP/JSON: %v", err)
+		}
+		out = append(out, w)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// exportedRoots flattens the capture into root span names keyed by trace id.
+func exportedRoots(wires []otlpWire) map[string]bool {
+	roots := make(map[string]bool)
+	for _, w := range wires {
+		for _, rs := range w.ResourceSpans {
+			for _, ss := range rs.ScopeSpans {
+				for _, sp := range ss.Spans {
+					if sp.ParentSpanID == "" || sp.Kind == otlpSpanKindServer {
+						roots[sp.TraceID] = true
+					}
+				}
+			}
+		}
+	}
+	return roots
+}
+
+// TestTailSamplingPinsFailedAndSlow drives the tail-sampling contract: with
+// a near-zero ratio, ordinary requests sample out, but failed and slow ones
+// always export.
+func TestTailSamplingPinsFailedAndSlow(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "capture.ndjson")
+	e, err := NewExporter(ExporterConfig{
+		File:          path,
+		SampleRatio:   0.000001,
+		SlowThreshold: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := exportTelemetry(traceDroppedAtHalf, 500, 5*time.Millisecond)
+	failed.Error = "worker pool saturated"
+	slow := exportTelemetry("4bf92f3577b34da6ffffffffffffffff", 200, 150*time.Millisecond)
+	ordinary := exportTelemetry("1111111111111111ffffffffffffffff", 200, 5*time.Millisecond)
+	e.Enqueue(failed)
+	e.Enqueue(slow)
+	e.Enqueue(ordinary)
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	stats := e.Stats()
+	if stats.Enqueued != 2 || stats.SampledOut != 1 {
+		t.Fatalf("stats = %+v, want 2 enqueued (pinned) and 1 sampled out", stats)
+	}
+	roots := exportedRoots(readNDJSON(t, path))
+	if !roots[failed.Trace.TraceID] {
+		t.Error("failed request missing from capture — must always export")
+	}
+	if !roots[slow.Trace.TraceID] {
+		t.Error("slow request missing from capture — must always export")
+	}
+	if roots[ordinary.Trace.TraceID] {
+		t.Error("ordinary request exported despite sampling out")
+	}
+}
+
+func TestFileSinkNDJSONBatches(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "capture.ndjson")
+	e, err := NewExporter(ExporterConfig{File: path, BatchSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Enqueue(exportTelemetry(traceKeptAtHalf, 200, time.Millisecond))
+	e.Enqueue(exportTelemetry("4bf92f3577b34da6a3ce929d0e0e4736", 200, time.Millisecond))
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wires := readNDJSON(t, path)
+	if len(wires) != 2 {
+		t.Fatalf("got %d NDJSON lines, want 2 (batch size 1)", len(wires))
+	}
+	stats := e.Stats()
+	if stats.ExportedBatches != 2 || stats.ExportedSpans != 2 {
+		t.Fatalf("stats = %+v, want 2 batches / 2 spans", stats)
+	}
+}
+
+// TestEnqueueNeverBlocks holds the worker hostage mid-send and verifies the
+// request path drops instead of blocking once the bounded queue fills.
+func TestEnqueueNeverBlocks(t *testing.T) {
+	release := make(chan struct{})
+	var entered atomic.Bool
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		entered.Store(true)
+		<-release
+	}))
+	defer srv.Close()
+	e, err := NewExporter(ExporterConfig{
+		Endpoint:   srv.URL,
+		QueueSize:  2,
+		BatchSize:  1,
+		MaxRetries: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First telemetry occupies the worker inside the blocked send.
+	e.Enqueue(exportTelemetry(traceKeptAtHalf, 500, time.Millisecond))
+	deadline := time.Now().Add(2 * time.Second)
+	for !entered.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never reached the endpoint")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Fill the queue past capacity; every call must return immediately.
+	start := time.Now()
+	for i := 0; i < 16; i++ {
+		e.Enqueue(exportTelemetry(traceKeptAtHalf, 500, time.Millisecond))
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("16 Enqueues took %v — the request path must never block on the collector", elapsed)
+	}
+	if e.Stats().DroppedQueue == 0 {
+		t.Fatal("expected queue-full drops once the worker was blocked")
+	}
+	close(release)
+	e.Close()
+}
+
+func TestSendRetriesThenDrops(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	e, err := NewExporter(ExporterConfig{
+		Endpoint:   srv.URL,
+		MaxRetries: 2,
+		RetryBase:  time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Enqueue(exportTelemetry(traceKeptAtHalf, 500, time.Millisecond))
+	e.Close()
+	stats := e.Stats()
+	if got := hits.Load(); got != 3 {
+		t.Fatalf("endpoint hit %d times, want 3 (1 try + 2 retries)", got)
+	}
+	if stats.Retries != 2 || stats.DroppedSend != 1 || stats.ExportedBatches != 0 {
+		t.Fatalf("stats = %+v, want 2 retries then drop", stats)
+	}
+}
+
+func TestSendClientErrorNoRetry(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+	}))
+	defer srv.Close()
+	e, err := NewExporter(ExporterConfig{Endpoint: srv.URL, RetryBase: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Enqueue(exportTelemetry(traceKeptAtHalf, 500, time.Millisecond))
+	e.Close()
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("endpoint hit %d times, want 1 — 4xx payloads don't get better", got)
+	}
+	if stats := e.Stats(); stats.Retries != 0 || stats.DroppedSend != 1 {
+		t.Fatalf("stats = %+v, want no retries and 1 drop", stats)
+	}
+}
+
+func TestExporterEndpointValidatesJSON(t *testing.T) {
+	var body atomic.Value
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if ct := r.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+			t.Errorf("content type = %q", ct)
+		}
+		var w2 otlpWire
+		if err := json.NewDecoder(r.Body).Decode(&w2); err != nil {
+			t.Errorf("endpoint received invalid OTLP/JSON: %v", err)
+		}
+		body.Store(w2)
+	}))
+	defer srv.Close()
+	e, err := NewExporter(ExporterConfig{Endpoint: srv.URL, Service: "ridserve"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Enqueue(exportTelemetry(traceKeptAtHalf, 200, time.Millisecond))
+	e.Close()
+	w, _ := body.Load().(otlpWire)
+	if len(w.ResourceSpans) != 1 {
+		t.Fatal("endpoint saw no resource spans")
+	}
+	attrs := w.ResourceSpans[0].Resource.Attributes
+	if len(attrs) != 1 || attrs[0].Key != "service.name" || attrs[0].Value.StringValue != "ridserve" {
+		t.Fatalf("resource attributes = %+v", attrs)
+	}
+	if stats := e.Stats(); stats.ExportedBatches != 1 || stats.ExportedSpans != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestNilExporter(t *testing.T) {
+	e, err := NewExporter(ExporterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e != nil {
+		t.Fatal("no sinks configured must yield a nil exporter")
+	}
+	// Every method no-ops on nil.
+	e.Enqueue(exportTelemetry(traceKeptAtHalf, 200, time.Millisecond))
+	if e.Sampled(traceKeptAtHalf) {
+		t.Fatal("nil exporter samples nothing")
+	}
+	if stats := e.Stats(); stats != (ExporterStats{}) {
+		t.Fatalf("nil stats = %+v", stats)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExporterCloseIdempotent(t *testing.T) {
+	e, err := NewExporter(ExporterConfig{File: filepath.Join(t.TempDir(), "c.ndjson")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Enqueue(exportTelemetry(traceKeptAtHalf, 500, time.Millisecond))
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Enqueue after close is a silent no-op, not a panic.
+	e.Enqueue(exportTelemetry(traceKeptAtHalf, 500, time.Millisecond))
+	if got := e.Stats().Enqueued; got != 1 {
+		t.Fatalf("enqueued = %d, want 1", got)
+	}
+}
+
+// BenchmarkExporterEnqueue isolates the request-path cost of span export —
+// what a serving handler actually pays per request. Background marshaling
+// and sends are the worker's business; the hot path is one sampling
+// decision plus one non-blocking channel operation.
+func BenchmarkExporterEnqueue(b *testing.B) {
+	b.Run("sampled-out", func(b *testing.B) {
+		e, err := NewExporter(ExporterConfig{Endpoint: "http://127.0.0.1:9/", SampleRatio: 0.000001, MaxRetries: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer e.Close()
+		rt := exportTelemetry(traceDroppedAtHalf, 200, time.Millisecond)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.Enqueue(rt)
+		}
+	})
+	b.Run("enqueue-or-drop", func(b *testing.B) {
+		e, err := NewExporter(ExporterConfig{Endpoint: "http://127.0.0.1:9/", QueueSize: 64, MaxRetries: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer e.Close()
+		rt := exportTelemetry(traceKeptAtHalf, 200, time.Millisecond)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.Enqueue(rt)
+		}
+	})
+}

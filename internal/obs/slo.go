@@ -1,0 +1,217 @@
+package obs
+
+// Multi-window multi-burn-rate SLO tracking (the Google SRE workbook
+// alerting recipe, chapter 5). Each route gets an availability objective
+// and a latency objective; both are watched over paired fast (5m + 1h) and
+// slow (30m + 6h) windows. Burn rate is errorRate / (1 - target): burning
+// at exactly 1 spends the whole error budget over the SLO period, 14.4
+// over both fast windows pages (2% of a 30-day budget in an hour), 6 over
+// both slow windows tickets.
+//
+// The implementation is a per-route ring of 10-second buckets spanning the
+// longest window (6h → 2160 buckets). Each bucket stores request, error
+// and slow-success counts plus the absolute bucket index it was written
+// under, so stale buckets are skipped on read without an eviction sweep —
+// Record is O(1) and Snapshot is O(buckets · routes), both lock-cheap.
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+const (
+	sloBucketSeconds = 10
+	sloSpan          = 6 * time.Hour
+	sloBuckets       = int(sloSpan / (sloBucketSeconds * time.Second))
+
+	// Burn-rate alert thresholds from the SRE workbook's recommended
+	// multiwindow policy for a 30-day SLO period.
+	sloPageBurn   = 14.4
+	sloTicketBurn = 6.0
+)
+
+// sloWindows are the reported windows, ascending.
+var sloWindows = []time.Duration{5 * time.Minute, 30 * time.Minute, time.Hour, 6 * time.Hour}
+
+// windowLabel renders a window compactly ("5m", "1h") — time.Duration's
+// own String would say "5m0s", which reads poorly as a Prometheus label.
+func windowLabel(d time.Duration) string {
+	if d < time.Hour {
+		return strconv.Itoa(int(d.Minutes())) + "m"
+	}
+	return strconv.Itoa(int(d.Hours())) + "h"
+}
+
+// SLOConfig configures a tracker. Zero values default to a 99% availability
+// target and a 500ms latency objective.
+type SLOConfig struct {
+	// Target is the availability objective in (0,1) (default 0.99). A
+	// request counts against it when it answers a server-side failure:
+	// status ≥ 500, or 429 (load shed — the service, not the caller,
+	// failed to serve).
+	Target float64
+	// Latency is the latency objective (default 500ms): successful
+	// requests slower than this burn the latency budget.
+	Latency time.Duration
+	// Now overrides the clock for tests.
+	Now func() time.Time
+}
+
+func (c SLOConfig) withDefaults() SLOConfig {
+	if c.Target <= 0 || c.Target >= 1 {
+		c.Target = 0.99
+	}
+	if c.Latency <= 0 {
+		c.Latency = 500 * time.Millisecond
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+type sloBucket struct {
+	abs      int64 // absolute bucket index this slot was last written for
+	requests int64
+	errors   int64
+	slow     int64 // successful but over the latency objective
+}
+
+type sloRoute struct {
+	buckets []sloBucket
+}
+
+// SLOTracker accumulates per-route outcomes and reports multi-window burn
+// rates. Nil-safe: methods on a nil tracker no-op / return zero snapshots.
+type SLOTracker struct {
+	cfg    SLOConfig
+	mu     sync.Mutex
+	routes map[string]*sloRoute
+}
+
+// NewSLOTracker builds a tracker with cfg's objectives.
+func NewSLOTracker(cfg SLOConfig) *SLOTracker {
+	return &SLOTracker{cfg: cfg.withDefaults(), routes: make(map[string]*sloRoute)}
+}
+
+// Record folds one served request into the route's current bucket.
+func (t *SLOTracker) Record(route string, status int, elapsed time.Duration) {
+	if t == nil {
+		return
+	}
+	abs := t.cfg.Now().Unix() / sloBucketSeconds
+	failed := status >= 500 || status == 429
+	slow := !failed && elapsed >= t.cfg.Latency
+	t.mu.Lock()
+	r := t.routes[route]
+	if r == nil {
+		r = &sloRoute{buckets: make([]sloBucket, sloBuckets)}
+		t.routes[route] = r
+	}
+	b := &r.buckets[abs%int64(sloBuckets)]
+	if b.abs != abs {
+		*b = sloBucket{abs: abs}
+	}
+	b.requests++
+	if failed {
+		b.errors++
+	}
+	if slow {
+		b.slow++
+	}
+	t.mu.Unlock()
+}
+
+// SLOWindow is one window's aggregate for one route.
+type SLOWindow struct {
+	Window          string  `json:"window"`
+	Requests        int64   `json:"requests"`
+	Errors          int64   `json:"errors"`
+	SlowRequests    int64   `json:"slow_requests"`
+	ErrorRate       float64 `json:"error_rate"`
+	BurnRate        float64 `json:"burn_rate"`
+	LatencyBurnRate float64 `json:"latency_burn_rate"`
+}
+
+// RouteSLO is one route's full report.
+type RouteSLO struct {
+	Route   string      `json:"route"`
+	Windows []SLOWindow `json:"windows"`
+	// BudgetRemaining is the fraction of the 6h error budget left, in
+	// [-inf, 1]: 1 = untouched, 0 = exactly spent, negative = overspent.
+	BudgetRemaining float64 `json:"budget_remaining"`
+	// Page is set when both fast windows (5m and 1h) burn ≥ 14.4× on
+	// either objective; Ticket when both slow windows (30m and 6h) burn
+	// ≥ 6×.
+	Page   bool `json:"page"`
+	Ticket bool `json:"ticket"`
+}
+
+// SLOSnapshot is the tracker's full report, routes sorted by name.
+type SLOSnapshot struct {
+	Target             float64    `json:"target"`
+	LatencyObjectiveMS int64      `json:"latency_objective_ms"`
+	Routes             []RouteSLO `json:"routes"`
+}
+
+// Snapshot reports every route's windows as of the tracker's clock.
+func (t *SLOTracker) Snapshot() SLOSnapshot {
+	if t == nil {
+		return SLOSnapshot{}
+	}
+	now := t.cfg.Now().Unix() / sloBucketSeconds
+	budget := 1 - t.cfg.Target
+	snap := SLOSnapshot{
+		Target:             t.cfg.Target,
+		LatencyObjectiveMS: t.cfg.Latency.Milliseconds(),
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for route, r := range t.routes {
+		rs := RouteSLO{Route: route}
+		burns := make(map[time.Duration]SLOWindow, len(sloWindows))
+		for _, w := range sloWindows {
+			nb := int64(w / (sloBucketSeconds * time.Second))
+			var req, errs, slow int64
+			// The window covers the nb most recent absolute indices,
+			// current bucket included.
+			for abs := now - nb + 1; abs <= now; abs++ {
+				b := &r.buckets[((abs%int64(sloBuckets))+int64(sloBuckets))%int64(sloBuckets)]
+				if b.abs != abs {
+					continue
+				}
+				req += b.requests
+				errs += b.errors
+				slow += b.slow
+			}
+			win := SLOWindow{Window: windowLabel(w), Requests: req, Errors: errs, SlowRequests: slow}
+			if req > 0 {
+				win.ErrorRate = float64(errs) / float64(req)
+				win.BurnRate = win.ErrorRate / budget
+				win.LatencyBurnRate = (float64(slow) / float64(req)) / budget
+			}
+			burns[w] = win
+			rs.Windows = append(rs.Windows, win)
+		}
+		over := func(w time.Duration, th float64) bool {
+			b := burns[w]
+			return b.BurnRate >= th || b.LatencyBurnRate >= th
+		}
+		rs.Page = over(5*time.Minute, sloPageBurn) && over(time.Hour, sloPageBurn)
+		rs.Ticket = over(30*time.Minute, sloTicketBurn) && over(6*time.Hour, sloTicketBurn)
+		long := burns[6*time.Hour]
+		rs.BudgetRemaining = 1
+		if long.Requests > 0 {
+			spent := float64(long.Errors) / float64(long.Requests) / budget
+			if lat := float64(long.SlowRequests) / float64(long.Requests) / budget; lat > spent {
+				spent = lat
+			}
+			rs.BudgetRemaining = 1 - spent
+		}
+		snap.Routes = append(snap.Routes, rs)
+	}
+	sort.Slice(snap.Routes, func(i, j int) bool { return snap.Routes[i].Route < snap.Routes[j].Route })
+	return snap
+}

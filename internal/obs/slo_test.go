@@ -1,0 +1,243 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// sloClock is an adjustable fake clock for the tracker.
+type sloClock struct{ now time.Time }
+
+func (c *sloClock) Now() time.Time          { return c.now }
+func (c *sloClock) advance(d time.Duration) { c.now = c.now.Add(d) }
+func newSLOClock() *sloClock                { return &sloClock{now: time.Unix(1700000000, 0).UTC()} }
+func routeSLO(s SLOSnapshot, route string) *RouteSLO {
+	for i := range s.Routes {
+		if s.Routes[i].Route == route {
+			return &s.Routes[i]
+		}
+	}
+	return nil
+}
+
+func window(rs *RouteSLO, label string) *SLOWindow {
+	for i := range rs.Windows {
+		if rs.Windows[i].Window == label {
+			return &rs.Windows[i]
+		}
+	}
+	return nil
+}
+
+const burnEps = 1e-9
+
+// TestBurnRateMath pins the arithmetic: at a 99% target the error budget is
+// 1%, so a 10% error rate burns at exactly 10.
+func TestBurnRateMath(t *testing.T) {
+	clock := newSLOClock()
+	tr := NewSLOTracker(SLOConfig{Target: 0.99, Latency: 500 * time.Millisecond, Now: clock.Now})
+	for i := 0; i < 100; i++ {
+		status := 200
+		if i < 10 {
+			status = 500
+		}
+		tr.Record("/v1/detect", status, 10*time.Millisecond)
+	}
+	rs := routeSLO(tr.Snapshot(), "/v1/detect")
+	if rs == nil {
+		t.Fatal("route missing from snapshot")
+	}
+	for _, label := range []string{"5m", "30m", "1h", "6h"} {
+		w := window(rs, label)
+		if w == nil {
+			t.Fatalf("window %s missing", label)
+		}
+		if w.Requests != 100 || w.Errors != 10 {
+			t.Fatalf("%s: %d req / %d err, want 100/10", label, w.Requests, w.Errors)
+		}
+		if math.Abs(w.ErrorRate-0.1) > burnEps {
+			t.Fatalf("%s: error rate %g, want 0.1", label, w.ErrorRate)
+		}
+		if math.Abs(w.BurnRate-10) > burnEps {
+			t.Fatalf("%s: burn %g, want 10", label, w.BurnRate)
+		}
+	}
+	// 10% of a 1% budget spent 10x over: remaining = 1 - 10 = -9.
+	if math.Abs(rs.BudgetRemaining-(-9)) > burnEps {
+		t.Fatalf("budget remaining %g, want -9", rs.BudgetRemaining)
+	}
+}
+
+// TestBurnRateProperty is the property test over random outcome streams:
+// for any mix of successes, failures and slow successes spread across a
+// window, the reported burn rates equal the analytic
+// errorRate/(1-target) and slowRate/(1-target).
+func TestBurnRateProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		clock := newSLOClock()
+		// Random objectives too, not just random traffic.
+		target := 0.9 + 0.099*rng.Float64()
+		tr := NewSLOTracker(SLOConfig{Target: target, Latency: 100 * time.Millisecond, Now: clock.Now})
+		total := 1 + rng.Intn(400)
+		var errs, slow int
+		for i := 0; i < total; i++ {
+			// Spread the stream over ~4 minutes so it crosses bucket
+			// boundaries but stays inside the 5m window.
+			clock.now = time.Unix(1700000000, 0).Add(time.Duration(rng.Intn(240)) * time.Second)
+			switch rng.Intn(4) {
+			case 0: // server failure
+				status := []int{500, 502, 503, 429}[rng.Intn(4)]
+				tr.Record("/r", status, 5*time.Millisecond)
+				errs++
+			case 1: // success over the latency objective
+				tr.Record("/r", 200, 150*time.Millisecond)
+				slow++
+			default: // fast success; 4xx client errors also don't burn
+				status := []int{200, 200, 404, 400}[rng.Intn(4)]
+				tr.Record("/r", status, 5*time.Millisecond)
+			}
+		}
+		clock.now = time.Unix(1700000000, 0).Add(299 * time.Second)
+		rs := routeSLO(tr.Snapshot(), "/r")
+		budget := 1 - target
+		for _, label := range []string{"5m", "30m", "1h", "6h"} {
+			w := window(rs, label)
+			if w.Requests != int64(total) || w.Errors != int64(errs) || w.SlowRequests != int64(slow) {
+				t.Fatalf("trial %d %s: counts %d/%d/%d, want %d/%d/%d",
+					trial, label, w.Requests, w.Errors, w.SlowRequests, total, errs, slow)
+			}
+			wantBurn := float64(errs) / float64(total) / budget
+			if math.Abs(w.BurnRate-wantBurn) > 1e-6 {
+				t.Fatalf("trial %d %s: burn %g, want %g", trial, label, w.BurnRate, wantBurn)
+			}
+			wantLat := float64(slow) / float64(total) / budget
+			if math.Abs(w.LatencyBurnRate-wantLat) > 1e-6 {
+				t.Fatalf("trial %d %s: latency burn %g, want %g", trial, label, w.LatencyBurnRate, wantLat)
+			}
+		}
+	}
+}
+
+// TestWindowScoping verifies each window sees exactly the traffic inside
+// its span: a request 10 minutes old is outside 5m but inside 30m/1h/6h,
+// one 7 hours old is outside everything.
+func TestWindowScoping(t *testing.T) {
+	clock := newSLOClock()
+	tr := NewSLOTracker(SLOConfig{Now: clock.Now})
+	tr.Record("/r", 500, time.Millisecond) // t0: will age out entirely
+	clock.advance(7 * time.Hour)
+	tr.Record("/r", 500, time.Millisecond) // 10 minutes before "now"
+	clock.advance(10 * time.Minute)
+	tr.Record("/r", 200, time.Millisecond) // current bucket
+	rs := routeSLO(tr.Snapshot(), "/r")
+	checks := map[string][2]int64{ // window → {requests, errors}
+		"5m":  {1, 0},
+		"30m": {2, 1},
+		"1h":  {2, 1},
+		"6h":  {2, 1},
+	}
+	for label, want := range checks {
+		w := window(rs, label)
+		if w.Requests != want[0] || w.Errors != want[1] {
+			t.Errorf("%s: %d req / %d err, want %d/%d", label, w.Requests, w.Errors, want[0], want[1])
+		}
+	}
+}
+
+// TestStaleRingReset drives the clock a full ring span forward and checks
+// old buckets are skipped without any eviction pass.
+func TestStaleRingReset(t *testing.T) {
+	clock := newSLOClock()
+	tr := NewSLOTracker(SLOConfig{Now: clock.Now})
+	for i := 0; i < 50; i++ {
+		tr.Record("/r", 500, time.Millisecond)
+	}
+	clock.advance(6*time.Hour + time.Minute)
+	rs := routeSLO(tr.Snapshot(), "/r")
+	if w := window(rs, "6h"); w.Requests != 0 || w.Errors != 0 {
+		t.Fatalf("6h window sees stale traffic: %+v", w)
+	}
+	if rs.BudgetRemaining != 1 {
+		t.Fatalf("budget remaining %g, want 1 (untouched)", rs.BudgetRemaining)
+	}
+}
+
+// TestPageAndTicket exercises the multiwindow alert policy on the
+// availability objective.
+func TestPageAndTicket(t *testing.T) {
+	clock := newSLOClock()
+	tr := NewSLOTracker(SLOConfig{Target: 0.99, Now: clock.Now})
+	// 20% errors → burn 20: over 14.4 on both fast windows (page) and over
+	// 6 on both slow windows (ticket).
+	for i := 0; i < 100; i++ {
+		status := 200
+		if i < 20 {
+			status = 500
+		}
+		tr.Record("/bad", status, time.Millisecond)
+	}
+	// A healthy route alongside: 1 error in 1000 → burn 0.1.
+	for i := 0; i < 1000; i++ {
+		status := 200
+		if i == 0 {
+			status = 500
+		}
+		tr.Record("/good", status, time.Millisecond)
+	}
+	snap := tr.Snapshot()
+	bad, good := routeSLO(snap, "/bad"), routeSLO(snap, "/good")
+	if !bad.Page || !bad.Ticket {
+		t.Fatalf("/bad page=%v ticket=%v, want both", bad.Page, bad.Ticket)
+	}
+	if good.Page || good.Ticket {
+		t.Fatalf("/good page=%v ticket=%v, want neither", good.Page, good.Ticket)
+	}
+	// A burn between 6 and 14.4 tickets without paging: 10% errors → 10.
+	for i := 0; i < 100; i++ {
+		status := 200
+		if i < 10 {
+			status = 500
+		}
+		tr.Record("/warm", status, time.Millisecond)
+	}
+	warm := routeSLO(tr.Snapshot(), "/warm")
+	if warm.Page || !warm.Ticket {
+		t.Fatalf("/warm page=%v ticket=%v, want ticket only", warm.Page, warm.Ticket)
+	}
+}
+
+// TestLatencyObjectivePages shows a route can page on latency alone: every
+// request succeeds but blows the latency objective.
+func TestLatencyObjectivePages(t *testing.T) {
+	clock := newSLOClock()
+	tr := NewSLOTracker(SLOConfig{Target: 0.99, Latency: 100 * time.Millisecond, Now: clock.Now})
+	for i := 0; i < 100; i++ {
+		tr.Record("/slow", 200, 250*time.Millisecond)
+	}
+	rs := routeSLO(tr.Snapshot(), "/slow")
+	if w := window(rs, "5m"); w.BurnRate != 0 || w.LatencyBurnRate < sloPageBurn {
+		t.Fatalf("5m burn=%g latency burn=%g", w.BurnRate, w.LatencyBurnRate)
+	}
+	if !rs.Page {
+		t.Fatal("all-slow route must page on the latency objective")
+	}
+	if rs.BudgetRemaining >= 0 {
+		t.Fatalf("budget remaining %g, want negative (latency budget overspent)", rs.BudgetRemaining)
+	}
+}
+
+func TestSLOTrackerNilAndDefaults(t *testing.T) {
+	var tr *SLOTracker
+	tr.Record("/r", 500, time.Second) // must not panic
+	if snap := tr.Snapshot(); len(snap.Routes) != 0 {
+		t.Fatal("nil tracker must snapshot empty")
+	}
+	d := NewSLOTracker(SLOConfig{})
+	snap := d.Snapshot()
+	if snap.Target != 0.99 || snap.LatencyObjectiveMS != 500 {
+		t.Fatalf("defaults = %+v, want 0.99 / 500ms", snap)
+	}
+}

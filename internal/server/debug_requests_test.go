@@ -160,8 +160,9 @@ func TestDebugRequestsEndToEnd(t *testing.T) {
 	if detectRec == nil {
 		t.Fatal("detect not retained")
 	}
-	if detectRec.TraceID != "flight-detect-1" {
-		t.Errorf("detect record trace = %q, want the client-supplied ID", detectRec.TraceID)
+	mapped := obs.TraceIDFromLegacy("flight-detect-1")
+	if detectRec.TraceID != mapped {
+		t.Errorf("detect record trace = %q, want the client-supplied ID mapped to %q", detectRec.TraceID, mapped)
 	}
 	if !strings.HasPrefix(detectRec.Detail, "detector=") {
 		t.Errorf("detect record detail = %q", detectRec.Detail)
@@ -192,17 +193,17 @@ func TestDebugRequestsEndToEnd(t *testing.T) {
 	}
 
 	// Drill-down: HTML carries stages and algorithm counters; JSON round-trips.
-	resp, body = getBody(t, ts, "/debug/requests?trace=flight-detect-1")
+	resp, body = getBody(t, ts, "/debug/requests?trace="+mapped)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("drill-down status = %d", resp.StatusCode)
 	}
 	detail := string(body)
-	for _, want := range []string{"tree_dp", "algorithm counters", "tarjan_solves", "flight-detect-1"} {
+	for _, want := range []string{"tree_dp", "algorithm counters", "tarjan_solves", mapped} {
 		if !strings.Contains(detail, want) {
 			t.Errorf("drill-down missing %q", want)
 		}
 	}
-	resp, body = getBody(t, ts, "/debug/requests?trace=flight-detect-1&format=json")
+	resp, body = getBody(t, ts, "/debug/requests?trace="+mapped+"&format=json")
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("drill-down json status = %d", resp.StatusCode)
 	}
@@ -210,7 +211,7 @@ func TestDebugRequestsEndToEnd(t *testing.T) {
 	if err := json.Unmarshal(body, &one); err != nil {
 		t.Fatal(err)
 	}
-	if one.TraceID != "flight-detect-1" || one.Seq != detectRec.Seq {
+	if one.TraceID != mapped || one.Seq != detectRec.Seq {
 		t.Errorf("drill-down json = %+v, want record %d", one, detectRec.Seq)
 	}
 
@@ -279,7 +280,9 @@ func TestServerDebugHandler(t *testing.T) {
 }
 
 // TestTraceIDSanitized: malformed inbound X-Trace-Id headers are replaced
-// with a freshly minted ID instead of flowing into logs and flight records.
+// with a freshly minted ID instead of flowing into logs and flight records;
+// well-formed legacy tokens are accepted (and mapped onto W3C trace ids by
+// the middleware).
 func TestTraceIDSanitized(t *testing.T) {
 	unit := []struct {
 		in   string
@@ -298,12 +301,12 @@ func TestTraceIDSanitized(t *testing.T) {
 		{"日本語", false},
 	}
 	for _, tc := range unit {
-		got := sanitizeTraceID(tc.in)
+		got := legacyTraceToken(tc.in)
 		if tc.keep && got != tc.in {
-			t.Errorf("sanitizeTraceID(%q) = %q, want kept", tc.in, got)
+			t.Errorf("legacyTraceToken(%q) = %q, want kept", tc.in, got)
 		}
 		if !tc.keep && got != "" {
-			t.Errorf("sanitizeTraceID(%q) = %q, want rejected", tc.in, got)
+			t.Errorf("legacyTraceToken(%q) = %q, want rejected", tc.in, got)
 		}
 	}
 
@@ -314,7 +317,7 @@ func TestTraceIDSanitized(t *testing.T) {
 		t.Fatalf("status = %d", resp.StatusCode)
 	}
 	minted := resp.Header.Get("X-Trace-Id")
-	if len(minted) != 16 || strings.Contains(minted, " ") {
-		t.Errorf("malformed inbound header echoed %q, want a fresh 16-hex ID", minted)
+	if !obs.ValidTraceID(minted) {
+		t.Errorf("malformed inbound header echoed %q, want a fresh 32-hex W3C trace id", minted)
 	}
 }

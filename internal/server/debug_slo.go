@@ -1,0 +1,95 @@
+package server
+
+import (
+	"html/template"
+	"net/http"
+	"sort"
+
+	"repro/internal/obs"
+)
+
+// This file serves the SLO dashboard at GET /debug/slo: per-route burn
+// rates over the paired fast (5m/1h) and slow (30m/6h) windows against the
+// configured availability and latency objectives, remaining 6h error
+// budget, and page/ticket indicators — worst offenders first. ?format=json
+// serves the raw obs.SLOSnapshot.
+
+func (s *Server) handleDebugSLO(w http.ResponseWriter, r *http.Request) {
+	snap := s.slo.Snapshot()
+	switch format := r.URL.Query().Get("format"); format {
+	case "json":
+		writeJSON(w, http.StatusOK, snap)
+	case "", "html":
+		renderHTML(w, sloTmpl, newSLOView(snap))
+	default:
+		writeError(w, badRequest("unknown format %q (want html or json)", format))
+	}
+}
+
+// sloRowView is one route × window cell block flattened for the template.
+type sloRowView struct {
+	Route           string
+	Windows         []obs.SLOWindow
+	BudgetRemaining float64
+	Page            bool
+	Ticket          bool
+	Class           string // row tint: "err" (paging), "pin" (ticketing) or ""
+}
+
+type sloView struct {
+	Target    float64
+	LatencyMS int64
+	Routes    []sloRowView
+}
+
+func newSLOView(snap obs.SLOSnapshot) sloView {
+	v := sloView{Target: snap.Target, LatencyMS: snap.LatencyObjectiveMS}
+	for _, rs := range snap.Routes {
+		row := sloRowView{
+			Route:           rs.Route,
+			Windows:         rs.Windows,
+			BudgetRemaining: rs.BudgetRemaining,
+			Page:            rs.Page,
+			Ticket:          rs.Ticket,
+		}
+		switch {
+		case rs.Page:
+			row.Class = "err"
+		case rs.Ticket:
+			row.Class = "pin"
+		}
+		v.Routes = append(v.Routes, row)
+	}
+	// Worst offenders first: least budget remaining, ties by name (the
+	// snapshot arrives name-sorted and the sort is stable).
+	sort.SliceStable(v.Routes, func(i, j int) bool {
+		return v.Routes[i].BudgetRemaining < v.Routes[j].BudgetRemaining
+	})
+	return v
+}
+
+var sloTmpl = template.Must(template.New("slo").Parse(`<!DOCTYPE html>
+<html><head><title>ridserve SLO burn rates</title>` + flightStyle + `</head><body>
+<h1>ridserve SLO burn rates</h1>
+<p>Availability objective {{printf "%.4g" .Target}}, latency objective {{.LatencyMS}} ms.
+Burn rate 1 spends the whole error budget over the SLO period;
+&ge; 14.4 on both fast windows (5m, 1h) <b>pages</b>, &ge; 6 on both slow
+windows (30m, 6h) <b>tickets</b>. Worst offenders first.
+<a href="?format=json">json</a></p>
+{{if not .Routes}}<p>No requests recorded yet.</p>{{end}}
+{{range .Routes}}<h2>{{.Route}}{{if .Page}} &mdash; PAGE{{else if .Ticket}} &mdash; TICKET{{end}}</h2>
+<p>error budget remaining (6h): {{printf "%.3f" .BudgetRemaining}}</p>
+<table>
+<tr><th>window</th><th>requests</th><th>errors</th><th>slow</th><th>error rate</th><th>burn</th><th>latency burn</th></tr>
+{{$class := .Class}}{{range .Windows}}<tr class="{{$class}}">
+<td>{{.Window}}</td>
+<td class="num">{{.Requests}}</td>
+<td class="num">{{.Errors}}</td>
+<td class="num">{{.SlowRequests}}</td>
+<td class="num">{{printf "%.4f" .ErrorRate}}</td>
+<td class="num">{{printf "%.2f" .BurnRate}}</td>
+<td class="num">{{printf "%.2f" .LatencyBurnRate}}</td>
+</tr>
+{{end}}</table>
+{{end}}</body></html>
+`))

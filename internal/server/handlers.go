@@ -257,6 +257,10 @@ func (s *Server) detect(ctx context.Context, req *DetectRequest, detector core.D
 	start := time.Now()
 	rec := obs.NewRecorder()
 	ctx = obs.WithRecorder(ctx, rec)
+	if t := obs.TelemetryFrom(ctx); t != nil {
+		t.SetRecorder(rec)
+		t.SetDetail("detector=" + detector.Name())
+	}
 	// Every outcome — including early validation and timeout errors — lands
 	// in the flight recorder with whatever spans and counters the pipeline
 	// managed to record before failing.
@@ -442,6 +446,13 @@ func (s *Server) simulate(ctx context.Context, req *SimulateRequest) (resp *Simu
 		return nil, badRequest("%v", err)
 	}
 	s.reg.MergeCounterSet(&cs)
+	if t := obs.TelemetryFrom(ctx); t != nil && !cs.Zero() {
+		// Simulation records flat counters rather than stages; fold them
+		// into a recorder so the exported span still carries algo.*.
+		expRec := obs.NewRecorder()
+		expRec.MergeCounterSet(&cs)
+		t.SetRecorder(expRec)
+	}
 	resp = &SimulateResponse{
 		Infected:    c.NumInfected(),
 		Flips:       c.Flips,
@@ -485,6 +496,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Capacity: s.pool.Capacity(),
 		Workers:  s.pool.Workers(),
 	}, s.cache.Len(), s.cache.Capacity())
+	sessions := s.sessions.Stats()
+	snap.Sessions = &sessions
+	slo := s.slo.Snapshot()
+	snap.SLO = &slo
+	if s.exporter != nil {
+		export := s.exporter.Stats()
+		snap.Export = &export
+	}
 	switch format := r.URL.Query().Get("format"); format {
 	case "", "json":
 		writeJSON(w, http.StatusOK, snap)

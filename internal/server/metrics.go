@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/ingest"
 	"repro/internal/obs"
 )
 
@@ -218,6 +219,17 @@ type Snapshot struct {
 	// Runtime is the Go runtime health sample (goroutines, heap, GC pause
 	// and scheduler-latency quantiles) taken at snapshot time.
 	Runtime *obs.RuntimeStats `json:"runtime,omitempty"`
+	// Sessions reports ingest-session table pressure (active count plus
+	// cumulative evictions and capacity rejections). Populated by the
+	// /metrics handler, which owns the session manager.
+	Sessions *ingest.ManagerStats `json:"sessions,omitempty"`
+	// SLO reports per-route multi-window burn rates against the configured
+	// availability and latency objectives. Populated by the /metrics
+	// handler.
+	SLO *obs.SLOSnapshot `json:"slo,omitempty"`
+	// Export reports OTLP span-exporter counters. Populated by the
+	// /metrics handler when an exporter is configured.
+	Export *obs.ExporterStats `json:"export,omitempty"`
 }
 
 // Snapshot captures the registry contents plus the supplied live gauges

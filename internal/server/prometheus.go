@@ -94,6 +94,82 @@ func RenderPrometheus(w io.Writer, s *Snapshot) error {
 	p.Header("ridserve_cache_capacity", "Graph-cache capacity.", "gauge")
 	p.IntSample("ridserve_cache_capacity", nil, int64(s.Cache.Capacity))
 
+	if sess := s.Sessions; sess != nil {
+		p.Header("ridserve_sessions_active", "Live (non-expired) ingest sessions.", "gauge")
+		p.IntSample("ridserve_sessions_active", nil, int64(sess.Active))
+		p.Header("ridserve_sessions_evicted_total", "Ingest sessions evicted by idle TTL.", "counter")
+		p.IntSample("ridserve_sessions_evicted_total", nil, sess.Evicted)
+		p.Header("ridserve_sessions_rejected_total", "Session creations refused at capacity.", "counter")
+		p.IntSample("ridserve_sessions_rejected_total", nil, sess.Rejected)
+	}
+
+	if slo := s.SLO; slo != nil {
+		p.Header("ridserve_slo_target", "Configured per-route availability objective.", "gauge")
+		p.Sample("ridserve_slo_target", nil, slo.Target)
+		p.Header("ridserve_slo_latency_objective_seconds", "Configured per-route latency objective.", "gauge")
+		p.Sample("ridserve_slo_latency_objective_seconds", nil, float64(slo.LatencyObjectiveMS)/1000)
+		if len(slo.Routes) > 0 {
+			p.Header("ridserve_slo_burn_rate",
+				"Error-budget burn rate by route, window and objective (1 = spending the whole budget over the SLO period).",
+				"gauge")
+			for _, route := range slo.Routes {
+				for _, win := range route.Windows {
+					p.Sample("ridserve_slo_burn_rate", []obs.PromLabel{
+						{Name: "route", Value: route.Route},
+						{Name: "window", Value: win.Window},
+						{Name: "objective", Value: "availability"},
+					}, win.BurnRate)
+					p.Sample("ridserve_slo_burn_rate", []obs.PromLabel{
+						{Name: "route", Value: route.Route},
+						{Name: "window", Value: win.Window},
+						{Name: "objective", Value: "latency"},
+					}, win.LatencyBurnRate)
+				}
+			}
+			p.Header("ridserve_slo_window_requests", "Requests observed per route and window.", "gauge")
+			for _, route := range slo.Routes {
+				for _, win := range route.Windows {
+					p.IntSample("ridserve_slo_window_requests", []obs.PromLabel{
+						{Name: "route", Value: route.Route},
+						{Name: "window", Value: win.Window},
+					}, win.Requests)
+				}
+			}
+			p.Header("ridserve_slo_window_errors", "Failed requests (5xx or shed) per route and window.", "gauge")
+			for _, route := range slo.Routes {
+				for _, win := range route.Windows {
+					p.IntSample("ridserve_slo_window_errors", []obs.PromLabel{
+						{Name: "route", Value: route.Route},
+						{Name: "window", Value: win.Window},
+					}, win.Errors)
+				}
+			}
+			p.Header("ridserve_slo_error_budget_remaining",
+				"Fraction of the 6h error budget left per route (negative = overspent).", "gauge")
+			for _, route := range slo.Routes {
+				p.Sample("ridserve_slo_error_budget_remaining",
+					[]obs.PromLabel{{Name: "route", Value: route.Route}}, route.BudgetRemaining)
+			}
+		}
+	}
+
+	if ex := s.Export; ex != nil {
+		p.Header("ridserve_otlp_enqueued_total", "Request telemetry accepted for OTLP export.", "counter")
+		p.IntSample("ridserve_otlp_enqueued_total", nil, ex.Enqueued)
+		p.Header("ridserve_otlp_sampled_out_total", "Request telemetry dropped by head sampling.", "counter")
+		p.IntSample("ridserve_otlp_sampled_out_total", nil, ex.SampledOut)
+		p.Header("ridserve_otlp_dropped_queue_total", "Request telemetry dropped on a full export queue.", "counter")
+		p.IntSample("ridserve_otlp_dropped_queue_total", nil, ex.DroppedQueue)
+		p.Header("ridserve_otlp_dropped_send_total", "Request telemetry dropped after exhausting send retries.", "counter")
+		p.IntSample("ridserve_otlp_dropped_send_total", nil, ex.DroppedSend)
+		p.Header("ridserve_otlp_retries_total", "OTLP batch send retries.", "counter")
+		p.IntSample("ridserve_otlp_retries_total", nil, ex.Retries)
+		p.Header("ridserve_otlp_exported_batches_total", "OTLP batches delivered to every configured sink.", "counter")
+		p.IntSample("ridserve_otlp_exported_batches_total", nil, ex.ExportedBatches)
+		p.Header("ridserve_otlp_exported_spans_total", "OTLP spans delivered to every configured sink.", "counter")
+		p.IntSample("ridserve_otlp_exported_spans_total", nil, ex.ExportedSpans)
+	}
+
 	if rt := s.Runtime; rt != nil {
 		p.Header("ridserve_go_goroutines", "Live goroutines.", "gauge")
 		p.IntSample("ridserve_go_goroutines", nil, rt.Goroutines)

@@ -28,6 +28,10 @@ func TestPrometheusConformance(t *testing.T) {
 	if resp, _ := postJSON(t, ts, "/v1/detect", DetectRequest{Trace: tr, Detector: "nope"}); resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("bad detector status = %d, want 400", resp.StatusCode)
 	}
+	// Session traffic so the session gauges and a second SLO route appear.
+	if resp, body := postJSON(t, ts, "/v1/sessions", SessionRequest{GraphHash: tr.NetworkHash(), Beta: 0.3}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("session create status = %d, body %s", resp.StatusCode, body)
+	}
 
 	resp, body := getBody(t, ts, "/metrics?format=prometheus")
 	if resp.StatusCode != http.StatusOK {
@@ -46,11 +50,53 @@ func TestPrometheusConformance(t *testing.T) {
 		"ridserve_go_goroutines ",
 		"ridserve_go_heap_bytes ",
 		"ridserve_go_gc_cycles_total ",
+		"ridserve_sessions_active ",
+		"ridserve_sessions_evicted_total ",
+		"ridserve_sessions_rejected_total ",
+		"ridserve_slo_target ",
+		"ridserve_slo_latency_objective_seconds ",
+		`ridserve_slo_burn_rate{route="detect",window="5m",objective="availability"}`,
+		`ridserve_slo_burn_rate{route="detect",window="6h",objective="latency"}`,
+		`ridserve_slo_burn_rate{route="session_create",window="1h",objective="availability"}`,
+		`ridserve_slo_window_requests{route="detect",window="5m"}`,
+		`ridserve_slo_window_errors{route="detect",window="30m"}`,
+		`ridserve_slo_error_budget_remaining{route="detect"}`,
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("exposition missing %q", want)
 		}
 	}
+}
+
+// TestPrometheusExporterFamilies runs the strict parser again with the OTLP
+// exporter wired in, which adds the ridserve_otlp_* counter families to the
+// exposition.
+func TestPrometheusExporterFamilies(t *testing.T) {
+	ts, exp, _ := newTracedServer(t, 1)
+	tr := sampleTrace(t, 52, 150, 700, 3)
+	if resp, body := postJSON(t, ts, "/v1/detect", DetectRequest{Trace: tr, Beta: 0.3}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("detect status = %d, body %s", resp.StatusCode, body)
+	}
+	resp, body := getBody(t, ts, "/metrics?format=prometheus")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status = %d", resp.StatusCode)
+	}
+	text := string(body)
+	checkPromConformance(t, text)
+	for _, want := range []string{
+		"ridserve_otlp_enqueued_total ",
+		"ridserve_otlp_sampled_out_total ",
+		"ridserve_otlp_dropped_queue_total ",
+		"ridserve_otlp_dropped_send_total ",
+		"ridserve_otlp_retries_total ",
+		"ridserve_otlp_exported_batches_total ",
+		"ridserve_otlp_exported_spans_total ",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	exp.Close()
 }
 
 var (

@@ -8,6 +8,8 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 // TestRenderPrometheusGolden locks the exposition format byte-for-byte on
@@ -233,15 +235,18 @@ func TestDetectStageTimingsAndTraceID(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status = %d", resp.StatusCode)
 	}
-	if got := resp.Header.Get("X-Trace-Id"); got != "cafe0123cafe0123" {
-		t.Errorf("X-Trace-Id = %q, want the inbound ID echoed", got)
+	// A legacy 16-hex X-Trace-Id is mapped deterministically onto a valid
+	// 32-hex W3C trace id (it cannot round-trip into traceparent as-is).
+	mapped := obs.TraceIDFromLegacy("cafe0123cafe0123")
+	if got := resp.Header.Get("X-Trace-Id"); got != mapped {
+		t.Errorf("X-Trace-Id = %q, want the inbound ID mapped to %q", got, mapped)
 	}
 	var det DetectResponse
 	if err := json.NewDecoder(resp.Body).Decode(&det); err != nil {
 		t.Fatal(err)
 	}
-	if det.TraceID != "cafe0123cafe0123" {
-		t.Errorf("trace_id = %q, want the request's", det.TraceID)
+	if det.TraceID != mapped {
+		t.Errorf("trace_id = %q, want the request's (%q)", det.TraceID, mapped)
 	}
 	if len(det.StageTimings) == 0 {
 		t.Fatal("no stage_timings in response")
@@ -262,14 +267,14 @@ func TestDetectStageTimingsAndTraceID(t *testing.T) {
 		t.Errorf("stage timings sum to %gms > elapsed %gms; stages overlap", sum, det.ElapsedMS)
 	}
 
-	// Without an inbound header the server mints a fresh 16-hex-char ID.
+	// Without an inbound header the server mints a fresh W3C trace id.
 	resp2, body := postJSON(t, ts, "/v1/detect", DetectRequest{Trace: tr, Beta: 0.3})
 	if resp2.StatusCode != http.StatusOK {
 		t.Fatalf("status = %d, body %s", resp2.StatusCode, body)
 	}
 	minted := resp2.Header.Get("X-Trace-Id")
-	if len(minted) != 16 {
-		t.Errorf("minted trace ID %q, want 16 hex chars", minted)
+	if !obs.ValidTraceID(minted) {
+		t.Errorf("minted trace ID %q, want 32 lowercase hex chars", minted)
 	}
 }
 

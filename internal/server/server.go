@@ -68,6 +68,17 @@ type Config struct {
 	// SessionTTL is the idle lifetime of an ingest session: one untouched
 	// for longer is evicted lazily. Zero defaults to 15 minutes.
 	SessionTTL time.Duration
+	// Exporter, when non-nil, receives every completed request's telemetry
+	// (tail-sampled) for OTLP/JSON export. The server takes ownership:
+	// Shutdown flushes and closes it. Constructed by the caller so sink
+	// errors (bad endpoint, unwritable file) surface at startup.
+	Exporter *obs.Exporter
+	// SLOTarget is the per-route availability objective in (0,1); zero
+	// defaults to 0.99.
+	SLOTarget float64
+	// SLOLatency is the per-route latency objective; zero defaults to
+	// 500ms.
+	SLOLatency time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -110,6 +121,8 @@ type Server struct {
 	reg      *Registry
 	flight   *obs.FlightRecorder
 	sessions *ingest.Manager
+	slo      *obs.SLOTracker
+	exporter *obs.Exporter
 	mux      *http.ServeMux
 	http     *http.Server
 }
@@ -123,6 +136,8 @@ func New(cfg Config) *Server {
 		cache:    NewGraphCache(cfg.CacheSize),
 		reg:      NewRegistry(),
 		sessions: ingest.NewManager(ingest.ManagerConfig{MaxSessions: cfg.MaxSessions, TTL: cfg.SessionTTL}),
+		slo:      obs.NewSLOTracker(obs.SLOConfig{Target: cfg.SLOTarget, Latency: cfg.SLOLatency}),
+		exporter: cfg.Exporter,
 		mux:      http.NewServeMux(),
 	}
 	if cfg.FlightSize > 0 {
@@ -137,6 +152,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	s.mux.HandleFunc("GET /debug/requests", s.instrument("debug_requests", s.handleDebugRequests))
+	s.mux.HandleFunc("GET /debug/slo", s.instrument("debug_slo", s.handleDebugSLO))
 	s.http = &http.Server{
 		Addr:              cfg.Addr,
 		Handler:           s.mux,
@@ -163,6 +179,7 @@ func (s *Server) DebugHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/", DebugHandler())
 	mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
+	mux.HandleFunc("GET /debug/slo", s.handleDebugSLO)
 	return mux
 }
 
@@ -176,11 +193,13 @@ func (s *Server) ListenAndServe() error {
 }
 
 // Shutdown drains the server: stop accepting connections, wait for
-// in-flight requests up to ctx's deadline, then let the worker pool finish
-// every queued job.
+// in-flight requests up to ctx's deadline, let the worker pool finish
+// every queued job, then flush and close the span exporter so telemetry
+// for the drained requests is not lost.
 func (s *Server) Shutdown(ctx context.Context) error {
 	err := s.http.Shutdown(ctx)
 	s.pool.Close()
+	s.exporter.Close()
 	return err
 }
 
@@ -195,26 +214,48 @@ func (r *statusRecorder) WriteHeader(status int) {
 	r.ResponseWriter.WriteHeader(status)
 }
 
-// instrument wraps a handler with request counting, route latency, a
-// request-scoped trace ID (honoring a well-formed inbound X-Trace-Id,
-// echoed on the response and propagated via context into the pipeline's
-// slog lines and flight records) and a structured access log.
+// instrument wraps a handler with request counting, route latency, W3C
+// trace-context propagation (inbound traceparent honored, legacy
+// X-Trace-Id mapped onto a deterministic valid trace id, responses carry
+// both headers), SLO accounting, tail-sampled OTLP span export, and a
+// structured access log. The trace context and a mutable telemetry slot
+// travel via context so handlers hand their pipeline Recorder and span
+// links back up for export after the response is written.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		traceID := sanitizeTraceID(r.Header.Get("X-Trace-Id"))
-		if traceID == "" {
-			traceID = obs.NewTraceID()
-		}
-		ctx := obs.WithTraceID(r.Context(), traceID)
-		w.Header().Set("X-Trace-Id", traceID)
+		tc, parentSpanID := s.inboundTrace(r)
+		ctx := obs.WithTraceContext(r.Context(), tc)
+		ctx = obs.WithTraceID(ctx, tc.TraceID)
+		slot := &obs.Telemetry{}
+		ctx = obs.WithTelemetry(ctx, slot)
+		// Response headers go out before the handler writes: the caller
+		// gets this hop's span id as its parent for any follow-up, and the
+		// legacy header keeps pre-W3C clients correlating.
+		w.Header().Set("traceparent", tc.Traceparent())
+		w.Header().Set("X-Trace-Id", tc.TraceID)
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		h(rec, r.WithContext(ctx))
 		elapsed := time.Since(start)
 		s.reg.CountRequest(route, rec.status)
 		s.reg.Observe("route."+route, elapsed)
+		s.slo.Record(route, rec.status, elapsed)
+		if s.exporter != nil {
+			pipeRec, links, detail := slot.Snapshot()
+			s.exporter.Enqueue(&obs.RequestTelemetry{
+				Trace:        tc,
+				ParentSpanID: parentSpanID,
+				Route:        route,
+				Detail:       detail,
+				Start:        start,
+				End:          start.Add(elapsed),
+				HTTPStatus:   rec.status,
+				Rec:          pipeRec,
+				Links:        links,
+			})
+		}
 		slog.LogAttrs(ctx, slog.LevelInfo, "request",
-			slog.String("trace_id", traceID),
+			slog.String("trace_id", tc.TraceID),
 			slog.String("route", route),
 			slog.String("method", r.Method),
 			slog.Int("status", rec.status),
@@ -222,12 +263,40 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// sanitizeTraceID accepts a client-supplied trace ID only when it is 1–64
-// bytes of [0-9A-Za-z._-]; anything else (empty, oversized, control
-// characters, log-injection attempts) returns "" and the caller mints a
-// fresh ID. The accepted alphabet is safe verbatim in logs, HTML, URLs and
-// Prometheus label values.
-func sanitizeTraceID(id string) string {
+// inboundTrace resolves the request's trace context, preferring a W3C
+// traceparent (malformed tracestate is dropped without invalidating it,
+// per spec), then a legacy X-Trace-Id mapped deterministically onto a
+// valid trace id, then a freshly minted root. In every case this process
+// mints its own span id; the remote parent's span id is returned
+// separately for the exported span's parentSpanId. The sampled flag ORs in
+// the exporter's deterministic head-sampling decision so the flag the
+// caller reads back agrees with what the fleet actually exports.
+func (s *Server) inboundTrace(r *http.Request) (obs.TraceContext, string) {
+	var tc obs.TraceContext
+	parentSpanID := ""
+	if parsed, err := obs.ParseTraceparent(r.Header.Get("traceparent")); err == nil {
+		tc = parsed
+		parentSpanID = parsed.SpanID
+		if ts, err := obs.ParseTraceState(r.Header.Get("tracestate")); err == nil {
+			tc.TraceState = ts
+		}
+	} else if legacy := legacyTraceToken(r.Header.Get("X-Trace-Id")); legacy != "" {
+		tc = obs.TraceContext{TraceID: obs.TraceIDFromLegacy(legacy), Flags: obs.FlagSampled}
+	} else {
+		tc = obs.NewTraceContext()
+	}
+	tc.SpanID = obs.NewSpanID()
+	if s.exporter.Sampled(tc.TraceID) {
+		tc.Flags |= obs.FlagSampled
+	}
+	return tc, parentSpanID
+}
+
+// legacyTraceToken accepts a pre-W3C client trace token only when it is
+// 1–64 bytes of [0-9A-Za-z._-]; anything else (empty, oversized, control
+// characters, log-injection attempts) returns "". The accepted alphabet is
+// safe verbatim in logs, HTML, URLs and Prometheus label values.
+func legacyTraceToken(id string) string {
 	if len(id) == 0 || len(id) > 64 {
 		return ""
 	}

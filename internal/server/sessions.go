@@ -129,6 +129,12 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, badRequest("%v", err))
 		return
 	}
+	// The creating request's trace is the session's root: every later
+	// detect on this session links back to it, stitching the multi-request
+	// investigation into one traceable unit.
+	if tc := obs.TraceContextFrom(r.Context()); tc.Valid() {
+		sess.SetRoot(tc.Ref())
+	}
 	id, err := s.sessions.Create(sess)
 	if errors.Is(err, ingest.ErrSessionLimit) {
 		s.reg.CountRejected()
@@ -176,6 +182,10 @@ func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
 	rec := obs.NewRecorder()
 	ctx := obs.WithRecorder(r.Context(), rec)
 	applied, applyErr := sess.Apply(ctx, req.Events)
+	if t := obs.TelemetryFrom(ctx); t != nil {
+		t.SetRecorder(rec)
+		t.SetDetail(fmt.Sprintf("events=%d applied=%d", len(req.Events), applied))
+	}
 	s.reg.MergeRecorder(rec)
 	fr := obs.FlightRecord{
 		TraceID:   obs.TraceID(ctx),
@@ -231,6 +241,8 @@ func (s *Server) sessionDetect(ctx context.Context, sess *ingest.Session, k int)
 	start := time.Now()
 	rec := obs.NewRecorder()
 	ctx = obs.WithRecorder(ctx, rec)
+	telem := obs.TelemetryFrom(ctx)
+	telem.SetRecorder(rec)
 	var stats ingest.DetectStats
 	defer func() {
 		fr := obs.FlightRecord{
@@ -256,6 +268,10 @@ func (s *Server) sessionDetect(ctx context.Context, sess *ingest.Session, k int)
 	if err != nil {
 		return nil, err
 	}
+	telem.SetDetail(fmt.Sprintf("dirty=%d reused=%d", stats.Dirty, stats.Reused))
+	// Link the detect span to the session root and the event batches that
+	// dirtied the components it just re-solved.
+	telem.AddLinks(stats.Links...)
 	s.reg.MergeRecorder(rec)
 	resp = &SessionDetectResponse{
 		Detector:     "RID(incremental)",

@@ -1,6 +1,6 @@
 #!/bin/sh
 # bench_json.sh — run the headline benchmarks at -cpu 1 and 4 and write
-# BENCH_pr6.json with ns/op, B/op and allocs/op per width plus the measured
+# BENCH_pr7.json with ns/op, B/op and allocs/op per width plus the measured
 # parallel speedup (ns at cpu1 / ns at cpu4). On single-core hosts -cpu 4
 # only adds scheduler overhead, so the ratio reads below 1 even for fully
 # serial code — BenchmarkMFCSimulation (no pipeline parallelism) is the
@@ -12,7 +12,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_pr6.json}
+OUT=${1:-BENCH_pr7.json}
 BENCHES='BenchmarkRIDEndToEnd$|BenchmarkForestExtraction$|BenchmarkMFCSimulation$|BenchmarkArborKernels/|BenchmarkIncrementalDetect/'
 
 RAW=$(go test -run '^$' -bench "$BENCHES" -benchmem -benchtime 5x -cpu 1,4 .)
