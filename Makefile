@@ -22,16 +22,19 @@ bench:
 	$(GO) test -bench=. -benchmem -benchtime 1x .
 
 # bench-json runs the headline benchmarks at -cpu 1 and 4 and writes
-# BENCH_pr7.json with ns/op, B/op, allocs/op per width plus the measured
-# parallel speedup, the arbor kernel comparison, and the incremental-vs-full
-# detect comparison.
+# BENCH_pr8.json with ns/op, B/op, allocs/op per width plus the measured
+# parallel speedup, the arbor kernel comparison, the incremental-vs-full
+# detect comparison, the batch-vs-sequential serving comparison and the
+# snapshot warm-load benchmarks.
 bench-json:
 	./scripts/bench_json.sh
 
 # bench-diff compares two bench-json snapshots on ns/op and fails if any
-# benchmark slowed past BENCH_DIFF_THRESHOLD percent (default 10). Override
-# the files: make bench-diff BENCH_OLD=BENCH_pr6.json BENCH_NEW=BENCH_pr7.json
-BENCH_OLD ?= BENCH_pr7.json
+# benchmark slowed past BENCH_DIFF_THRESHOLD percent (default 10), or if a
+# baseline benchmark is missing from the
+# current run, so a renamed or silently dropped benchmark also fails. Override
+# the files: make bench-diff BENCH_OLD=BENCH_pr7.json BENCH_NEW=BENCH_pr8.json
+BENCH_OLD ?= BENCH_pr8.json
 BENCH_NEW ?= BENCH_new.json
 bench-diff:
 	./scripts/bench_diff.sh $(BENCH_OLD) $(BENCH_NEW)

@@ -8,14 +8,17 @@
 //	ridlab [-dataset Epinions] [-file soc-sign.txt] [-load-trace t.json] [-scale 0.02]
 //	       [-method rid|rid-tree|rid-positive|rumor-centrality|jordan-center|degree-max|ensemble]
 //	       [-beta 0.3] [-alpha 3] [-n 0] [-seed-frac 0.05] [-theta 0.5]
-//	       [-mask 0] [-seed 1] [-save-trace t.json] [-dot out.dot] [-v]
+//	       [-mask 0] [-seed 1] [-save-trace t.json] [-trace-format json|binary]
+//	       [-dot out.dot] [-v]
 //	       [-replay] [-replay-checks 10]
 //	       [-log-level info] [-log-format text] [-cpuprofile f] [-memprofile f]
 //
 // With -file, a real SNAP signed edge list (optionally .gz) is loaded
 // instead of the synthetic preset (weights re-derived via Jaccard, as in
 // the paper). With -load-trace, a previously saved instance is replayed
-// verbatim — network, snapshot and ground truth.
+// verbatim — network, snapshot and ground truth. Traces save as JSON or,
+// with -trace-format binary, as the compact "RIDT" wire codec; loading
+// auto-detects the format from the file's magic bytes.
 //
 // With -replay, the instance is linearized into a deterministic activation
 // event stream (internal/ingest) and streamed through an incremental
@@ -49,6 +52,7 @@ import (
 // options collects the CLI flags.
 type options struct {
 	dataset, file, loadTrace, saveTrace, dotFile, method string
+	traceFormat                                          string
 	otlpFile                                             string
 	scale, beta, alpha, seedFrac, theta, mask            float64
 	n                                                    int
@@ -64,7 +68,8 @@ func main() {
 	flag.StringVar(&o.dataset, "dataset", "Epinions", "synthetic preset: Epinions or Slashdot")
 	flag.StringVar(&o.file, "file", "", "real SNAP signed edge list, optionally .gz (overrides -dataset)")
 	flag.StringVar(&o.loadTrace, "load-trace", "", "replay a saved instance instead of simulating")
-	flag.StringVar(&o.saveTrace, "save-trace", "", "save the simulated instance as JSON")
+	flag.StringVar(&o.saveTrace, "save-trace", "", "save the simulated instance to this file")
+	flag.StringVar(&o.traceFormat, "trace-format", "json", "wire format for -save-trace: json or binary (-load-trace auto-detects)")
 	flag.StringVar(&o.dotFile, "dot", "", "write the infected subgraph as Graphviz DOT to this file")
 	flag.StringVar(&o.method, "method", "rid", "detector: rid, rid-tree, rid-positive, rumor-centrality, jordan-center, degree-max, ensemble")
 	flag.Float64Var(&o.scale, "scale", 0.02, "preset scale in (0,1]")
@@ -115,15 +120,10 @@ func run(o options) error {
 		fmt.Printf("wrote infected subgraph to %s\n", o.dotFile)
 	}
 	if o.saveTrace != "" {
-		f, err := os.Create(o.saveTrace)
-		if err != nil {
+		if err := saveTrace(o, snap, seeds, states); err != nil {
 			return err
 		}
-		defer f.Close()
-		if err := trace.Write(f, trace.FromSnapshot("ridlab", snap, seeds, states)); err != nil {
-			return err
-		}
-		fmt.Printf("saved instance to %s\n", o.saveTrace)
+		fmt.Printf("saved instance to %s (%s)\n", o.saveTrace, o.traceFormat)
 	}
 	d, err := detector(o.method, o.alpha, o.beta)
 	if err != nil {
@@ -294,16 +294,38 @@ func replay(o options, snap *cascade.Snapshot, seeds []int, states []sgraph.Stat
 	return nil
 }
 
+// saveTrace persists the instance in the format selected by -trace-format:
+// the JSON schema or the compact "RIDT" binary codec (internal/trace).
+func saveTrace(o options, snap *cascade.Snapshot, seeds []int, states []sgraph.State) error {
+	tr := trace.FromSnapshot("ridlab", snap, seeds, states)
+	f, err := os.Create(o.saveTrace)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	switch o.traceFormat {
+	case "json":
+		err = trace.Write(f, tr)
+	case "binary":
+		err = trace.WriteBinary(f, tr)
+	default:
+		return fmt.Errorf("unknown -trace-format %q (want json or binary)", o.traceFormat)
+	}
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
 // instance produces the snapshot and ground truth: replayed from a trace,
 // or simulated on a loaded/generated network.
 func instance(o options) (*cascade.Snapshot, []int, []sgraph.State, error) {
 	if o.loadTrace != "" {
-		f, err := os.Open(o.loadTrace)
+		data, err := os.ReadFile(o.loadTrace)
 		if err != nil {
 			return nil, nil, nil, err
 		}
-		defer f.Close()
-		tr, err := trace.Read(f)
+		tr, err := trace.Decode(data)
 		if err != nil {
 			return nil, nil, nil, err
 		}

@@ -14,6 +14,17 @@
 // touched. Sessions are bounded (-max-sessions; exceeding answers 429)
 // and evicted after an idle TTL (-session-ttl).
 //
+// Batching: POST /v1/detect/batch solves many observed snapshots ("items",
+// observation-only payloads) against one network — supplied inline or as a
+// cached graph_hash — paying graph resolution, detector construction and
+// response encoding once, with per-item error isolation and per-item
+// algorithm counters. /v1/detect also accepts the compact binary trace
+// codec (Content-Type application/x-rid-trace, detector options in the
+// query string) next to JSON. -snapshot-dir persists every built network
+// as a flat CSR snapshot file keyed by content hash; a restarted process
+// (or a replica sharing the directory) warm-loads graphs as zero-copy mmap
+// views instead of re-validating and re-sorting wire traces.
+//
 // The server runs a bounded worker pool (default GOMAXPROCS workers) with
 // a fixed-depth queue — saturation answers 429 with Retry-After instead of
 // queueing without bound — and every request carries a deadline that
@@ -48,6 +59,7 @@
 //	ridserve [-addr :8080] [-workers 0] [-queue 0] [-cache 64]
 //	         [-parallelism 0] [-timeout 30s] [-drain 15s] [-max-body-mb 32]
 //	         [-flight 128] [-slow 1s] [-max-sessions 64] [-session-ttl 15m]
+//	         [-snapshot-dir dir]
 //	         [-otlp-endpoint url] [-otlp-file path] [-otlp-sample 1]
 //	         [-slo-target 0.99] [-slo-latency-ms 500]
 //	         [-log-level info] [-log-format text] [-debug-addr addr]
@@ -102,6 +114,7 @@ type options struct {
 	otlpSample   float64
 	sloTarget    float64
 	sloLatencyMS int
+	snapshotDir  string
 }
 
 func main() {
@@ -122,6 +135,7 @@ func main() {
 	flag.StringVar(&o.otlpEndpoint, "otlp-endpoint", "", "OTLP/HTTP traces URL for span export (empty = no HTTP sink)")
 	flag.StringVar(&o.otlpFile, "otlp-file", "", "NDJSON file appending one OTLP/JSON export request per line (empty = no file sink)")
 	flag.Float64Var(&o.otlpSample, "otlp-sample", 1, "fraction of ordinary requests to export, decided deterministically from the trace id; failed and slow requests always export")
+	flag.StringVar(&o.snapshotDir, "snapshot-dir", "", "directory persisting built networks as CSR snapshot files for warm restarts (empty = disabled)")
 	flag.Float64Var(&o.sloTarget, "slo-target", 0.99, "per-route availability objective in (0,1)")
 	flag.IntVar(&o.sloLatencyMS, "slo-latency-ms", 500, "per-route latency objective in milliseconds")
 	logCfg := cli.LogFlags()
@@ -182,6 +196,10 @@ func run(o *options) error {
 	if err != nil {
 		return err
 	}
+	snapshots, err := server.NewSnapshotStore(o.snapshotDir)
+	if err != nil {
+		return err
+	}
 	s := server.New(server.Config{
 		Addr:           o.addr,
 		Workers:        o.workers,
@@ -197,6 +215,7 @@ func run(o *options) error {
 		Exporter:       exporter,
 		SLOTarget:      o.sloTarget,
 		SLOLatency:     time.Duration(o.sloLatencyMS) * time.Millisecond,
+		Snapshots:      snapshots,
 	})
 	errc := make(chan error, 1)
 	go func() { errc <- s.ListenAndServe() }()

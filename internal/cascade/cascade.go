@@ -303,11 +303,7 @@ func ExtractContext(ctx context.Context, snap *Snapshot, cfg Config) (*Forest, e
 	if len(infected) == 0 {
 		return nil, ErrNoInfected
 	}
-	sub := sgraph.Induce(snap.G, infected)
-	if cfg.PositiveOnly {
-		sub = dropNegative(sub)
-	}
-	comps := sgraph.ConnectedComponents(sub.G)
+	comps := maskComponents(snap.G, infected, cfg.PositiveOnly)
 	span.End()
 	rec.Add(obs.CounterInfectedNodes, int64(len(infected)))
 	rec.Add(obs.CounterComponents, int64(len(comps)))
@@ -324,10 +320,10 @@ func ExtractContext(ctx context.Context, snap *Snapshot, cfg Config) (*Forest, e
 	err := par.ForEach(ctx, workers, len(comps), func(w, ci int) error {
 		s := scratches[w]
 		if s == nil {
-			s = getExtractScratch(rec, sub.G.NumNodes())
+			s = getExtractScratch(rec, snap.G.NumNodes())
 			scratches[w] = s
 		}
-		trees, err := extractComponent(snap, sub, comps[ci], ci, cfg, s)
+		trees, err := extractComponent(snap, comps[ci], ci, cfg, s)
 		treesByComp[ci] = trees
 		return err
 	})
@@ -360,18 +356,6 @@ func ExtractContext(ctx context.Context, snap *Snapshot, cfg Config) (*Forest, e
 	return forest, nil
 }
 
-// dropNegative removes negative links from an induced subgraph, keeping
-// the node-identity mapping intact.
-func dropNegative(sub *sgraph.Subgraph) *sgraph.Subgraph {
-	b := sgraph.NewBuilder(sub.G.NumNodes())
-	sub.G.Edges(func(e sgraph.Edge) {
-		if e.Sign == sgraph.Positive {
-			b.AddEdge(e.From, e.To, e.Sign, e.Weight)
-		}
-	})
-	return sgraph.NewSubgraph(b.MustBuild(), sub.Orig)
-}
-
 // cand is the original sign/weight of a candidate activation link,
 // parallel to the scored arbor edge list.
 type cand struct {
@@ -386,7 +370,7 @@ type cand struct {
 // Spans and counters batch into acc (nil-safe) and are flushed once when
 // the worker's components are done.
 type extractScratch struct {
-	pos      []int32 // sub-local ID -> component index; -1 outside, reset after use
+	pos      []int32 // parent node ID -> component index; -1 outside, reset after use
 	edges    []arbor.Edge
 	cands    []cand
 	childIdx [][]int32
@@ -432,40 +416,61 @@ func (s *extractScratch) release() {
 	scratchPool.Put(s)
 }
 
-// extractComponent solves one infected connected component: a log-space
-// maximum-weight spanning forest over the component's candidate diffusion
-// links, converted into rooted Tree values with imputed states. All
-// intermediate storage comes from the worker-owned scratch; only the
-// returned trees are freshly allocated.
-func extractComponent(snap *Snapshot, sub *sgraph.Subgraph, comp []int, compIdx int, cfg Config, s *extractScratch) ([]*Tree, error) {
+// extractComponent solves one infected connected component — its members
+// given as ascending parent-graph node IDs — into rooted cascade trees: a
+// log-space maximum-weight spanning forest over the component's candidate
+// diffusion links, converted into Tree values with imputed states.
+//
+// The hot loops run on the parent graph's flat CSR arrays: candidate edges
+// come from a direct scan of each member's out-edge segment (no induced
+// subgraph is built), membership tests are a dense position array, tree
+// node order is a frontier-array BFS, and the nine per-tree attribute
+// slices are carved out of per-component arenas (one allocation per
+// attribute per component instead of nine per tree). Intermediate storage
+// comes from the worker-owned scratch; only the returned trees and their
+// arenas are freshly allocated.
+//
+// Bit-identity with the induced-subgraph reference path (reference.go):
+// members ascend, so dense component indices are order-isomorphic to the
+// local IDs sgraph.Induce would assign, and the CSR out-lists are sorted by
+// target, so the filtered scan emits candidate edges in exactly the order
+// the induced graph's Out iteration did — same arbor input, same forest.
+func extractComponent(snap *Snapshot, comp []int32, compIdx int, cfg Config, s *extractScratch) ([]*Tree, error) {
 	span := s.acc.Start(obs.StageArborescence)
-	// Dense re-indexing of the component's nodes.
+	// Dense re-indexing of the component's nodes on parent IDs.
 	pos := s.pos
 	for i, v := range comp {
 		pos[v] = int32(i)
 	}
-	stateOf := func(ci int) sgraph.State { return snap.States[sub.Orig[comp[ci]]] }
+	states := snap.States
+	csr := snap.G.CSR()
 
 	edges := s.edges[:0]
 	cands := s.cands[:0]
 	// Work counts stay in locals through the scan (the batch's CounterSet
 	// may be nil when no recorder is attached) and fold in afterwards.
+	// scanned counts sign-admissible links between component members — the
+	// same population the reference path's induced-subgraph scan sees.
 	var scanned, pruned int64
 	for i, v := range comp {
-		sub.G.Out(v, func(e sgraph.Edge) {
-			scanned++
-			j := pos[e.To]
+		for _, ei := range csr.OutList[csr.OutStart[v]:csr.OutStart[v+1]] {
+			sign := sgraph.Sign(csr.EdgeSign[ei])
+			if cfg.PositiveOnly && sign != sgraph.Positive {
+				continue
+			}
+			j := pos[csr.EdgeTo[ei]]
 			if j < 0 {
-				return
+				continue
 			}
-			if !snap.timeAdmissible(sub.Orig[comp[i]], sub.Orig[comp[j]]) {
+			scanned++
+			if !snap.timeAdmissible(int(v), int(comp[j])) {
 				pruned++
-				return // known timestamps rule this activation out
+				continue // known timestamps rule this activation out
 			}
-			score := cfg.Score(e.Sign, e.Weight, stateOf(i), stateOf(int(j)))
+			score := cfg.Score(sign, csr.EdgeWeight[ei], states[v], states[comp[j]])
 			edges = append(edges, arbor.Edge{From: i, To: int(j), Weight: math.Log(score)})
-			cands = append(cands, cand{sign: e.Sign, weight: e.Weight})
-		})
+			cands = append(cands, cand{sign: sign, weight: csr.EdgeWeight[ei]})
+		}
 	}
 	for _, v := range comp {
 		pos[v] = -1 // restore the sentinel for the next component
@@ -511,11 +516,30 @@ func extractComponent(snap *Snapshot, sub *sgraph.Subgraph, comp []int, compIdx 
 	// concurrency knob away so serial and parallel runs build equal trees.
 	scoreCfg := cfg
 	scoreCfg.Parallelism = 0
+	// Arena-backed tree attributes: the component's trees partition its
+	// nodes, so one exact-size allocation per attribute serves every tree.
+	// Each tree gets a capacity-clamped sub-slice (three-index slicing), so
+	// a later append — Binarize growing a tree with dummy nodes —
+	// reallocates instead of stomping its arena neighbor. The kids arena is
+	// sized to the non-root count: every node except a root appears in
+	// exactly one children list.
+	ar := treeArena{
+		orig:     make([]int, len(comp)),
+		parent:   make([]int32, len(comp)),
+		sign:     make([]sgraph.Sign, len(comp)),
+		weight:   make([]float64, len(comp)),
+		score:    make([]float64, len(comp)),
+		state:    make([]sgraph.State, len(comp)),
+		observed: make([]sgraph.State, len(comp)),
+		dummy:    make([]bool, len(comp)),
+		children: make([][]int32, len(comp)),
+		kids:     make([]int32, len(comp)-len(roots)),
+	}
 	for _, r := range roots {
 		// BFS with a head index — the old queue = queue[1:] pop pinned the
 		// consumed prefix in memory for the life of the queue — collecting
-		// the tree's node order so the nine parallel Tree slices can be
-		// allocated at exact size and filled by index.
+		// the tree's node order so the parallel Tree slices can be carved
+		// at exact size and filled by index.
 		order := append(s.order[:0], int32(r))
 		for head := 0; head < len(order); head++ {
 			ci := order[head]
@@ -523,19 +547,7 @@ func extractComponent(snap *Snapshot, sub *sgraph.Subgraph, comp []int, compIdx 
 			order = append(order, childIdx[ci]...)
 		}
 		s.order = order
-		n := len(order)
-		t := &Tree{
-			Component: compIdx,
-			Orig:      make([]int, n),
-			Parent:    make([]int32, n),
-			Children:  make([][]int32, n),
-			Sign:      make([]sgraph.Sign, n),
-			Weight:    make([]float64, n),
-			Score:     make([]float64, n),
-			State:     make([]sgraph.State, n),
-			Observed:  make([]sgraph.State, n),
-			Dummy:     make([]bool, n),
-		}
+		t := ar.newTree(compIdx, len(order))
 		for local, ci := range order {
 			var parentLocal int32 = -1
 			var sign sgraph.Sign
@@ -544,17 +556,17 @@ func extractComponent(snap *Snapshot, sub *sgraph.Subgraph, comp []int, compIdx 
 				parentLocal = localOf[edges[pe].From]
 				sign = cands[pe].sign
 				weight = cands[pe].weight
-				score = cfg.Score(sign, weight, stateOf(int(edges[pe].From)), stateOf(int(ci)))
+				score = cfg.Score(sign, weight, states[comp[edges[pe].From]], states[comp[ci]])
 			}
-			t.Orig[local] = sub.Orig[comp[ci]]
+			t.Orig[local] = int(comp[ci])
 			t.Parent[local] = parentLocal
 			t.Sign[local] = sign
 			t.Weight[local] = weight
 			t.Score[local] = score
-			t.State[local] = stateOf(int(ci))
-			t.Observed[local] = stateOf(int(ci))
+			t.State[local] = states[comp[ci]]
+			t.Observed[local] = states[comp[ci]]
 			if kids := childIdx[ci]; len(kids) > 0 {
-				locals := make([]int32, len(kids))
+				locals := ar.nextKids(len(kids))
 				for x, ch := range kids {
 					locals[x] = localOf[ch]
 				}
@@ -573,4 +585,48 @@ func extractComponent(snap *Snapshot, sub *sgraph.Subgraph, comp []int, compIdx 
 	}
 	span.End()
 	return trees, nil
+}
+
+// treeArena hands out exact-size, capacity-clamped sub-slices of
+// per-component attribute arrays to successive trees. The arenas escape
+// with the trees (they are not pooled); what they save is allocation count
+// and fragmentation, not lifetime.
+type treeArena struct {
+	orig     []int
+	parent   []int32
+	sign     []sgraph.Sign
+	weight   []float64
+	score    []float64
+	state    []sgraph.State
+	observed []sgraph.State
+	dummy    []bool
+	children [][]int32
+	kids     []int32
+	off      int // node cursor
+	kidOff   int // kids cursor
+}
+
+// newTree carves the next n-node segment out of every attribute arena.
+func (ar *treeArena) newTree(compIdx, n int) *Tree {
+	lo, hi := ar.off, ar.off+n
+	ar.off = hi
+	return &Tree{
+		Component: compIdx,
+		Orig:      ar.orig[lo:hi:hi],
+		Parent:    ar.parent[lo:hi:hi],
+		Children:  ar.children[lo:hi:hi],
+		Sign:      ar.sign[lo:hi:hi],
+		Weight:    ar.weight[lo:hi:hi],
+		Score:     ar.score[lo:hi:hi],
+		State:     ar.state[lo:hi:hi],
+		Observed:  ar.observed[lo:hi:hi],
+		Dummy:     ar.dummy[lo:hi:hi],
+	}
+}
+
+// nextKids carves one children list of length n.
+func (ar *treeArena) nextKids(n int) []int32 {
+	lo, hi := ar.kidOff, ar.kidOff+n
+	ar.kidOff = hi
+	return ar.kids[lo:hi:hi]
 }

@@ -1,0 +1,77 @@
+package cascade
+
+import (
+	"slices"
+
+	"repro/internal/sgraph"
+)
+
+// bitset is a dense bit mask over node IDs. The extraction hot path keeps
+// the infected set and BFS visit set as bitsets instead of hash sets: one
+// bit per node, cache-friendly word probes, no hashing.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int32)      { b[i>>6] |= 1 << (uint32(i) & 63) }
+func (b bitset) has(i int32) bool { return b[i>>6]&(1<<(uint32(i)&63)) != 0 }
+
+// maskComponents partitions the infected nodes into the weakly connected
+// components of the infected subgraph (Definition 6) without materializing
+// that subgraph: a frontier-array BFS walks the parent graph's CSR
+// adjacency directly, restricted to an infected bitset. positiveOnly
+// mirrors Config.PositiveOnly — negative links don't conduct connectivity,
+// which can split components, exactly as dropping them before induction
+// did.
+//
+// Members are original (parent-graph) node IDs, ascending within each
+// component; components are ordered by smallest member. Both properties
+// match sgraph.ConnectedComponents over an induced subgraph of the
+// ascending infected list, which is what keeps the flat path bit-identical
+// to the reference.
+func maskComponents(g *sgraph.Graph, infected []int, positiveOnly bool) [][]int32 {
+	mask := newBitset(g.NumNodes())
+	for _, v := range infected {
+		mask.set(int32(v))
+	}
+	visited := newBitset(g.NumNodes())
+	csr := g.CSR()
+	comps := make([][]int32, 0, 8)
+	frontier := make([]int32, 0, 256)
+	// Seeding in ascending infected order makes each new component's seed
+	// its smallest member, so the component order needs no extra sort.
+	for _, start := range infected {
+		s := int32(start)
+		if visited.has(s) {
+			continue
+		}
+		visited.set(s)
+		frontier = append(frontier[:0], s)
+		for head := 0; head < len(frontier); head++ {
+			u := frontier[head]
+			for _, ei := range csr.OutList[csr.OutStart[u]:csr.OutStart[u+1]] {
+				if positiveOnly && csr.EdgeSign[ei] != int8(sgraph.Positive) {
+					continue
+				}
+				if w := csr.EdgeTo[ei]; mask.has(w) && !visited.has(w) {
+					visited.set(w)
+					frontier = append(frontier, w)
+				}
+			}
+			for _, ei := range csr.InList[csr.InStart[u]:csr.InStart[u+1]] {
+				if positiveOnly && csr.EdgeSign[ei] != int8(sgraph.Positive) {
+					continue
+				}
+				if w := csr.EdgeFrom[ei]; mask.has(w) && !visited.has(w) {
+					visited.set(w)
+					frontier = append(frontier, w)
+				}
+			}
+		}
+		members := make([]int32, len(frontier))
+		copy(members, frontier)
+		slices.Sort(members)
+		comps = append(comps, members)
+	}
+	return comps
+}

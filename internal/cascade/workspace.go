@@ -5,7 +5,6 @@ import (
 	"fmt"
 
 	"repro/internal/obs"
-	"repro/internal/sgraph"
 )
 
 // Workspace is a reusable arena for component-scoped forest extraction —
@@ -17,7 +16,7 @@ import (
 // slices between calls. A Workspace is not safe for concurrent use — hold
 // one per goroutine.
 type Workspace struct {
-	comp []int
+	comp []int32
 }
 
 // NewWorkspace returns an empty workspace.
@@ -36,16 +35,12 @@ func InfectedComponents(snap *Snapshot, positiveOnly bool) [][]int {
 	if len(infected) == 0 {
 		return nil
 	}
-	sub := sgraph.Induce(snap.G, infected)
-	if positiveOnly {
-		sub = dropNegative(sub)
-	}
-	comps := sgraph.ConnectedComponents(sub.G)
+	comps := maskComponents(snap.G, infected, positiveOnly)
 	out := make([][]int, len(comps))
 	for ci, comp := range comps {
 		nodes := make([]int, len(comp))
 		for i, v := range comp {
-			nodes[i] = sub.Orig[v]
+			nodes[i] = int(v)
 		}
 		out[ci] = nodes
 	}
@@ -55,16 +50,16 @@ func InfectedComponents(snap *Snapshot, positiveOnly bool) [][]int {
 // ExtractComponent extracts the cascade trees of one infected connected
 // component, identified by its member nodes as ascending original graph
 // IDs. The nodes must form exactly one weakly connected component of the
-// infected subgraph (as returned by InfectedComponents) — the component is
-// induced in isolation, so links to nodes outside the slice are invisible.
-// compIdx is stamped on the returned trees' Component field.
+// infected subgraph (as returned by InfectedComponents) — links to nodes
+// outside the slice are invisible to the scan. compIdx is stamped on the
+// returned trees' Component field.
 //
 // The result is bit-identical to the compIdx-th component's trees in
-// ExtractContext's forest: inducing the component alone preserves dense-ID
-// order (members ascend in both paths), every infected-subgraph edge
-// touching a component member stays inside the component, and the
-// per-component math is pure. This is what lets incremental detection cache
-// clean components' results and re-solve only dirty ones.
+// ExtractContext's forest: members ascend in both paths, every
+// infected-subgraph edge touching a component member stays inside the
+// component, and the per-component math is pure. This is what lets
+// incremental detection cache clean components' results and re-solve only
+// dirty ones.
 func (w *Workspace) ExtractComponent(ctx context.Context, snap *Snapshot, nodes []int, compIdx int, cfg Config) ([]*Tree, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
@@ -85,17 +80,13 @@ func (w *Workspace) ExtractComponent(ctx context.Context, snap *Snapshot, nodes 
 		return nil, err
 	}
 	rec := obs.RecorderFrom(ctx)
-	sub := sgraph.Induce(snap.G, nodes)
-	if cfg.PositiveOnly {
-		sub = dropNegative(sub)
-	}
 	comp := w.comp[:0]
-	for i := range nodes {
-		comp = append(comp, i)
+	for _, v := range nodes {
+		comp = append(comp, int32(v))
 	}
 	w.comp = comp
-	s := getExtractScratch(rec, sub.G.NumNodes())
-	trees, err := extractComponent(snap, sub, comp, compIdx, cfg, s)
+	s := getExtractScratch(rec, snap.G.NumNodes())
+	trees, err := extractComponent(snap, comp, compIdx, cfg, s)
 	s.acc.Flush()
 	s.release()
 	if err != nil {

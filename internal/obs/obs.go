@@ -216,6 +216,30 @@ func (r *Recorder) StageMillis() map[string]float64 {
 	return out
 }
 
+// MergeFrom folds another recorder's stage aggregates, named counters and
+// typed counters into r — how a batch request rolls its per-item recorders
+// up into one batch-level view whose stage totals and algo counters sum
+// over items. No-op when either recorder is nil. The source recorder is
+// read under its own locks, so merging while other goroutines still write
+// to it is safe (their late writes are simply not picked up).
+func (r *Recorder) MergeFrom(other *Recorder) {
+	if r == nil || other == nil {
+		return
+	}
+	for name, st := range other.Stages() {
+		r.merge(name, st)
+	}
+	for name, n := range other.Counters() {
+		r.Add(name, n)
+	}
+	other.csMu.Lock()
+	cs := other.cs
+	other.csMu.Unlock()
+	if !cs.Zero() {
+		r.MergeCounterSet(&cs)
+	}
+}
+
 // MergeCounterSet folds a typed counter batch into the recorder. No-op on
 // a nil recorder or nil batch.
 func (r *Recorder) MergeCounterSet(cs *CounterSet) {

@@ -1,0 +1,229 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"reflect"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// batchItems derives several distinct valid observations from one trace:
+// the original, plus variants with every k-th infected node's state
+// cleared to uninfected (shrinking or splitting components).
+func batchItems(tr *trace.Trace, n int) []trace.Observation {
+	items := make([]trace.Observation, n)
+	for i := range items {
+		o := *tr.Observation()
+		o.Seeds, o.SeedStates = nil, nil
+		if i > 0 {
+			observed := append([]int8(nil), o.Observed...)
+			kept := 0
+			for v, c := range observed {
+				if c == 1 || c == -1 {
+					kept++
+					if kept%(i+2) == 0 {
+						observed[v] = 0
+					}
+				}
+			}
+			o.Observed = observed
+		}
+		items[i] = o
+	}
+	return items
+}
+
+// TestDetectBatch pins each batch item's result to the one-shot /v1/detect
+// answer for the equivalent full trace: same initiators, trees, components.
+func TestDetectBatch(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	tr := sampleTrace(t, 7, 300, 1800, 6)
+	items := batchItems(tr, 4)
+
+	resp, body := postJSON(t, ts, "/v1/detect/batch", DetectBatchRequest{
+		Trace: tr, Items: items, Detector: "rid", Beta: 0.3,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var batch DetectBatchResponse
+	if err := json.Unmarshal(body, &batch); err != nil {
+		t.Fatal(err)
+	}
+	if batch.Failed != 0 || len(batch.Items) != len(items) {
+		t.Fatalf("failed=%d items=%d, want 0 and %d", batch.Failed, len(batch.Items), len(items))
+	}
+	if batch.GraphHash != tr.NetworkHash() {
+		t.Fatalf("graph hash %q, want %q", batch.GraphHash, tr.NetworkHash())
+	}
+	if batch.Algo == nil {
+		t.Fatal("batch response has no aggregated algo counters")
+	}
+	for i, item := range items {
+		full := item.Trace(tr)
+		resp, body := postJSON(t, ts, "/v1/detect", DetectRequest{Trace: full, Detector: "rid", Beta: 0.3})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("item %d reference: status = %d, body %s", i, resp.StatusCode, body)
+		}
+		var want DetectResponse
+		if err := json.Unmarshal(body, &want); err != nil {
+			t.Fatal(err)
+		}
+		got := batch.Items[i]
+		if !reflect.DeepEqual(got.Initiators, want.Initiators) {
+			t.Fatalf("item %d initiators differ from one-shot detect\nwant %+v\ngot  %+v", i, want.Initiators, got.Initiators)
+		}
+		if got.Trees != want.Trees || got.Components != want.Components {
+			t.Fatalf("item %d trees/components %d/%d, want %d/%d", i, got.Trees, got.Components, want.Trees, want.Components)
+		}
+		if got.Algo == nil {
+			t.Fatalf("item %d has no algo counters", i)
+		}
+	}
+}
+
+// TestDetectBatchItemIsolation checks one malformed item fails alone: the
+// batch still answers 200 with every other item solved.
+func TestDetectBatchItemIsolation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	tr := sampleTrace(t, 8, 200, 1200, 4)
+	items := batchItems(tr, 3)
+	items[1].Observed = items[1].Observed[:10] // wrong length
+
+	resp, body := postJSON(t, ts, "/v1/detect/batch", DetectBatchRequest{Trace: tr, Items: items})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var batch DetectBatchResponse
+	if err := json.Unmarshal(body, &batch); err != nil {
+		t.Fatal(err)
+	}
+	if batch.Failed != 1 {
+		t.Fatalf("failed = %d, want 1", batch.Failed)
+	}
+	if batch.Items[1].Error == "" || batch.Items[1].Initiators != nil {
+		t.Fatalf("bad item not isolated: %+v", batch.Items[1])
+	}
+	for _, i := range []int{0, 2} {
+		if batch.Items[i].Error != "" || len(batch.Items[i].Initiators) == 0 {
+			t.Fatalf("good item %d affected: %+v", i, batch.Items[i])
+		}
+	}
+}
+
+// TestDetectBatchGraphHash runs a batch against a previously cached
+// network by hash, and checks an unknown hash answers 404.
+func TestDetectBatchGraphHash(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	tr := sampleTrace(t, 9, 200, 1200, 4)
+
+	resp, body := postJSON(t, ts, "/v1/detect", DetectRequest{Trace: tr})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("prime: status = %d, body %s", resp.StatusCode, body)
+	}
+	var primed DetectResponse
+	if err := json.Unmarshal(body, &primed); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, body = postJSON(t, ts, "/v1/detect/batch", DetectBatchRequest{
+		GraphHash: primed.GraphHash, Items: batchItems(tr, 2),
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var batch DetectBatchResponse
+	if err := json.Unmarshal(body, &batch); err != nil {
+		t.Fatal(err)
+	}
+	if batch.Cache != "hit" || batch.Failed != 0 {
+		t.Fatalf("cache=%q failed=%d, want hit and 0", batch.Cache, batch.Failed)
+	}
+	if !reflect.DeepEqual(batch.Items[0].Initiators, primed.Initiators) {
+		t.Fatal("hash-addressed batch differs from the priming detect")
+	}
+
+	resp, _ = postJSON(t, ts, "/v1/detect/batch", DetectBatchRequest{
+		GraphHash: "deadbeefdeadbeefdeadbeefdeadbeef", Items: batchItems(tr, 1),
+	})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown hash: status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestDetectBatchRejectsBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	tr := sampleTrace(t, 10, 120, 700, 3)
+	for name, req := range map[string]DetectBatchRequest{
+		"no network":       {Items: batchItems(tr, 1)},
+		"both networks":    {Trace: tr, GraphHash: tr.NetworkHash(), Items: batchItems(tr, 1)},
+		"no items":         {Trace: tr},
+		"unknown detector": {Trace: tr, Items: batchItems(tr, 1), Detector: "nope"},
+		"negative k":       {Trace: tr, Items: batchItems(tr, 1), K: -1},
+	} {
+		resp, _ := postJSON(t, ts, "/v1/detect/batch", req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", name, resp.StatusCode)
+		}
+	}
+}
+
+// TestDetectBinaryContentType posts the same instance as JSON and as a
+// binary trace (Content-Type application/x-rid-trace, options in the query
+// string) and requires identical detection results.
+func TestDetectBinaryContentType(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	tr := sampleTrace(t, 11, 200, 1200, 4)
+
+	resp, body := postJSON(t, ts, "/v1/detect", DetectRequest{Trace: tr, Detector: "rid", Beta: 0.3, K: 5})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("json: status = %d, body %s", resp.StatusCode, body)
+	}
+	var want DetectResponse
+	if err := json.Unmarshal(body, &want); err != nil {
+		t.Fatal(err)
+	}
+
+	raw := trace.MarshalBinary(tr)
+	resp, err := ts.Client().Post(ts.URL+"/v1/detect?detector=rid&beta=0.3&k=5",
+		trace.BinaryContentType, bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got DetectResponse
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("binary: status = %d", resp.StatusCode)
+	}
+	if !reflect.DeepEqual(got.Initiators, want.Initiators) || got.GraphHash != want.GraphHash {
+		t.Fatalf("binary-posted detect differs from JSON\nwant %+v\ngot  %+v", want, got)
+	}
+
+	// A corrupted frame is a 400, reported through the codec's error.
+	raw[len(raw)/2] ^= 0xFF
+	resp, err = ts.Client().Post(ts.URL+"/v1/detect", trace.BinaryContentType, bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("corrupt binary: status = %d, want 400", resp.StatusCode)
+	}
+
+	// Malformed query options are rejected before any compute.
+	resp, err = ts.Client().Post(ts.URL+"/v1/detect?beta=x", trace.BinaryContentType,
+		bytes.NewReader(trace.MarshalBinary(tr)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad query: status = %d, want 400", resp.StatusCode)
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io/fs"
+	"log/slog"
 	"net/http"
 	"sort"
 	"time"
@@ -206,8 +208,11 @@ func buildDetector(name string, alpha, beta float64, parallelism int) (core.Dete
 	}
 }
 
-// resolveGraph returns the built network for a trace, going through the
-// LRU cache, and records the hit/miss. The trace must be pre-validated.
+// resolveGraph returns the built network for a trace and the cache state:
+// "hit" from the LRU, "warm" from the snapshot store (zero-copy views over
+// the persisted CSR file, skipping validation and index sorting), "miss"
+// when it had to be rebuilt from the wire edges. Misses are persisted to
+// the store for the next process. The trace must be pre-validated.
 func (s *Server) resolveGraph(t *trace.Trace) (*sgraph.Graph, string, string, error) {
 	hash := t.NetworkHash()
 	if g, ok := s.cache.Get(hash); ok {
@@ -215,11 +220,22 @@ func (s *Server) resolveGraph(t *trace.Trace) (*sgraph.Graph, string, string, er
 		return g, hash, "hit", nil
 	}
 	s.reg.CountCache(false)
+	if g, err := s.snapshots.Load(hash); err == nil {
+		s.cache.Put(hash, g)
+		return g, hash, "warm", nil
+	} else if !errors.Is(err, fs.ErrNotExist) {
+		// A corrupt snapshot never reaches serving: the loader rejected it,
+		// and the rebuild below overwrites it with a good one.
+		slog.Warn("server: snapshot load failed; rebuilding", "hash", hash, "err", err)
+	}
 	g, err := t.BuildGraph()
 	if err != nil {
 		return nil, "", "", badRequest("%v", err)
 	}
 	s.cache.Put(hash, g)
+	if err := s.snapshots.Save(hash, g); err != nil {
+		slog.Warn("server: snapshot save failed", "hash", hash, "err", err)
+	}
 	return g, hash, "miss", nil
 }
 
@@ -227,7 +243,7 @@ func (s *Server) resolveGraph(t *trace.Trace) (*sgraph.Graph, string, string, er
 // request deadline.
 func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	var req DetectRequest
-	if err := decodeBody(w, r, &req, s.cfg.MaxBodyBytes); err != nil {
+	if err := s.decodeDetect(w, r, &req); err != nil {
 		writeError(w, err)
 		return
 	}
@@ -409,15 +425,11 @@ func (s *Server) simulate(ctx context.Context, req *SimulateRequest) (resp *Simu
 			return nil, err
 		}
 	} else {
-		var ok bool
-		g, ok = s.cache.Get(req.GraphHash)
-		if !ok {
-			s.reg.CountCache(false)
-			return nil, &httpError{status: http.StatusNotFound,
-				msg: fmt.Sprintf("graph %s not cached; resubmit the trace", req.GraphHash)}
+		hash = req.GraphHash
+		g, cacheState, err = s.lookupGraph(req.GraphHash)
+		if err != nil {
+			return nil, err
 		}
-		s.reg.CountCache(true)
-		hash, cacheState = req.GraphHash, "hit"
 	}
 	states := make([]sgraph.State, len(req.Initiators))
 	for i := range states {

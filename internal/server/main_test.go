@@ -1,0 +1,18 @@
+package server
+
+import (
+	"io"
+	"log/slog"
+	"os"
+	"testing"
+)
+
+// TestMain discards the default slog output for the whole package: the
+// request-logging middleware writes one INFO line per request, which in
+// benchmarks interleaves with the testing framework's own output ("go
+// test" merges the binary's stderr into stdout) and corrupts the lines
+// scripts/bench_json.sh parses.
+func TestMain(m *testing.M) {
+	slog.SetDefault(slog.New(slog.NewTextHandler(io.Discard, nil)))
+	os.Exit(m.Run())
+}

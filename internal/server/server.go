@@ -79,6 +79,12 @@ type Config struct {
 	// SLOLatency is the per-route latency objective; zero defaults to
 	// 500ms.
 	SLOLatency time.Duration
+	// Snapshots, when non-nil, persists built networks as CSR snapshot
+	// files keyed by content hash, letting restarts and replicas warm-load
+	// graphs (zero-copy mmap) instead of rebuilding them from wire traces.
+	// Constructed by the caller (NewSnapshotStore) so directory errors
+	// surface at startup. Nil disables persistence.
+	Snapshots *SnapshotStore
 }
 
 func (c Config) withDefaults() Config {
@@ -115,35 +121,38 @@ func (c Config) withDefaults() Config {
 // Server is the detection service. Create one with New, serve with
 // ListenAndServe (or mount Handler in a test server), stop with Shutdown.
 type Server struct {
-	cfg      Config
-	pool     *Pool
-	cache    *GraphCache
-	reg      *Registry
-	flight   *obs.FlightRecorder
-	sessions *ingest.Manager
-	slo      *obs.SLOTracker
-	exporter *obs.Exporter
-	mux      *http.ServeMux
-	http     *http.Server
+	cfg       Config
+	pool      *Pool
+	cache     *GraphCache
+	snapshots *SnapshotStore
+	reg       *Registry
+	flight    *obs.FlightRecorder
+	sessions  *ingest.Manager
+	slo       *obs.SLOTracker
+	exporter  *obs.Exporter
+	mux       *http.ServeMux
+	http      *http.Server
 }
 
 // New wires a server from the configuration.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:      cfg,
-		pool:     NewPool(cfg.Workers, cfg.QueueDepth),
-		cache:    NewGraphCache(cfg.CacheSize),
-		reg:      NewRegistry(),
-		sessions: ingest.NewManager(ingest.ManagerConfig{MaxSessions: cfg.MaxSessions, TTL: cfg.SessionTTL}),
-		slo:      obs.NewSLOTracker(obs.SLOConfig{Target: cfg.SLOTarget, Latency: cfg.SLOLatency}),
-		exporter: cfg.Exporter,
-		mux:      http.NewServeMux(),
+		cfg:       cfg,
+		pool:      NewPool(cfg.Workers, cfg.QueueDepth),
+		cache:     NewGraphCache(cfg.CacheSize),
+		snapshots: cfg.Snapshots,
+		reg:       NewRegistry(),
+		sessions:  ingest.NewManager(ingest.ManagerConfig{MaxSessions: cfg.MaxSessions, TTL: cfg.SessionTTL}),
+		slo:       obs.NewSLOTracker(obs.SLOConfig{Target: cfg.SLOTarget, Latency: cfg.SLOLatency}),
+		exporter:  cfg.Exporter,
+		mux:       http.NewServeMux(),
 	}
 	if cfg.FlightSize > 0 {
 		s.flight = obs.NewFlightRecorder(cfg.FlightSize, cfg.SlowThreshold)
 	}
 	s.mux.HandleFunc("POST /v1/detect", s.instrument("detect", s.handleDetect))
+	s.mux.HandleFunc("POST /v1/detect/batch", s.instrument("detect_batch", s.handleDetectBatch))
 	s.mux.HandleFunc("POST /v1/simulate", s.instrument("simulate", s.handleSimulate))
 	s.mux.HandleFunc("POST /v1/sessions", s.instrument("session_create", s.handleSessionCreate))
 	s.mux.HandleFunc("POST /v1/sessions/{id}/events", s.instrument("session_events", s.handleSessionEvents))

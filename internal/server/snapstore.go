@@ -1,0 +1,79 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/sgraph"
+)
+
+// SnapshotStore persists built diffusion networks as flat CSR snapshot
+// files ("RIDG" v1, internal/sgraph) keyed by content hash
+// (trace.NetworkHash) under one directory. A process restart — or a second
+// replica sharing the directory — reloads a network as zero-copy mmap
+// views over the file instead of re-validating and re-sorting the wire
+// trace, which is an order of magnitude faster on the sharded-Epinions
+// preset. Writes go through a temp file plus rename, so a concurrent
+// loader never observes a partially written snapshot; a corrupt or
+// truncated file fails LoadSnapshot's checksum and structural validation
+// and the caller falls back to rebuilding from the trace — a bad file is
+// never served as a partial graph. A nil store is the disabled state:
+// Load always misses and Save is a no-op.
+type SnapshotStore struct {
+	dir string
+}
+
+// NewSnapshotStore opens (creating if needed) a snapshot directory. An
+// empty dir returns a nil store, the disabled state, so callers can thread
+// an optional -snapshot-dir flag straight through.
+func NewSnapshotStore(dir string) (*SnapshotStore, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: snapshot dir: %w", err)
+	}
+	return &SnapshotStore{dir: dir}, nil
+}
+
+// validSnapshotKey reports whether hash is a plain lowercase-hex content
+// hash — the only key shape the store touches disk for. graph_hash values
+// arrive from clients, so anything else (path separators, dots, uppercase)
+// must never reach filepath.Join.
+func validSnapshotKey(hash string) bool {
+	if len(hash) < 16 || len(hash) > 128 {
+		return false
+	}
+	for i := 0; i < len(hash); i++ {
+		c := hash[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func (st *SnapshotStore) path(hash string) string {
+	return filepath.Join(st.dir, hash+".ridg")
+}
+
+// Load returns the stored graph for hash. A disabled store, an invalid
+// key, or a missing file all report os.ErrNotExist; decode failures
+// (truncation, checksum or structural corruption) surface as other errors
+// so the caller can log and rebuild.
+func (st *SnapshotStore) Load(hash string) (*sgraph.Graph, error) {
+	if st == nil || !validSnapshotKey(hash) {
+		return nil, os.ErrNotExist
+	}
+	return sgraph.LoadSnapshot(st.path(hash))
+}
+
+// Save persists g under hash atomically (temp file + rename), overwriting
+// any previous snapshot. No-op on a nil store or an invalid key.
+func (st *SnapshotStore) Save(hash string, g *sgraph.Graph) error {
+	if st == nil || !validSnapshotKey(hash) {
+		return nil
+	}
+	return sgraph.WriteSnapshotFile(g, st.path(hash))
+}

@@ -4,14 +4,19 @@
 // components, and the Jaccard-coefficient edge weighting used by the
 // experimental setup.
 //
-// Graphs are stored in a compact adjacency form: a flat edge array plus
-// per-node out-edge and in-edge index slices (CSR-like), built once by
-// Builder.Build. Node IDs are dense ints in [0, NumNodes).
+// Graphs are stored in flat structure-of-arrays CSR form: parallel edge
+// attribute arrays (from, to, sign, weight) plus per-node out-edge and
+// in-edge index lists packed into two offset/list array pairs. The layout
+// has no per-node slice headers or pointers, so a built graph can be
+// persisted as an mmap-able snapshot and loaded back as aliased array views
+// without re-indexing (see WriteSnapshot/LoadSnapshot). Node IDs are dense
+// ints in [0, NumNodes).
 package sgraph
 
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -47,42 +52,74 @@ type Edge struct {
 
 // Graph is an immutable weighted signed directed graph. Build one with a
 // Builder. The zero value is an empty graph.
+//
+// Storage is flat CSR: edge attributes live in four parallel arrays indexed
+// by a stable edge ID (insertion order), and the per-node adjacency is two
+// offset/list pairs — outList[outStart[u]:outStart[u+1]] are the edge IDs of
+// u's out-links sorted by target, inList likewise sorted by source. The
+// arrays may alias a read-only memory-mapped snapshot (see LoadSnapshot);
+// nothing mutates them after Build.
 type Graph struct {
-	n     int
-	edges []Edge
-	// outIdx[u] lists indices into edges of u's out-links, sorted by To.
-	outIdx [][]int32
-	// inIdx[v] lists indices into edges of v's in-links, sorted by From.
-	inIdx [][]int32
+	n          int
+	edgeFrom   []int32
+	edgeTo     []int32
+	edgeSign   []int8
+	edgeWeight []float64
+	// outStart has n+1 entries; outList[outStart[u]:outStart[u+1]] holds
+	// edge IDs of u's out-links, sorted by To.
+	outStart []int32
+	outList  []int32
+	// inStart/inList mirror outStart/outList for in-links, sorted by From.
+	inStart []int32
+	inList  []int32
+	// snap retains the backing mmap (if any) so the mapping outlives every
+	// aliased array view; see LoadSnapshot.
+	snap *mapping
 }
 
 // NumNodes returns the number of nodes.
 func (g *Graph) NumNodes() int { return g.n }
 
 // NumEdges returns the number of directed links.
-func (g *Graph) NumEdges() int { return len(g.edges) }
+func (g *Graph) NumEdges() int { return len(g.edgeTo) }
+
+// edge materializes the i-th edge record from the flat arrays.
+func (g *Graph) edge(i int32) Edge {
+	return Edge{
+		From:   int(g.edgeFrom[i]),
+		To:     int(g.edgeTo[i]),
+		Sign:   Sign(g.edgeSign[i]),
+		Weight: g.edgeWeight[i],
+	}
+}
 
 // Edge returns the i-th edge in insertion order. It panics if i is out of
 // range.
-func (g *Graph) Edge(i int) Edge { return g.edges[i] }
+func (g *Graph) Edge(i int) Edge { return g.edge(int32(i)) }
 
 // Edges calls fn for every edge. Iteration order is insertion order.
 func (g *Graph) Edges(fn func(Edge)) {
-	for i := range g.edges {
-		fn(g.edges[i])
+	for i := range g.edgeTo {
+		fn(g.edge(int32(i)))
 	}
 }
 
 // OutDegree returns the number of out-links of u.
-func (g *Graph) OutDegree(u int) int { return len(g.outIdx[u]) }
+func (g *Graph) OutDegree(u int) int { return int(g.outStart[u+1] - g.outStart[u]) }
 
 // InDegree returns the number of in-links of v.
-func (g *Graph) InDegree(v int) int { return len(g.inIdx[v]) }
+func (g *Graph) InDegree(v int) int { return int(g.inStart[v+1] - g.inStart[v]) }
+
+// out returns the edge-ID list of u's out-links, sorted by target.
+func (g *Graph) out(u int) []int32 { return g.outList[g.outStart[u]:g.outStart[u+1]] }
+
+// in returns the edge-ID list of v's in-links, sorted by source.
+func (g *Graph) in(v int) []int32 { return g.inList[g.inStart[v]:g.inStart[v+1]] }
 
 // Out calls fn for each out-link of u, in ascending order of target ID.
 func (g *Graph) Out(u int, fn func(Edge)) {
-	for _, i := range g.outIdx[u] {
-		fn(g.edges[i])
+	for _, i := range g.out(u) {
+		fn(g.edge(i))
 	}
 }
 
@@ -90,51 +127,53 @@ func (g *Graph) Out(u int, fn func(Edge)) {
 // (as accepted by Edge), in ascending order of target ID. Simulators use
 // the index to track per-edge state in dense arrays.
 func (g *Graph) OutIndexed(u int, fn func(i int, e Edge)) {
-	for _, i := range g.outIdx[u] {
-		fn(int(i), g.edges[i])
+	for _, i := range g.out(u) {
+		fn(int(i), g.edge(i))
 	}
 }
 
 // In calls fn for each in-link of v, in ascending order of source ID.
 func (g *Graph) In(v int, fn func(Edge)) {
-	for _, i := range g.inIdx[v] {
-		fn(g.edges[i])
+	for _, i := range g.in(v) {
+		fn(g.edge(i))
 	}
 }
 
 // OutEdges returns a freshly allocated slice of u's out-links.
 func (g *Graph) OutEdges(u int) []Edge {
-	out := make([]Edge, 0, len(g.outIdx[u]))
-	for _, i := range g.outIdx[u] {
-		out = append(out, g.edges[i])
+	idx := g.out(u)
+	out := make([]Edge, 0, len(idx))
+	for _, i := range idx {
+		out = append(out, g.edge(i))
 	}
 	return out
 }
 
 // InEdges returns a freshly allocated slice of v's in-links.
 func (g *Graph) InEdges(v int) []Edge {
-	in := make([]Edge, 0, len(g.inIdx[v]))
-	for _, i := range g.inIdx[v] {
-		in = append(in, g.edges[i])
+	idx := g.in(v)
+	in := make([]Edge, 0, len(idx))
+	for _, i := range idx {
+		in = append(in, g.edge(i))
 	}
 	return in
 }
 
 // HasEdge reports whether a link u -> v exists and returns it.
 func (g *Graph) HasEdge(u, v int) (Edge, bool) {
-	idx := g.outIdx[u]
-	// outIdx is sorted by target; binary search.
+	idx := g.out(u)
+	// out lists are sorted by target; binary search.
 	lo, hi := 0, len(idx)
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if g.edges[idx[mid]].To < v {
+		if int(g.edgeTo[idx[mid]]) < v {
 			lo = mid + 1
 		} else {
 			hi = mid
 		}
 	}
-	if lo < len(idx) && g.edges[idx[lo]].To == v {
-		return g.edges[idx[lo]], true
+	if lo < len(idx) && int(g.edgeTo[idx[lo]]) == v {
+		return g.edge(idx[lo]), true
 	}
 	return Edge{}, false
 }
@@ -145,9 +184,8 @@ func (g *Graph) HasEdge(u, v int) (Edge, bool) {
 // "information flows v -> u".
 func (g *Graph) Reverse() *Graph {
 	b := NewBuilder(g.n)
-	for i := range g.edges {
-		e := g.edges[i]
-		b.AddEdge(e.To, e.From, e.Sign, e.Weight)
+	for i := range g.edgeTo {
+		b.AddEdge(int(g.edgeTo[i]), int(g.edgeFrom[i]), Sign(g.edgeSign[i]), g.edgeWeight[i])
 	}
 	rev, err := b.Build()
 	if err != nil {
@@ -187,15 +225,15 @@ func (g *Graph) DegreePercentiles() (p50, p90, p99, max int) {
 
 // Stats computes summary statistics of g.
 func (g *Graph) Stats() Stats {
-	st := Stats{Nodes: g.n, Edges: len(g.edges)}
+	st := Stats{Nodes: g.n, Edges: len(g.edgeTo)}
 	var wsum float64
-	for i := range g.edges {
-		if g.edges[i].Sign == Positive {
+	for i := range g.edgeTo {
+		if Sign(g.edgeSign[i]) == Positive {
 			st.PositiveEdges++
 		} else {
 			st.NegativeEdges++
 		}
-		wsum += g.edges[i].Weight
+		wsum += g.edgeWeight[i]
 	}
 	if st.Edges > 0 {
 		st.PositiveRatio = float64(st.PositiveEdges) / float64(st.Edges)
@@ -219,6 +257,7 @@ var (
 	ErrDuplicateEdge = errors.New("sgraph: duplicate edge")
 	ErrBadSign       = errors.New("sgraph: sign must be +1 or -1")
 	ErrBadWeight     = errors.New("sgraph: weight must be in [0, 1]")
+	ErrTooLarge      = errors.New("sgraph: graph exceeds int32 node/edge capacity")
 )
 
 // Builder accumulates edges and produces an immutable Graph. The zero value
@@ -271,44 +310,87 @@ func (b *Builder) Build() (*Graph, error) {
 	if b.err != nil {
 		return nil, b.err
 	}
-	g := &Graph{
-		n:      b.n,
-		edges:  b.edges,
-		outIdx: make([][]int32, b.n),
-		inIdx:  make([][]int32, b.n),
+	if b.n > math.MaxInt32 || len(b.edges) > math.MaxInt32 {
+		return nil, fmt.Errorf("%w: %d nodes, %d edges", ErrTooLarge, b.n, len(b.edges))
 	}
+	edges := b.edges
 	b.edges = nil // transfer ownership
-	outDeg := make([]int32, g.n)
-	inDeg := make([]int32, g.n)
-	for i := range g.edges {
-		outDeg[g.edges[i].From]++
-		inDeg[g.edges[i].To]++
+	m := len(edges)
+	g := &Graph{
+		n:          b.n,
+		edgeFrom:   make([]int32, m),
+		edgeTo:     make([]int32, m),
+		edgeSign:   make([]int8, m),
+		edgeWeight: make([]float64, m),
+		outStart:   make([]int32, b.n+1),
+		outList:    make([]int32, m),
+		inStart:    make([]int32, b.n+1),
+		inList:     make([]int32, m),
+	}
+	for i := range edges {
+		e := &edges[i]
+		g.edgeFrom[i] = int32(e.From)
+		g.edgeTo[i] = int32(e.To)
+		g.edgeSign[i] = int8(e.Sign)
+		g.edgeWeight[i] = e.Weight
+		g.outStart[e.From+1]++
+		g.inStart[e.To+1]++
 	}
 	for u := 0; u < g.n; u++ {
-		if outDeg[u] > 0 {
-			g.outIdx[u] = make([]int32, 0, outDeg[u])
-		}
-		if inDeg[u] > 0 {
-			g.inIdx[u] = make([]int32, 0, inDeg[u])
-		}
+		g.outStart[u+1] += g.outStart[u]
+		g.inStart[u+1] += g.inStart[u]
 	}
-	for i := range g.edges {
-		e := &g.edges[i]
-		g.outIdx[e.From] = append(g.outIdx[e.From], int32(i))
-		g.inIdx[e.To] = append(g.inIdx[e.To], int32(i))
+	// Fill the adjacency lists with a cursor pass, then sort each node's
+	// segment in place (out by target, in by source).
+	outPos := make([]int32, g.n)
+	inPos := make([]int32, g.n)
+	for i := range edges {
+		u, v := edges[i].From, edges[i].To
+		g.outList[g.outStart[u]+outPos[u]] = int32(i)
+		outPos[u]++
+		g.inList[g.inStart[v]+inPos[v]] = int32(i)
+		inPos[v]++
 	}
 	for u := 0; u < g.n; u++ {
-		idx := g.outIdx[u]
-		sort.Slice(idx, func(a, b int) bool { return g.edges[idx[a]].To < g.edges[idx[b]].To })
+		idx := g.out(u)
+		sort.Slice(idx, func(a, b int) bool { return g.edgeTo[idx[a]] < g.edgeTo[idx[b]] })
 		for j := 1; j < len(idx); j++ {
-			if g.edges[idx[j]].To == g.edges[idx[j-1]].To {
-				return nil, fmt.Errorf("%w: (%d,%d)", ErrDuplicateEdge, u, g.edges[idx[j]].To)
+			if g.edgeTo[idx[j]] == g.edgeTo[idx[j-1]] {
+				return nil, fmt.Errorf("%w: (%d,%d)", ErrDuplicateEdge, u, g.edgeTo[idx[j]])
 			}
 		}
-		in := g.inIdx[u]
-		sort.Slice(in, func(a, b int) bool { return g.edges[in[a]].From < g.edges[in[b]].From })
+		in := g.in(u)
+		sort.Slice(in, func(a, b int) bool { return g.edgeFrom[in[a]] < g.edgeFrom[in[b]] })
 	}
 	return g, nil
+}
+
+// CSRView exposes the graph's flat arrays for read-only hot-loop
+// consumption: cascade extraction and the detection kernels iterate
+// millions of edges per request, and going through the Out/In closure
+// callbacks costs an indirect call per edge. The slices are the graph's
+// own backing arrays (possibly aliasing a memory-mapped snapshot) — callers
+// must never mutate them.
+//
+// Adjacency: OutList[OutStart[u]:OutStart[u+1]] are the edge indices of u's
+// out-links sorted by EdgeTo; InList[InStart[v]:InStart[v+1]] are v's
+// in-links sorted by EdgeFrom.
+type CSRView struct {
+	EdgeFrom, EdgeTo  []int32
+	EdgeSign          []int8
+	EdgeWeight        []float64
+	OutStart, OutList []int32
+	InStart, InList   []int32
+}
+
+// CSR returns the flat-array view of the graph.
+func (g *Graph) CSR() CSRView {
+	return CSRView{
+		EdgeFrom: g.edgeFrom, EdgeTo: g.edgeTo,
+		EdgeSign: g.edgeSign, EdgeWeight: g.edgeWeight,
+		OutStart: g.outStart, OutList: g.outList,
+		InStart: g.inStart, InList: g.inList,
+	}
 }
 
 // MustBuild is Build for static graphs known to be valid; it panics on error.

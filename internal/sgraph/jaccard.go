@@ -15,13 +15,13 @@ import (
 func Jaccard(g *Graph, v, u int) float64 {
 	// Out-neighbors of v are sorted by target; in-neighbors of u sorted by
 	// source. Walk both in one merge pass.
-	vo := g.outIdx[v]
-	ui := g.inIdx[u]
+	vo := g.out(v)
+	ui := g.in(u)
 	inter := 0
 	i, j := 0, 0
 	for i < len(vo) && j < len(ui) {
-		a := g.edges[vo[i]].To
-		b := g.edges[ui[j]].From
+		a := int(g.edgeTo[vo[i]])
+		b := int(g.edgeFrom[ui[j]])
 		switch {
 		case a == b:
 			inter++
@@ -43,13 +43,13 @@ func Jaccard(g *Graph, v, u int) float64 {
 // CommonNeighbors returns |Γout(v) ∩ Γin(u)| for social link (v, u) — the
 // raw intimacy count underlying the Jaccard coefficient.
 func CommonNeighbors(g *Graph, v, u int) int {
-	vo := g.outIdx[v]
-	ui := g.inIdx[u]
+	vo := g.out(v)
+	ui := g.in(u)
 	inter := 0
 	i, j := 0, 0
 	for i < len(vo) && j < len(ui) {
-		a := g.edges[vo[i]].To
-		b := g.edges[ui[j]].From
+		a := int(g.edgeTo[vo[i]])
+		b := int(g.edgeFrom[ui[j]])
 		switch {
 		case a == b:
 			inter++
@@ -69,13 +69,13 @@ func CommonNeighbors(g *Graph, v, u int) int {
 // degree — frequent intermediaries count less (Liben-Nowell & Kleinberg
 // 2007, the paper's reference [18] for link weighting).
 func AdamicAdar(g *Graph, v, u int) float64 {
-	vo := g.outIdx[v]
-	ui := g.inIdx[u]
+	vo := g.out(v)
+	ui := g.in(u)
 	sum := 0.0
 	i, j := 0, 0
 	for i < len(vo) && j < len(ui) {
-		a := g.edges[vo[i]].To
-		b := g.edges[ui[j]].From
+		a := int(g.edgeTo[vo[i]])
+		b := int(g.edgeFrom[ui[j]])
 		switch {
 		case a == b:
 			if d := g.OutDegree(a) + g.InDegree(a); d > 1 {
@@ -110,19 +110,21 @@ func newNeighborIndex(g *Graph) *neighborIndex {
 		out: make([][]int32, g.n),
 		in:  make([][]int32, g.n),
 	}
-	outFlat := make([]int32, len(g.edges))
-	inFlat := make([]int32, len(g.edges))
+	outFlat := make([]int32, g.NumEdges())
+	inFlat := make([]int32, g.NumEdges())
 	opos, ipos := 0, 0
 	for v := 0; v < g.n; v++ {
-		lst := outFlat[opos : opos+len(g.outIdx[v])]
-		for i, ei := range g.outIdx[v] {
-			lst[i] = int32(g.edges[ei].To)
+		ov := g.out(v)
+		lst := outFlat[opos : opos+len(ov)]
+		for i, ei := range ov {
+			lst[i] = g.edgeTo[ei]
 		}
 		idx.out[v] = lst
 		opos += len(lst)
-		lst = inFlat[ipos : ipos+len(g.inIdx[v])]
-		for i, ei := range g.inIdx[v] {
-			lst[i] = int32(g.edges[ei].From)
+		iv := g.in(v)
+		lst = inFlat[ipos : ipos+len(iv)]
+		for i, ei := range iv {
+			lst[i] = g.edgeFrom[ei]
 		}
 		idx.in[v] = lst
 		ipos += len(lst)
@@ -222,20 +224,20 @@ func rawScores(g *Graph, scheme WeightScheme) []float64 {
 	if scheme == SchemeAdamicAdar {
 		invLogDeg = idx.invLogDegrees()
 	}
-	raw := make([]float64, len(g.edges))
+	raw := make([]float64, g.NumEdges())
 	workers := par.Workers(0)
 	_ = par.ForEach(context.Background(), workers, workers, func(_, chunk int) error {
 		lo := chunk * len(raw) / workers
 		hi := (chunk + 1) * len(raw) / workers
 		for i := lo; i < hi; i++ {
-			e := &g.edges[i]
+			from, to := int(g.edgeFrom[i]), int(g.edgeTo[i])
 			switch scheme {
 			case SchemeAdamicAdar:
-				raw[i] = idx.adamicAdar(invLogDeg, e.From, e.To)
+				raw[i] = idx.adamicAdar(invLogDeg, from, to)
 			case SchemeCommonNeighbors:
-				raw[i] = float64(idx.common(e.From, e.To))
+				raw[i] = float64(idx.common(from, to))
 			default:
-				raw[i] = idx.jaccard(e.From, e.To)
+				raw[i] = idx.jaccard(from, to)
 			}
 		}
 		return nil
@@ -274,8 +276,7 @@ func WeightBy(g *Graph, scheme WeightScheme, fallbackMax float64, rng *xrand.Ran
 	// The builder pass stays serial: the zero-score RNG fallback must draw
 	// in edge order to keep re-weighted graphs bit-identical run to run.
 	b := NewBuilder(g.NumNodes())
-	for i := range g.edges {
-		e := g.edges[i]
+	for i := range raw {
 		w := 0.0
 		if maxRaw > 0 {
 			w = raw[i] / maxRaw
@@ -283,7 +284,7 @@ func WeightBy(g *Graph, scheme WeightScheme, fallbackMax float64, rng *xrand.Ran
 		if w == 0 {
 			w = rng.Range(0, fallbackMax)
 		}
-		b.AddEdge(e.From, e.To, e.Sign, w)
+		b.AddEdge(int(g.edgeFrom[i]), int(g.edgeTo[i]), Sign(g.edgeSign[i]), w)
 	}
 	return b.MustBuild()
 }
@@ -299,8 +300,7 @@ func WeightByJaccard(g *Graph, fallbackMax float64, rng *xrand.Rand) *Graph {
 	// Serial builder pass: RNG fallbacks must be drawn in edge order so the
 	// re-weighted graph is bit-identical run to run (see WeightBy).
 	b := NewBuilder(g.NumNodes())
-	for i := range g.edges {
-		e := g.edges[i]
+	for i := range raw {
 		w := raw[i]
 		if w == 0 {
 			w = rng.Range(0, fallbackMax)
@@ -308,7 +308,7 @@ func WeightByJaccard(g *Graph, fallbackMax float64, rng *xrand.Rand) *Graph {
 		if w > 1 {
 			w = 1
 		}
-		b.AddEdge(e.From, e.To, e.Sign, w)
+		b.AddEdge(int(g.edgeFrom[i]), int(g.edgeTo[i]), Sign(g.edgeSign[i]), w)
 	}
 	return b.MustBuild()
 }

@@ -1,0 +1,17 @@
+//go:build !unix
+
+package sgraph
+
+import "errors"
+
+// mapping is unavailable on this platform; LoadSnapshot always takes the
+// copy-on-read path.
+type mapping struct {
+	data []byte
+}
+
+var errNoMmap = errors.New("sgraph: mmap unsupported on this platform")
+
+func openMapping(path string) (*mapping, error) { return nil, errNoMmap }
+
+func (mp *mapping) release() {}

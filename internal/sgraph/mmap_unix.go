@@ -1,0 +1,50 @@
+//go:build unix
+
+package sgraph
+
+import (
+	"os"
+	"runtime"
+	"syscall"
+)
+
+// mapping is a read-only memory-mapped snapshot file. The Graph loaded from
+// it keeps a reference so the mapping outlives every aliased array view; a
+// finalizer unmaps once the graph (and thus the mapping) becomes
+// unreachable.
+type mapping struct {
+	data []byte
+}
+
+func openMapping(path string) (*mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size <= 0 || size > int64(int(^uint(0)>>1)) {
+		return nil, syscall.EINVAL
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, err
+	}
+	mp := &mapping{data: data}
+	runtime.SetFinalizer(mp, (*mapping).release)
+	return mp, nil
+}
+
+// release unmaps the file. Safe to call more than once.
+func (mp *mapping) release() {
+	if mp.data != nil {
+		data := mp.data
+		mp.data = nil
+		runtime.SetFinalizer(mp, nil)
+		_ = syscall.Munmap(data)
+	}
+}

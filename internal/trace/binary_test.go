@@ -1,0 +1,207 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"flag"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the binary trace golden fixture")
+
+// sampleTrace builds a small instance exercising every optional section.
+func sampleTrace(withName, withRounds, withSeeds, withSeedStates bool) *Trace {
+	t := &Trace{
+		Version: Version,
+		Nodes:   5,
+		Edges: []EdgeRecord{
+			{From: 0, To: 1, Sign: 1, Weight: 0.5},
+			{From: 1, To: 2, Sign: -1, Weight: 0.25},
+			{From: 2, To: 3, Sign: 1, Weight: 1},
+			{From: 3, To: 4, Sign: 1, Weight: 0.0625},
+		},
+		Observed: []int8{1, -1, 9, 0, 1},
+	}
+	if withName {
+		t.Name = "golden-instance"
+	}
+	if withRounds {
+		t.Rounds = []int32{0, 1, -1, -1, 2}
+	}
+	if withSeeds {
+		t.Seeds = []int{0, 4}
+	}
+	if withSeedStates {
+		t.SeedStates = []int8{1, -1}
+	}
+	return t
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name                                            string
+		withName, withRounds, withSeeds, withSeedStates bool
+	}{
+		{"bare", false, false, false, false},
+		{"name", true, false, false, false},
+		{"rounds", false, true, false, false},
+		{"seeds-no-states", false, false, true, false},
+		{"full", true, true, true, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			want := sampleTrace(tc.withName, tc.withRounds, tc.withSeeds, tc.withSeedStates)
+			if err := want.Validate(); err != nil {
+				t.Fatalf("sample must be valid: %v", err)
+			}
+			raw := MarshalBinary(want)
+			got, err := UnmarshalBinary(raw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("round trip drifted\nwant %+v\ngot  %+v", want, got)
+			}
+			// The decoded trace must re-encode to identical bytes, and agree
+			// with the JSON path on the network hash.
+			if !bytes.Equal(raw, MarshalBinary(got)) {
+				t.Fatal("binary encoding is not a fixed point of decode")
+			}
+			if want.NetworkHash() != got.NetworkHash() {
+				t.Fatal("network hash changed across the binary round trip")
+			}
+		})
+	}
+}
+
+func TestBinaryEmptyTrace(t *testing.T) {
+	want := &Trace{Version: Version, Nodes: 0}
+	got, err := UnmarshalBinary(MarshalBinary(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Nodes != 0 || len(got.Edges) != 0 || len(got.Observed) != 0 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func wantBadBinary(t *testing.T, raw []byte) {
+	t.Helper()
+	if _, err := UnmarshalBinary(raw); !errors.Is(err, ErrBadBinary) {
+		t.Fatalf("got %v, want ErrBadBinary", err)
+	}
+}
+
+func TestBinaryRejectsTruncation(t *testing.T) {
+	raw := MarshalBinary(sampleTrace(true, true, true, true))
+	for _, cut := range []int{0, 4, binHeaderSize, len(raw) / 2, len(raw) - 1} {
+		wantBadBinary(t, raw[:cut])
+	}
+}
+
+func TestBinaryRejectsCorruption(t *testing.T) {
+	raw := MarshalBinary(sampleTrace(true, true, true, true))
+	for _, at := range []int{0, 5, binHeaderSize + 3, len(raw) / 2, len(raw) - 1} {
+		bad := append([]byte(nil), raw...)
+		bad[at] ^= 0xFF
+		wantBadBinary(t, bad)
+	}
+}
+
+func TestBinaryRejectsWrongVersion(t *testing.T) {
+	raw := MarshalBinary(sampleTrace(false, false, false, false))
+	bad := append([]byte(nil), raw...)
+	binary.LittleEndian.PutUint16(bad[4:6], binVersion+1)
+	// Re-stamp the checksum so the version check itself is exercised.
+	binary.LittleEndian.PutUint32(bad[len(bad)-4:], checksumOf(bad[:len(bad)-4]))
+	wantBadBinary(t, bad)
+}
+
+func TestBinaryRejectsTrailingBytes(t *testing.T) {
+	raw := MarshalBinary(sampleTrace(false, false, false, false))
+	bad := append(append([]byte(nil), raw[:len(raw)-4]...), 0, 0, 0)
+	bad = binary.LittleEndian.AppendUint32(bad, checksumOf(bad))
+	wantBadBinary(t, bad)
+}
+
+// TestBinaryGolden pins the wire format byte for byte. Regenerate
+// deliberately with: go test ./internal/trace -run BinaryGolden -update
+func TestBinaryGolden(t *testing.T) {
+	got := MarshalBinary(sampleTrace(true, true, true, true))
+	path := filepath.Join("testdata", "trace_golden.bin")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("binary trace bytes drifted from golden fixture (%d vs %d bytes)", len(got), len(want))
+	}
+	back, err := UnmarshalBinary(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sampleTrace(true, true, true, true), back) {
+		t.Fatal("golden fixture decodes to a different trace")
+	}
+}
+
+func TestObservationValidateAndSnapshot(t *testing.T) {
+	full := sampleTrace(true, true, true, true)
+	obs := full.Observation()
+	if err := obs.Validate(full.Nodes); err != nil {
+		t.Fatal(err)
+	}
+	g, err := full.BuildGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromTrace, err := full.SnapshotOn(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromObs, err := obs.SnapshotOn(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fromTrace.States, fromObs.States) || !reflect.DeepEqual(fromTrace.Rounds, fromObs.Rounds) {
+		t.Fatal("observation snapshot differs from trace snapshot")
+	}
+	seeds, states, err := obs.GroundTruth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSeeds, wantStates, _ := full.GroundTruth()
+	if !reflect.DeepEqual(seeds, wantSeeds) || !reflect.DeepEqual(states, wantStates) {
+		t.Fatal("observation ground truth differs from trace ground truth")
+	}
+
+	for name, bad := range map[string]*Observation{
+		"short observed":   {Observed: []int8{1}},
+		"bad state code":   {Observed: []int8{1, -1, 3, 0, 1}},
+		"short rounds":     {Observed: full.Observed, Rounds: []int32{0}},
+		"negative round":   {Observed: full.Observed, Rounds: []int32{0, -2, -1, -1, -1}},
+		"seed range":       {Observed: full.Observed, Seeds: []int{99}},
+		"duplicate seed":   {Observed: full.Observed, Seeds: []int{1, 1}},
+		"seed state count": {Observed: full.Observed, Seeds: []int{0, 1}, SeedStates: []int8{1, -1, 1}},
+		"vague seed state": {Observed: full.Observed, Seeds: []int{0}, SeedStates: []int8{9}},
+	} {
+		if err := bad.Validate(full.Nodes); err == nil {
+			t.Errorf("%s: validation passed", name)
+		}
+	}
+}
+
+// checksumOf mirrors the trailer computation for tests that forge frames.
+func checksumOf(b []byte) uint32 { return crc32.ChecksumIEEE(b) }

@@ -2,8 +2,10 @@
 # bench_diff.sh — compare two BENCH_*.json files (as written by
 # scripts/bench_json.sh) per benchmark and cpu width on ns/op. Prints a
 # delta table and exits 1 if any benchmark slowed down by more than
-# BENCH_DIFF_THRESHOLD percent (default 10), so CI can gate on benchmark
-# regressions without re-running the suite.
+# BENCH_DIFF_THRESHOLD percent (default 10), or if a benchmark present in
+# the baseline is missing from the current run — a silently dropped bench
+# is a gate with a hole in it, not a pass. Benchmarks only in the current
+# run (added since the baseline) are noted and skipped.
 #
 # Usage:
 #
@@ -96,13 +98,23 @@ END {
         }
         printf "%-32s %14.0f %14.0f %+8.1f%%  %s\n", key, old_ns[key], new_ns[key], delta, verdict
     }
+    # A baseline benchmark absent from the current run fails the gate: it
+    # means the bench was renamed, filtered out, or silently broken, and a
+    # regression in it would go unnoticed.
+    missing = 0
     for (key in old_ns)
         if (!(key in new_ns))
-            skipnote[skipped++] = key " (only in " oldfile ")"
+            missingnote[missing++] = key
     for (i = 0; i < skipped; i++)
         printf "bench_diff: skipped %s: no counterpart to diff\n", skipnote[i]
-    if (regressions > 0) {
-        printf "\nbench_diff: %d benchmark(s) regressed beyond %s%%\n", regressions, threshold
+    for (i = 0; i < missing; i++)
+        printf "bench_diff: MISSING %s: in %s but not in %s\n", missingnote[i], oldfile, newfile
+    if (regressions > 0 || missing > 0) {
+        printf "\n"
+        if (regressions > 0)
+            printf "bench_diff: %d benchmark(s) regressed beyond %s%%\n", regressions, threshold
+        if (missing > 0)
+            printf "bench_diff: %d baseline benchmark(s) missing from the current run\n", missing
         if (warn_only != "") {
             printf "bench_diff: BENCH_DIFF_WARN_ONLY set, not failing\n"
             exit 0

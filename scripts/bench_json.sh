@@ -1,24 +1,38 @@
 #!/bin/sh
 # bench_json.sh — run the headline benchmarks at -cpu 1 and 4 and write
-# BENCH_pr7.json with ns/op, B/op and allocs/op per width plus the measured
+# BENCH_pr8.json with ns/op, B/op and allocs/op per width plus the measured
 # parallel speedup (ns at cpu1 / ns at cpu4). On single-core hosts -cpu 4
 # only adds scheduler overhead, so the ratio reads below 1 even for fully
 # serial code — BenchmarkMFCSimulation (no pipeline parallelism) is the
-# control that bounds the artifact; host_cpus records the hardware the
-# numbers came from. ArborKernels/{tarjan,contract} is the single-threaded
-# arborescence-kernel micro-benchmark comparing the two solver algorithms.
-# IncrementalDetect/{full,delta} compares one-shot detection against the
-# event-sourced session path answering from a warm per-component cache.
+# control that bounds the artifact; host_cpus, gomaxprocs and host_model
+# record the hardware the numbers came from. ArborKernels/{tarjan,contract}
+# is the single-threaded arborescence-kernel micro-benchmark comparing the
+# two solver algorithms. IncrementalDetect/{full,delta} compares one-shot
+# detection against the event-sourced session path answering from a warm
+# per-component cache. DetectBatch vs DetectSequential is 32 detections as
+# one /v1/detect/batch vs 32 individual /v1/detect round trips.
+# GraphWarmup/{rebuild,snapshot} is wire-trace rebuild vs zero-copy CSR
+# snapshot load; SnapshotLoad is the sgraph-level load microbench.
 set -eu
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_pr7.json}
-BENCHES='BenchmarkRIDEndToEnd$|BenchmarkForestExtraction$|BenchmarkMFCSimulation$|BenchmarkArborKernels/|BenchmarkIncrementalDetect/'
+OUT=${1:-BENCH_pr8.json}
+BENCHES='BenchmarkRIDEndToEnd$|BenchmarkForestExtraction$|BenchmarkMFCSimulation$|BenchmarkArborKernels/|BenchmarkIncrementalDetect/|BenchmarkGraphWarmup/|BenchmarkDetectBatch$|BenchmarkDetectSequential$|BenchmarkSnapshotLoad$'
 
-RAW=$(go test -run '^$' -bench "$BENCHES" -benchmem -benchtime 5x -cpu 1,4 .)
+# Time-based benchtime so every bench gets a comparable measurement
+# window: the sub-millisecond kernels run thousands of iterations (at a
+# fixed low -benchtime Nx they sample a few ms of wall clock and swing
+# past the bench_diff threshold run to run on a shared host), while the
+# ~0.6s/op sequential baseline still runs just one.
+RAW=$(go test -run '^$' -bench "$BENCHES" -benchmem -benchtime 300ms -cpu 1,4 . ./internal/server/ ./internal/sgraph/)
 echo "$RAW"
 
-echo "$RAW" | awk -v host_cpus="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 1)" '
+host_model=$(awk -F: '/model name/ { gsub(/^[ \t]+/, "", $2); print $2; exit }' /proc/cpuinfo 2>/dev/null || true)
+[ -n "$host_model" ] || host_model=$(uname -m)
+
+echo "$RAW" | awk -v host_cpus="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 1)" \
+    -v gomaxprocs="${GOMAXPROCS:-$(nproc 2>/dev/null || echo 1)}" \
+    -v host_model="$host_model" '
 /^Benchmark/ {
     name = $1
     sub(/^Benchmark/, "", name)
@@ -42,6 +56,8 @@ END {
     printf "{\n"
     printf "  \"generated_by\": \"scripts/bench_json.sh\",\n"
     printf "  \"host_cpus\": %d,\n", host_cpus
+    printf "  \"gomaxprocs\": %d,\n", gomaxprocs
+    printf "  \"host_model\": \"%s\",\n", host_model
     printf "  \"note\": \"speedup_cpu4 = ns/op(cpu=1) / ns/op(cpu=4); on a single-core host -cpu 4 only adds scheduler overhead and the ratio reads below 1 even for serial code (MFCSimulation, which has no pipeline parallelism, is the control)\",\n"
     printf "  \"benchmarks\": {\n"
     n = 0
