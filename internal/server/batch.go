@@ -39,12 +39,16 @@ type DetectBatchRequest struct {
 	Beta     float64 `json:"beta,omitempty"`
 	Alpha    float64 `json:"alpha,omitempty"`
 	K        int     `json:"k,omitempty"`
-	// TimeoutMS bounds the whole batch, not each item.
+	// TimeoutMS bounds the whole batch, not each item. When the deadline
+	// fires mid-batch the response still carries every completed item;
+	// unfinished items report the deadline in their Error field.
 	TimeoutMS int `json:"timeout_ms,omitempty"`
 }
 
 // BatchItemResult is one item's outcome. Error is set — and the result
-// fields empty — when this item alone failed; other items are unaffected.
+// fields empty — when this item alone failed (a bad observation, or the
+// batch deadline reached before the item finished); other items are
+// unaffected.
 type BatchItemResult struct {
 	Name       string            `json:"name,omitempty"`
 	Initiators []RankedInitiator `json:"initiators,omitempty"`
@@ -189,21 +193,32 @@ func (s *Server) detectBatch(ctx context.Context, req *DetectBatchRequest) (resp
 		itemErr := s.detectItem(obs.WithRecorder(ctx, irec), item, detectors[worker], req.K, irec, res, g)
 		res.ElapsedMS = float64(time.Since(itemStart)) / float64(time.Millisecond)
 		if itemErr != nil {
-			// Per-item isolation: a bad item fails alone. Only a batch-wide
-			// cancellation or deadline aborts the fan-out.
-			if ctx.Err() != nil {
-				return ctx.Err()
-			}
+			// Per-item isolation: every failure — a bad item, or the batch
+			// deadline catching this item mid-solve — lands in this item's
+			// own Error field. Completed results are never discarded.
 			res.Error = itemErr.Error()
 		}
 		return nil
 	})
-	if perr != nil {
+	// A batch-wide cancellation or deadline stops the fan-out between
+	// items: finished work is kept, and items that never started report
+	// the batch-wide cause in their own Error field so the response stays
+	// index-aligned with the request.
+	if cerr := ctx.Err(); cerr != nil {
+		for i := range results {
+			if itemRecs[i] == nil {
+				results[i].Name = req.Items[i].Name
+				results[i].Error = cerr.Error()
+			}
+		}
+	} else if perr != nil {
 		return nil, perr
 	}
 	failed := 0
 	for i := range results {
-		rec.MergeFrom(itemRecs[i])
+		if itemRecs[i] != nil {
+			rec.MergeFrom(itemRecs[i])
+		}
 		if results[i].Error != "" {
 			failed++
 		}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"reflect"
@@ -226,4 +227,105 @@ func TestDetectBinaryContentType(t *testing.T) {
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("bad query: status = %d, want 400", resp.StatusCode)
 	}
+}
+
+// TestDetectBatchExpiredContextMarksAllItems pins the partial-result
+// contract at its boundary: a batch whose context is already dead before
+// the fan-out still returns an index-aligned response (not an error) with
+// every item carrying the batch-wide cause in its own Error field.
+func TestDetectBatchExpiredContextMarksAllItems(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	tr := sampleTrace(t, 12, 120, 700, 3)
+	items := batchItems(tr, 3)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	resp, err := s.detectBatch(ctx, &DetectBatchRequest{Trace: tr, Items: items})
+	if err != nil {
+		t.Fatalf("detectBatch returned error %v, want partial response", err)
+	}
+	if resp.Failed != len(items) || len(resp.Items) != len(items) {
+		t.Fatalf("failed=%d items=%d, want %d and %d", resp.Failed, len(resp.Items), len(items), len(items))
+	}
+	for i, it := range resp.Items {
+		if it.Error == "" || it.Initiators != nil {
+			t.Fatalf("item %d not marked with the batch-wide cause: %+v", i, it)
+		}
+		if it.Name != items[i].Name {
+			t.Fatalf("item %d name %q misaligned with request %q", i, it.Name, items[i].Name)
+		}
+	}
+}
+
+// TestDetectBatchDeadlineKeepsCompletedItems checks that a deadline firing
+// mid-batch costs only the unfinished items: the response is still a 200
+// whose completed entries carry full results while the rest report the
+// deadline in their Error field. Absolute timings vary across runners, so
+// the test walks a ladder of shrinking timeouts against a cached graph
+// and requires both outcomes — at least one deadline-failed item and at
+// least one completed item — to appear somewhere on the ladder.
+func TestDetectBatchDeadlineKeepsCompletedItems(t *testing.T) {
+	_, ts := newTestServer(t, Config{Parallelism: 1})
+	// A wide cascade (400 seeds on 20k nodes) makes each item cost a few
+	// milliseconds, so the item fan-out dominates the batch and the ladder
+	// below reliably catches it mid-flight.
+	tr := sampleTrace(t, 13, 20000, 120000, 400)
+	items := batchItems(tr, 96)
+
+	// Prime the graph cache so the timed runs spend their budget on items,
+	// not on graph construction.
+	resp, body := postJSON(t, ts, "/v1/detect", DetectRequest{Trace: tr})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("prime: status = %d, body %s", resp.StatusCode, body)
+	}
+	var primed DetectResponse
+	if err := json.Unmarshal(body, &primed); err != nil {
+		t.Fatal(err)
+	}
+
+	sawFailed, sawCompleted := false, false
+	// Rungs span ~3 orders of magnitude: the top absorbs slow runners and
+	// the race detector's ~10-20× slowdown, the bottom catches fast ones.
+	// A failing rung only costs its own timeout, so the ladder stays cheap.
+	for _, timeoutMS := range []int{400, 100, 25, 5, 1} {
+		resp, body := postJSON(t, ts, "/v1/detect/batch", DetectBatchRequest{
+			GraphHash: primed.GraphHash, Items: items, TimeoutMS: timeoutMS,
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("timeout_ms=%d: status = %d, want 200 with partial results (body %s)",
+				timeoutMS, resp.StatusCode, body)
+		}
+		var batch DetectBatchResponse
+		if err := json.Unmarshal(body, &batch); err != nil {
+			t.Fatal(err)
+		}
+		if len(batch.Items) != len(items) {
+			t.Fatalf("timeout_ms=%d: items = %d, want %d", timeoutMS, len(batch.Items), len(items))
+		}
+		failed := 0
+		for i, it := range batch.Items {
+			switch {
+			case it.Error != "":
+				failed++
+				if len(it.Initiators) != 0 {
+					t.Fatalf("timeout_ms=%d: item %d has both an error and results: %+v", timeoutMS, i, it)
+				}
+			case len(it.Initiators) == 0:
+				t.Fatalf("timeout_ms=%d: item %d neither completed nor marked failed: %+v", timeoutMS, i, it)
+			}
+		}
+		if failed != batch.Failed {
+			t.Fatalf("timeout_ms=%d: failed counter %d, but %d items carry errors", timeoutMS, batch.Failed, failed)
+		}
+		sawFailed = sawFailed || failed > 0
+		sawCompleted = sawCompleted || failed < len(items)
+		t.Logf("timeout_ms=%d failed=%d elapsed=%.3f", timeoutMS, failed, batch.ElapsedMS)
+		if sawFailed && sawCompleted {
+			return
+		}
+	}
+	if !sawFailed {
+		t.Fatal("no timeout on the ladder ever fired mid-batch; workload too small for this runner")
+	}
+	t.Fatal("every timed run failed every item; even the largest timeout could not finish one item")
 }

@@ -20,6 +20,7 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/ingest"
@@ -326,11 +327,22 @@ type poolResult struct {
 	err   error
 }
 
+// drainGrace is how long runPooled waits for a running job to observe its
+// cancelled context and hand back a result before answering with a bare
+// timeout error. The detector hot loops poll the context every few
+// thousand iterations, so a well-behaved job returns within microseconds;
+// the grace exists so handlers that deliver partial results on deadline
+// (the batch path) reach the client instead of a generic 504.
+const drainGrace = 500 * time.Millisecond
+
 // runPooled executes fn on the worker pool under the request deadline and
 // writes the outcome. A full queue is answered immediately with 429 +
-// Retry-After; a deadline that expires while the job is still queued or
-// running is answered with 504, and the context handed to fn aborts the
-// underlying solve so the worker frees up promptly.
+// Retry-After. A deadline that expires while the job is still queued is
+// answered with 504; one that expires while the job is running gives fn a
+// short grace to return a result of its own (a ctx error for single
+// detects — still a 504 — or a partial batch response), and the context
+// handed to fn aborts the underlying solve so the worker frees up
+// promptly either way.
 func (s *Server) runPooled(w http.ResponseWriter, r *http.Request, timeoutMS int, fn func(context.Context) (any, error)) {
 	timeout := s.cfg.DefaultTimeout
 	if timeoutMS > 0 {
@@ -342,9 +354,11 @@ func (s *Server) runPooled(w http.ResponseWriter, r *http.Request, timeoutMS int
 	defer cancel()
 
 	done := make(chan poolResult, 1)
+	var started atomic.Bool
 	accepted := s.pool.TrySubmit(func() {
 		// The client may be gone by the time this job is dequeued; the
 		// cancelled context makes fn return immediately in that case.
+		started.Store(true)
 		v, err := fn(ctx)
 		done <- poolResult{value: v, err: err}
 	})
@@ -356,12 +370,24 @@ func (s *Server) runPooled(w http.ResponseWriter, r *http.Request, timeoutMS int
 	}
 	select {
 	case res := <-done:
-		if res.err != nil {
-			writeError(w, res.err)
-			return
-		}
-		writeJSON(w, http.StatusOK, res.value)
+		writePoolResult(w, res)
 	case <-ctx.Done():
+		if started.Load() {
+			select {
+			case res := <-done:
+				writePoolResult(w, res)
+				return
+			case <-time.After(drainGrace):
+			}
+		}
 		writeError(w, ctx.Err())
 	}
+}
+
+func writePoolResult(w http.ResponseWriter, res poolResult) {
+	if res.err != nil {
+		writeError(w, res.err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res.value)
 }

@@ -381,15 +381,24 @@ type CSRView struct {
 	EdgeWeight        []float64
 	OutStart, OutList []int32
 	InStart, InList   []int32
+	// owner pins the Graph — and therefore any mmap backing these slices —
+	// while the view is reachable. Without it, a view retained past the
+	// Graph's lifetime would let the mapping finalizer munmap memory the
+	// slices still alias, and a later read would fault.
+	owner *Graph
 }
 
-// CSR returns the flat-array view of the graph.
+// CSR returns the flat-array view of the graph. The view keeps g (and any
+// memory-mapped snapshot behind it) alive, so holding a CSRView is safe
+// even after the last direct *Graph reference is dropped; raw slices
+// copied out of the view carry no such pin and must not outlive it.
 func (g *Graph) CSR() CSRView {
 	return CSRView{
 		EdgeFrom: g.edgeFrom, EdgeTo: g.edgeTo,
 		EdgeSign: g.edgeSign, EdgeWeight: g.edgeWeight,
 		OutStart: g.outStart, OutList: g.outList,
 		InStart: g.inStart, InList: g.inList,
+		owner: g,
 	}
 }
 

@@ -401,6 +401,10 @@ func fileDir(path string) string {
 // or if mapping fails, the file is read and decoded into fresh arrays. Any
 // validation failure returns an error wrapping ErrBadSnapshot — a partial
 // or corrupt graph is never returned.
+//
+// Because the arrays may alias the mapping, raw slices obtained from the
+// graph must not outlive it: keep the *Graph (or a CSRView, which pins it)
+// reachable for as long as any aliased slice is in use.
 func LoadSnapshot(path string) (*Graph, error) {
 	if hostLittle {
 		if mp, err := openMapping(path); err == nil {

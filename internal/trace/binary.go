@@ -58,6 +58,12 @@ const (
 var ErrBadBinary = errors.New("trace: bad binary trace")
 
 // AppendBinary encodes t in binary trace format, appending to dst.
+//
+// Byte-exact round-tripping assumes a Validate-clean trace. Inconsistent
+// optional fields degrade gracefully rather than producing undecodable
+// output: SeedStates without Seeds is omitted entirely (the format stores
+// one state per seed, so there is nothing to attach them to), matching
+// what Validate rejects on the decode side anyway.
 func AppendBinary(dst []byte, t *Trace) []byte {
 	flags := uint16(0)
 	if t.Rounds != nil {
@@ -69,8 +75,8 @@ func AppendBinary(dst []byte, t *Trace) []byte {
 	if t.Name != "" {
 		flags |= binFlagName
 	}
-	if len(t.SeedStates) > 0 {
-		flags |= binFlagSeeds | binFlagSeedStates
+	if len(t.SeedStates) > 0 && len(t.Seeds) > 0 {
+		flags |= binFlagSeedStates
 	}
 	start := len(dst)
 	dst = append(dst, binMagic...)
@@ -178,6 +184,15 @@ func UnmarshalBinary(data []byte) (*Trace, error) {
 	if flags&binFlagName != 0 {
 		n := int(r.u16("name length"))
 		t.Name = string(r.take(n, "name"))
+	}
+	if r.err == nil {
+		// Bound the claimed count by the bytes actually present before
+		// allocating: a forged header can claim up to 2^32-1 edges (~70 GB
+		// of EdgeRecord) in a tiny body, and MaxBodyBytes only limits what
+		// was read, not what the header claims.
+		if rem := len(body) - r.off; edges > rem/binEdgeSize {
+			r.fail("edge count %d exceeds the %d remaining bytes", edges, rem)
+		}
 	}
 	if r.err == nil {
 		t.Edges = make([]EdgeRecord, edges)

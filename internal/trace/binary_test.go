@@ -128,6 +128,36 @@ func TestBinaryRejectsTrailingBytes(t *testing.T) {
 	wantBadBinary(t, bad)
 }
 
+// TestBinaryRejectsForgedEdgeCount guards against allocation-from-header
+// DoS: a tiny body whose header claims 2^32-1 edges (with a re-stamped,
+// valid CRC) must be rejected by the pre-allocation bounds check — a
+// make([]EdgeRecord, 0xFFFFFFFF) would be a ~100 GB allocation.
+func TestBinaryRejectsForgedEdgeCount(t *testing.T) {
+	raw := MarshalBinary(sampleTrace(false, false, false, false))
+	for _, claim := range []uint32{0xFFFFFFFF, uint32(len(raw))} {
+		bad := append([]byte(nil), raw...)
+		binary.LittleEndian.PutUint32(bad[12:16], claim)
+		binary.LittleEndian.PutUint32(bad[len(bad)-4:], checksumOf(bad[:len(bad)-4]))
+		wantBadBinary(t, bad)
+	}
+}
+
+// TestBinarySeedStatesWithoutSeeds pins the encoder's handling of an
+// inconsistent trace (SeedStates set, Seeds empty — Validate rejects it):
+// the orphan states are omitted so the output stays decodable, rather
+// than emitting a seed-states section no decoder can attribute.
+func TestBinarySeedStatesWithoutSeeds(t *testing.T) {
+	in := sampleTrace(false, false, false, false)
+	in.SeedStates = []int8{1}
+	got, err := UnmarshalBinary(MarshalBinary(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Seeds) != 0 || len(got.SeedStates) != 0 {
+		t.Fatalf("got seeds %v states %v, want both empty", got.Seeds, got.SeedStates)
+	}
+}
+
 // TestBinaryGolden pins the wire format byte for byte. Regenerate
 // deliberately with: go test ./internal/trace -run BinaryGolden -update
 func TestBinaryGolden(t *testing.T) {
