@@ -434,6 +434,44 @@ func BenchmarkMFCSimulation(b *testing.B) {
 	}
 }
 
+// BenchmarkSimulateModels runs one cascade per registered diffusion model
+// on a shared mid-size network: the cross-model cost comparison behind the
+// /v1/simulate registry. pushpull is capped (it would otherwise gossip for
+// hundreds of rounds per op); every other model runs its defaults.
+func BenchmarkSimulateModels(b *testing.B) {
+	rng := xrand.New(3)
+	g, err := gen.PreferentialAttachment(gen.Config{Nodes: 5000, Edges: 32000, PositiveRatio: 0.85}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dif := sgraph.WeightByJaccard(g, 0.1, rng).Reverse()
+	seeds, states, err := diffusion.SampleInitiators(dif.NumNodes(), 50, 0.5, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := map[string]diffusion.Params{
+		"pushpull": {"max_rounds": 50, "stall": 5},
+	}
+	for _, name := range diffusion.Models() {
+		b.Run(name, func(b *testing.B) {
+			m, err := diffusion.Lookup(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := m.Validate(params[name]); err != nil {
+				b.Fatal(err)
+			}
+			r := xrand.New(11)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Run(dif, seeds, states, r.Split()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // The two headline benches run on a sharded (multi-outbreak) instance: a
 // single MFC cascade puts 90%+ of the infected nodes in one weakly
 // connected component, so the per-component fan-out would have one unit of

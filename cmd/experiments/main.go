@@ -4,9 +4,9 @@
 //
 // Usage:
 //
-//	experiments [-exp all|table2|fig4|fig5|fig6|diffusion] [-dataset Epinions|Slashdot|both]
+//	experiments [-exp all|table2|fig4|fig5|fig6|diffusion|models] [-dataset Epinions|Slashdot|both]
 //	            [-scale 0.02] [-trials 3] [-seed-frac 0.05] [-theta 0.5] [-alpha 3]
-//	            [-mask 0] [-seed 20170605] [-parallelism 0] [-csv dir]
+//	            [-model name] [-mask 0] [-seed 20170605] [-parallelism 0] [-csv dir]
 //	            [-log-level info] [-log-format text] [-cpuprofile f] [-memprofile f]
 //
 // -parallelism bounds the goroutines each RID detection fans out across
@@ -24,18 +24,20 @@ import (
 	"strings"
 
 	"repro/internal/cli"
+	"repro/internal/diffusion"
 	"repro/internal/experiment"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: all, table2, fig4, fig5, fig6, diffusion, mask, hidden, alphasens, timing, ranking, density, scaling, balance")
+		exp      = flag.String("exp", "all", "experiment: all, table2, fig4, fig5, fig6, diffusion, models, mask, hidden, alphasens, timing, ranking, density, scaling, balance")
 		ds       = flag.String("dataset", "both", "dataset: Epinions, Slashdot or both")
 		scale    = flag.Float64("scale", 0.02, "fraction of the Table II network size (1.0 = paper scale)")
 		trials   = flag.Int("trials", 3, "independent simulations per configuration")
 		seedFrac = flag.Float64("seed-frac", 0.05, "rumor initiators as a fraction of nodes")
 		theta    = flag.Float64("theta", 0.5, "positive ratio of initiator states")
 		alpha    = flag.Float64("alpha", 3, "MFC asymmetric boosting coefficient")
+		model    = flag.String("model", "", "restrict -exp models to one registered diffusion model (default: all registered)")
 		mask     = flag.Float64("mask", 0, "fraction of infected states hidden as '?'")
 		seed     = flag.Uint64("seed", 0, "base RNG seed (0 = built-in default)")
 		parallel = flag.Int("parallelism", 0, "per-detection pipeline parallelism (0 = GOMAXPROCS)")
@@ -52,12 +54,12 @@ func main() {
 	if *parallel < 0 {
 		cli.Fatal("experiments", cli.Usagef("-parallelism must be non-negative, got %d", *parallel))
 	}
-	if err := run(*exp, *ds, *scale, *trials, *seedFrac, *theta, *alpha, *mask, *seed, *parallel, *csvDir, *mdFile, profCfg); err != nil {
+	if err := run(*exp, *ds, *scale, *trials, *seedFrac, *theta, *alpha, *model, *mask, *seed, *parallel, *csvDir, *mdFile, profCfg); err != nil {
 		cli.Fatal("experiments", err)
 	}
 }
 
-func run(exp, ds string, scale float64, trials int, seedFrac, theta, alpha, mask float64, seed uint64, parallel int, csvDir, mdFile string, profCfg *cli.ProfileConfig) error {
+func run(exp, ds string, scale float64, trials int, seedFrac, theta, alpha float64, model string, mask float64, seed uint64, parallel int, csvDir, mdFile string, profCfg *cli.ProfileConfig) error {
 	stopProfile, err := profCfg.Start()
 	if err != nil {
 		return err
@@ -177,6 +179,26 @@ func run(exp, ds string, scale float64, trials int, seedFrac, theta, alpha, mask
 			report.Add("Diffusion analysis — "+name, res)
 			fmt.Println()
 			if err := emitCSV("diffusion-"+suffix, res); err != nil {
+				return err
+			}
+		}
+		if want("models") {
+			ran = true
+			var only []string
+			if model != "" {
+				if _, err := diffusion.Lookup(model); err != nil {
+					return cli.Usagef("%v", err)
+				}
+				only = []string{model}
+			}
+			res, err := experiment.ModelComparison(workload(name), only, nil)
+			if err != nil {
+				return err
+			}
+			res.Render(os.Stdout)
+			report.Add("Diffusion model comparison — "+name, res)
+			fmt.Println()
+			if err := emitCSV("models-"+suffix, res); err != nil {
 				return err
 			}
 		}

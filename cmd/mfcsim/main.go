@@ -1,18 +1,20 @@
 // Command mfcsim simulates rumor diffusion over a signed network under any
-// of the implemented models (MFC, IC, LT, SIR, Voter) and prints the
-// spread curve, opinion mixture and flip statistics — the quickest way to
-// see how the asymmetric boosting and flipping of MFC change propagation
-// compared to the classical models.
+// registered diffusion model and prints the spread curve, opinion mixture
+// and flip statistics — the quickest way to see how the asymmetric boosting
+// and flipping of MFC change propagation compared to the classical and
+// signed-network models. -model enumerates whatever the diffusion registry
+// holds (currently ic, lt, ltff, mfc, pushpull, sir, voter), so a newly
+// registered model shows up here with no CLI change.
 //
 // Usage:
 //
-//	mfcsim [-dataset Epinions] [-scale 0.02] [-model mfc|ic|lt|sir|voter|all]
+//	mfcsim [-dataset Epinions] [-scale 0.02] [-model all|<registered name>]
 //	       [-alpha 3] [-n 0] [-seed-frac 0.01] [-theta 0.5] [-rounds 30]
-//	       [-sir-beta 2] [-sir-gamma 0.3] [-seed 1] [-curves] [-progress]
-//	       [-log-level info] [-log-format text]
+//	       [-sir-beta 2] [-sir-gamma 0.3] [-ltff-bias 2] [-seed 1]
+//	       [-curves] [-progress] [-log-level info] [-log-format text]
 //
-// -progress streams one line per MFC propagation round (round number,
-// newly infected, cumulative infected, flips) while the cascade runs.
+// -progress streams one line per propagation round (round number, newly
+// infected, cumulative infected, flips) for models that report progress.
 package main
 
 import (
@@ -33,7 +35,7 @@ func main() {
 	var (
 		ds       = flag.String("dataset", "Epinions", "network preset: Epinions or Slashdot")
 		scale    = flag.Float64("scale", 0.02, "preset scale in (0,1]")
-		model    = flag.String("model", "all", "diffusion model: mfc, ic, lt, sir, voter or all")
+		model    = flag.String("model", "all", "diffusion model: all or one of "+strings.Join(diffusion.Models(), ", "))
 		alpha    = flag.Float64("alpha", 3, "MFC boosting coefficient")
 		n        = flag.Int("n", 0, "number of initiators (0 = seed-frac * nodes)")
 		seedFrac = flag.Float64("seed-frac", 0.01, "initiators as a fraction of nodes when -n is 0")
@@ -41,9 +43,10 @@ func main() {
 		rounds   = flag.Int("rounds", 30, "rounds for the voter model")
 		sirBeta  = flag.Float64("sir-beta", 2, "SIR infection multiplier")
 		sirGamma = flag.Float64("sir-gamma", 0.3, "SIR per-round recovery probability")
+		ltffBias = flag.Float64("ltff-bias", 2, "LTFF negativity-bias coefficient")
 		seed     = flag.Uint64("seed", 1, "RNG seed")
 		curves   = flag.Bool("curves", true, "print spread curves as sparklines")
-		progress = flag.Bool("progress", false, "print per-round MFC progress (newly infected, cumulative, flips)")
+		progress = flag.Bool("progress", false, "print per-round progress (newly infected, cumulative, flips)")
 		logCfg   = cli.LogFlags()
 	)
 	flag.Parse()
@@ -52,12 +55,18 @@ func main() {
 		cli.Fatal("mfcsim", err)
 	}
 	slog.Info("mfcsim: starting", "seed", *seed, "model", *model, "dataset", *ds)
-	if err := run(*ds, *scale, *model, *alpha, *n, *seedFrac, *theta, *rounds, *sirBeta, *sirGamma, *seed, *curves, *progress); err != nil {
+	params := map[string]diffusion.Params{
+		"mfc":   {"alpha": *alpha},
+		"sir":   {"beta": *sirBeta, "gamma": *sirGamma},
+		"voter": {"rounds": *rounds},
+		"ltff":  {"bias": *ltffBias},
+	}
+	if err := run(*ds, *scale, *model, params, *n, *seedFrac, *theta, *seed, *curves, *progress); err != nil {
 		cli.Fatal("mfcsim", err)
 	}
 }
 
-func run(ds string, scale float64, model string, alpha float64, n int, seedFrac, theta float64, rounds int, sirBeta, sirGamma float64, seed uint64, curves, progress bool) error {
+func run(ds string, scale float64, model string, params map[string]diffusion.Params, n int, seedFrac, theta float64, seed uint64, curves, progress bool) error {
 	rng := xrand.New(seed)
 	g, err := dataset.Load(ds, scale, rng)
 	if err != nil {
@@ -79,50 +88,30 @@ func run(ds string, scale float64, model string, alpha float64, n int, seedFrac,
 	fmt.Printf("seeds: %d initiators, θ=%.2f\n\n", n, theta)
 	fmt.Printf("%-8s %9s %9s %9s %8s %8s\n", "model", "infected", "pos", "neg", "flips", "rounds")
 
-	type runFn func(*xrand.Rand) (*diffusion.Cascade, error)
-	models := []struct {
-		name string
-		run  runFn
-	}{
-		{"MFC", func(r *xrand.Rand) (*diffusion.Cascade, error) {
-			cfg := diffusion.MFCConfig{Alpha: alpha}
-			if progress {
-				cfg.OnRound = func(p diffusion.RoundProgress) {
-					fmt.Printf("         MFC round %3d: +%d newly infected, %d cumulative, %d flips\n",
-						p.Round, p.NewlyInfected, p.CumInfected, p.Flips)
-				}
+	names := diffusion.Models()
+	if model != "all" {
+		if _, err := diffusion.Lookup(model); err != nil {
+			return cli.Usagef("%v", err)
+		}
+		names = []string{model}
+	}
+	for _, name := range names {
+		m, err := diffusion.Lookup(name)
+		if err != nil {
+			return err
+		}
+		if err := m.Validate(params[name]); err != nil {
+			return err
+		}
+		if progress {
+			if pr, ok := m.(diffusion.ProgressReporter); ok {
+				pr.SetOnRound(func(p diffusion.RoundProgress) {
+					fmt.Printf("         %s round %3d: +%d newly infected, %d cumulative, %d flips\n",
+						name, p.Round, p.NewlyInfected, p.CumInfected, p.Flips)
+				})
 			}
-			return diffusion.MFC(dif, seeds, states, cfg, r)
-		}},
-		{"IC", func(r *xrand.Rand) (*diffusion.Cascade, error) {
-			return diffusion.IC(dif, seeds, states, r)
-		}},
-		{"LT", func(r *xrand.Rand) (*diffusion.Cascade, error) {
-			return diffusion.LT(dif, seeds, states, diffusion.LTConfig{}, r)
-		}},
-		{"SIR", func(r *xrand.Rand) (*diffusion.Cascade, error) {
-			return diffusion.SIR(dif, seeds, states, diffusion.SIRConfig{Beta: sirBeta, Gamma: sirGamma}, r)
-		}},
-		{"Voter", func(r *xrand.Rand) (*diffusion.Cascade, error) {
-			return diffusion.Voter(dif, seeds, states, diffusion.VoterConfig{Rounds: rounds}, r)
-		}},
-	}
-	selected := map[string]bool{"mfc": false, "ic": false, "lt": false, "sir": false, "voter": false}
-	if model == "all" {
-		for k := range selected {
-			selected[k] = true
 		}
-	} else if _, ok := selected[model]; ok {
-		selected[model] = true
-	} else {
-		return cli.Usagef("unknown model %q", model)
-	}
-
-	for _, m := range models {
-		if !selected[strings.ToLower(m.name)] {
-			continue
-		}
-		c, err := m.run(rng.Split())
+		c, err := m.Run(dif, seeds, states, rng.Split())
 		if err != nil {
 			return err
 		}
@@ -135,7 +124,7 @@ func run(ds string, scale float64, model string, alpha float64, n int, seedFrac,
 				neg++
 			}
 		}
-		fmt.Printf("%-8s %9d %9d %9d %8d %8d\n", m.name, c.NumInfected(), pos, neg, c.Flips, c.Rounds)
+		fmt.Printf("%-8s %9d %9d %9d %8d %8d\n", name, c.NumInfected(), pos, neg, c.Flips, c.Rounds)
 		if curves {
 			curve := c.SpreadCurve()
 			series := make([]float64, len(curve))

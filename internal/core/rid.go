@@ -27,7 +27,7 @@ const (
 	// ObjectivePartition is the literal path-product partition objective
 	// of Section III-E3: a governed node contributes the product of g
 	// scores from its nearest initiator ancestor. Exact via
-	// isomit.SolvePenalized; kept for faithfulness and ablations. Note
+	// isomit.Solve in ModePenalized; kept for faithfulness and ablations. Note
 	// that compound products decay with depth, so the β range with real
 	// weights sits well above [0, 1].
 	ObjectivePartition

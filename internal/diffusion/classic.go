@@ -3,15 +3,24 @@ package diffusion
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/sgraph"
 	"repro/internal/xrand"
 )
+
+func init() {
+	Register("lt", func() Model { return &ltModel{} })
+	Register("sir", func() Model { return &sirModel{cfg: SIRConfig{Beta: DefaultSIRBeta, Gamma: DefaultSIRGamma}} })
+}
 
 // LTConfig parameterizes the Linear Threshold model.
 type LTConfig struct {
 	// MaxRounds caps the number of rounds; 0 means no cap (the model
 	// terminates on its own after at most n rounds anyway).
 	MaxRounds int
+	// Counters, when non-nil, accumulates the run's diffusion counters
+	// when the simulation finishes. The caller owns the set.
+	Counters *obs.CounterSet
 }
 
 // LT runs the Linear Threshold model (Kempe et al. 2003) on the diffusion
@@ -21,8 +30,38 @@ type LTConfig struct {
 // in-neighbor mass that activated them, so the returned cascade still
 // carries signed states for comparison with MFC. In-edge weights are used
 // as-is; the model does not normalize them (callers wanting the classical
-// Σw ≤ 1 premise should prepare weights accordingly).
+// Σw ≤ 1 premise should prepare weights accordingly). Thin wrapper over
+// the registry's "lt" model; output is bit-identical for a fixed seed.
 func LT(g *sgraph.Graph, initiators []int, states []sgraph.State, cfg LTConfig, rng *xrand.Rand) (*Cascade, error) {
+	return (&ltModel{cfg: cfg}).Run(g, initiators, states, rng)
+}
+
+// ltModel adapts LT onto the Model interface. Params: max_rounds (integer
+// >= 0, default 0 = no cap).
+type ltModel struct {
+	cfg LTConfig
+}
+
+func (m *ltModel) Name() string { return "lt" }
+
+func (m *ltModel) Validate(params Params) error {
+	d := newParamDecoder("lt", params)
+	cfg := m.cfg
+	cfg.MaxRounds = d.Int("max_rounds", cfg.MaxRounds)
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if cfg.MaxRounds < 0 {
+		return fmt.Errorf("%w: LT MaxRounds must be non-negative, got %d", ErrBadCoefficient, cfg.MaxRounds)
+	}
+	m.cfg = cfg
+	return nil
+}
+
+func (m *ltModel) SetCounters(cs *obs.CounterSet) { m.cfg.Counters = cs }
+
+func (m *ltModel) Run(g *sgraph.Graph, initiators []int, states []sgraph.State, rng *xrand.Rand) (*Cascade, error) {
+	cfg := m.cfg
 	if err := checkSeeds(g.NumNodes(), initiators, states); err != nil {
 		return nil, err
 	}
@@ -58,7 +97,11 @@ func LT(g *sgraph.Graph, initiators []int, states []sgraph.State, cfg LTConfig, 
 					bestW, bestIn = e.Weight, e.From
 				}
 			})
-			if bestIn < 0 || mass < theta[v] {
+			if bestIn < 0 {
+				continue
+			}
+			c.Attempts++
+			if mass < theta[v] {
 				continue
 			}
 			st := sgraph.StateNegative
@@ -74,12 +117,21 @@ func LT(g *sgraph.Graph, initiators []int, states []sgraph.State, cfg LTConfig, 
 		}
 		if len(newlyActive) == 0 {
 			c.Rounds = round - 1
+			c.countInto(cfg.Counters)
 			return c, nil
 		}
 		c.Rounds = round
 	}
+	c.countInto(cfg.Counters)
 	return c, nil
 }
+
+// Default SIR coefficients used by the registry's "sir" model (matching
+// the cmd/mfcsim flag defaults).
+const (
+	DefaultSIRBeta  = 2
+	DefaultSIRGamma = 0.3
+)
 
 // SIRConfig parameterizes the discrete-time SIR model.
 type SIRConfig struct {
@@ -92,6 +144,8 @@ type SIRConfig struct {
 	Gamma float64
 	// MaxRounds caps simulation length; 0 defaults to 10000.
 	MaxRounds int
+	// Counters, when non-nil, accumulates the run's diffusion counters.
+	Counters *obs.CounterSet
 }
 
 func (c SIRConfig) validate() error {
@@ -101,6 +155,9 @@ func (c SIRConfig) validate() error {
 	if c.Gamma <= 0 || c.Gamma > 1 {
 		return fmt.Errorf("%w: SIR Gamma must be in (0,1], got %g", ErrBadCoefficient, c.Gamma)
 	}
+	if c.MaxRounds < 0 {
+		return fmt.Errorf("%w: SIR MaxRounds must be non-negative, got %d", ErrBadCoefficient, c.MaxRounds)
+	}
 	return nil
 }
 
@@ -109,8 +166,41 @@ func (c SIRConfig) validate() error {
 // signed opinion a node would adopt (s(u)*s(u,v)) is still recorded in
 // States for uniformity with the other models. Recovered nodes keep their
 // state but stop transmitting. The returned cascade marks every ever-
-// infected node active; Round records first infection.
+// infected node active; Round records first infection. Thin wrapper over
+// the registry's "sir" model; output is bit-identical for a fixed seed.
 func SIR(g *sgraph.Graph, initiators []int, states []sgraph.State, cfg SIRConfig, rng *xrand.Rand) (*Cascade, error) {
+	return (&sirModel{cfg: cfg}).Run(g, initiators, states, rng)
+}
+
+// sirModel adapts SIR onto the Model interface. Params: beta (number > 0,
+// default 2), gamma (number in (0,1], default 0.3), max_rounds (integer
+// >= 0, default 0 = 10000).
+type sirModel struct {
+	cfg SIRConfig
+}
+
+func (m *sirModel) Name() string { return "sir" }
+
+func (m *sirModel) Validate(params Params) error {
+	d := newParamDecoder("sir", params)
+	cfg := m.cfg
+	cfg.Beta = d.Float("beta", cfg.Beta)
+	cfg.Gamma = d.Float("gamma", cfg.Gamma)
+	cfg.MaxRounds = d.Int("max_rounds", cfg.MaxRounds)
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	m.cfg = cfg
+	return nil
+}
+
+func (m *sirModel) SetCounters(cs *obs.CounterSet) { m.cfg.Counters = cs }
+
+func (m *sirModel) Run(g *sgraph.Graph, initiators []int, states []sgraph.State, rng *xrand.Rand) (*Cascade, error) {
+	cfg := m.cfg
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -161,5 +251,6 @@ func SIR(g *sgraph.Graph, initiators []int, states []sgraph.State, cfg SIRConfig
 		current = stillInfectious
 		c.Rounds = round
 	}
+	c.countInto(cfg.Counters)
 	return c, nil
 }

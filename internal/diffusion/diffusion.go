@@ -42,8 +42,9 @@ type Cascade struct {
 	// Rounds is the number of propagation rounds executed.
 	Rounds int
 	// Attempts counts activation attempts; Flips counts successful state
-	// flips of already-active nodes (MFC only).
-	Attempts, Flips int
+	// flips of already-active nodes (MFC and Voter only); Exchanges counts
+	// gossip contacts (PushPull only).
+	Attempts, Flips, Exchanges int
 }
 
 // Infected returns the IDs of all active nodes in ascending order.
@@ -143,6 +144,27 @@ func newCascade(n int, initiators []int, states []sgraph.State) *Cascade {
 	return c
 }
 
+// countInto folds the finished cascade's run statistics into a CounterSet.
+// Nil-safe; every model calls it once at the end of a successful run.
+func (c *Cascade) countInto(cs *obs.CounterSet) {
+	if cs == nil {
+		return
+	}
+	activated := 0
+	for _, r := range c.FirstRound {
+		if r >= 0 {
+			activated++
+		}
+	}
+	d := &cs.Diffusion
+	d.Runs++
+	d.Rounds += int64(c.Rounds)
+	d.Attempts += int64(c.Attempts)
+	d.Activations += int64(activated - len(c.Initiators))
+	d.Flips += int64(c.Flips)
+	d.Exchanges += int64(c.Exchanges)
+}
+
 // RoundProgress is one completed propagation round's summary, delivered
 // through MFCConfig.OnRound.
 type RoundProgress struct {
@@ -199,14 +221,57 @@ func BoostedWeight(sign sgraph.Sign, w, alpha float64) float64 {
 
 // MFC runs Algorithm 1 over the diffusion network g (edges oriented in the
 // direction information flows) from the given initiators and initial
-// states. Eligibility per round follows the paper exactly: an attempt on v
-// is allowed if v is inactive, or if the link (u,v) is positive and v's
-// current state differs from u's (the flipping rule). Each directed link is
-// attempted at most once over the whole process ("u cannot make any further
-// attempts to activate v in subsequent rounds"), which also guarantees
-// termination. On success v adopts state s(u)*s(u,v) and becomes recently
-// infected, propagating in the next round.
+// states. It is a thin wrapper over the registry's "mfc" model adapter;
+// output is bit-identical for a fixed seed either way. Eligibility per
+// round follows the paper exactly: an attempt on v is allowed if v is
+// inactive, or if the link (u,v) is positive and v's current state differs
+// from u's (the flipping rule). Each directed link is attempted at most
+// once over the whole process ("u cannot make any further attempts to
+// activate v in subsequent rounds"), which also guarantees termination. On
+// success v adopts state s(u)*s(u,v) and becomes recently infected,
+// propagating in the next round.
 func MFC(g *sgraph.Graph, initiators []int, states []sgraph.State, cfg MFCConfig, rng *xrand.Rand) (*Cascade, error) {
+	return (&mfcModel{cfg: cfg}).Run(g, initiators, states, rng)
+}
+
+// DefaultAlpha is the boosting coefficient the registry's "mfc" model (and
+// the server's legacy alpha field) defaults to — the paper's headline
+// setting.
+const DefaultAlpha = 3
+
+// mfcModel adapts MFC onto the Model interface. Params: alpha (number
+// >= 1, default 3), disable_flip (boolean, default false).
+type mfcModel struct {
+	cfg MFCConfig
+}
+
+func init() {
+	Register("mfc", func() Model { return &mfcModel{cfg: MFCConfig{Alpha: DefaultAlpha}} })
+	Register("ic", func() Model { return &icModel{} })
+}
+
+func (m *mfcModel) Name() string { return "mfc" }
+
+func (m *mfcModel) Validate(params Params) error {
+	d := newParamDecoder("mfc", params)
+	cfg := m.cfg
+	cfg.Alpha = d.Float("alpha", cfg.Alpha)
+	cfg.DisableFlip = d.Bool("disable_flip", cfg.DisableFlip)
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	m.cfg = cfg
+	return nil
+}
+
+func (m *mfcModel) SetCounters(cs *obs.CounterSet)    { m.cfg.Counters = cs }
+func (m *mfcModel) SetOnRound(fn func(RoundProgress)) { m.cfg.OnRound = fn }
+
+func (m *mfcModel) Run(g *sgraph.Graph, initiators []int, states []sgraph.State, rng *xrand.Rand) (*Cascade, error) {
+	cfg := m.cfg
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -269,14 +334,7 @@ func MFC(g *sgraph.Graph, initiators []int, states []sgraph.State, cfg MFCConfig
 	if c.Rounds < 0 {
 		c.Rounds = 0
 	}
-	if cfg.Counters != nil {
-		d := &cfg.Counters.Diffusion
-		d.Runs++
-		d.Rounds += int64(c.Rounds)
-		d.Attempts += int64(c.Attempts)
-		d.Activations += int64(cumInfected - len(initiators))
-		d.Flips += int64(c.Flips)
-	}
+	c.countInto(cfg.Counters)
 	return c, nil
 }
 
@@ -285,7 +343,26 @@ func MFC(g *sgraph.Graph, initiators []int, states []sgraph.State, cfg MFCConfig
 // probability (p = w) and never flipping: once active, a node keeps the
 // state it was first activated with (s(u)*s(u,v), so sign information still
 // determines opinions, as in a signed IC). This is both a baseline in its
-// own right and MFC with Alpha=1, DisableFlip=true.
+// own right and MFC with Alpha=1, DisableFlip=true. Thin wrapper over the
+// registry's "ic" model.
 func IC(g *sgraph.Graph, initiators []int, states []sgraph.State, rng *xrand.Rand) (*Cascade, error) {
-	return MFC(g, initiators, states, MFCConfig{Alpha: 1, DisableFlip: true}, rng)
+	return (&icModel{}).Run(g, initiators, states, rng)
+}
+
+// icModel adapts IC onto the Model interface. IC is MFC pinned at Alpha=1
+// with flipping off, so it takes no params.
+type icModel struct {
+	counters *obs.CounterSet
+}
+
+func (m *icModel) Name() string { return "ic" }
+
+func (m *icModel) Validate(params Params) error {
+	return newParamDecoder("ic", params).Err()
+}
+
+func (m *icModel) SetCounters(cs *obs.CounterSet) { m.counters = cs }
+
+func (m *icModel) Run(g *sgraph.Graph, initiators []int, states []sgraph.State, rng *xrand.Rand) (*Cascade, error) {
+	return (&mfcModel{cfg: MFCConfig{Alpha: 1, DisableFlip: true, Counters: m.counters}}).Run(g, initiators, states, rng)
 }

@@ -1,0 +1,152 @@
+package diffusion
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+	"repro/internal/sgraph"
+	"repro/internal/xrand"
+)
+
+func init() {
+	Register("ltff", func() Model { return &ltffModel{cfg: LTFFConfig{Bias: DefaultLTFFBias}} })
+}
+
+// DefaultLTFFBias is the registry default for the "ltff" negativity-bias
+// coefficient: negative opinion mass counts double, following the
+// negativity-bias premise of Li, Chen, Wang & Zhang.
+const DefaultLTFFBias = 2
+
+// LTFFConfig parameterizes the linear-threshold friend-foe model.
+type LTFFConfig struct {
+	// Bias is the negativity-bias coefficient: an activated node turns
+	// positive only if its positive in-mass exceeds Bias times its
+	// negative in-mass. Must be >= 1 (1 recovers an unbiased majority
+	// rule).
+	Bias float64
+	// MaxRounds caps the number of rounds; 0 means no cap.
+	MaxRounds int
+	// Counters, when non-nil, accumulates the run's diffusion counters.
+	Counters *obs.CounterSet
+}
+
+func (c LTFFConfig) validate() error {
+	if c.Bias < 1 {
+		return fmt.Errorf("%w: LTFF Bias must be >= 1, got %g", ErrBadCoefficient, c.Bias)
+	}
+	if c.MaxRounds < 0 {
+		return fmt.Errorf("%w: LTFF MaxRounds must be non-negative, got %d", ErrBadCoefficient, c.MaxRounds)
+	}
+	return nil
+}
+
+// LTFF runs a linear-threshold friend-foe process after Li, Chen, Wang &
+// Zhang's LT-style influence diffusion in signed social networks.
+// Activation is classical LT on raw edge weights, sign-blind: node v draws
+// a threshold θv uniform in [0,1] and activates once its active in-mass
+// reaches θv. The adopted opinion is where the signs enter: each active
+// in-neighbor u contributes its weight to v's positive mass if the opinion
+// it transmits over the link (s(u) times the link sign) is positive, and
+// to the negative mass otherwise; v turns positive only if positive mass
+// exceeds Bias times negative mass — negative word-of-mouth weighs more
+// than positive, the model's negativity bias. ActivatedBy records the
+// heaviest active in-neighbor. Thin wrapper over the registry's "ltff"
+// model; output is bit-identical for a fixed seed.
+func LTFF(g *sgraph.Graph, initiators []int, states []sgraph.State, cfg LTFFConfig, rng *xrand.Rand) (*Cascade, error) {
+	return (&ltffModel{cfg: cfg}).Run(g, initiators, states, rng)
+}
+
+// ltffModel adapts LTFF onto the Model interface. Params: bias (number
+// >= 1, default 2), max_rounds (integer >= 0, default 0 = no cap).
+type ltffModel struct {
+	cfg LTFFConfig
+}
+
+func (m *ltffModel) Name() string { return "ltff" }
+
+func (m *ltffModel) Validate(params Params) error {
+	d := newParamDecoder("ltff", params)
+	cfg := m.cfg
+	cfg.Bias = d.Float("bias", cfg.Bias)
+	cfg.MaxRounds = d.Int("max_rounds", cfg.MaxRounds)
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	m.cfg = cfg
+	return nil
+}
+
+func (m *ltffModel) SetCounters(cs *obs.CounterSet) { m.cfg.Counters = cs }
+
+func (m *ltffModel) Run(g *sgraph.Graph, initiators []int, states []sgraph.State, rng *xrand.Rand) (*Cascade, error) {
+	cfg := m.cfg
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if err := checkSeeds(g.NumNodes(), initiators, states); err != nil {
+		return nil, err
+	}
+	n := g.NumNodes()
+	c := newCascade(n, initiators, states)
+	theta := make([]float64, n)
+	for v := range theta {
+		theta[v] = rng.Float64()
+	}
+	maxRounds := cfg.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = n + 1
+	}
+	active := func(v int) bool { return c.States[v].Active() }
+	for round := 1; round <= maxRounds; round++ {
+		activations := 0
+		for v := 0; v < n; v++ {
+			if active(v) {
+				continue
+			}
+			var posMass, negMass float64
+			bestIn := -1
+			var bestW float64
+			g.In(v, func(e sgraph.Edge) {
+				if !active(e.From) {
+					return
+				}
+				if sgraph.StateOf(c.States[e.From], e.Sign) == sgraph.StatePositive {
+					posMass += e.Weight
+				} else {
+					negMass += e.Weight
+				}
+				if e.Weight > bestW {
+					bestW, bestIn = e.Weight, e.From
+				}
+			})
+			if bestIn < 0 {
+				continue
+			}
+			c.Attempts++
+			if posMass+negMass < theta[v] {
+				continue
+			}
+			st := sgraph.StateNegative
+			if posMass > cfg.Bias*negMass {
+				st = sgraph.StatePositive
+			}
+			c.States[v] = st
+			c.ActivatedBy[v] = int32(bestIn)
+			c.FirstActivatedBy[v] = int32(bestIn)
+			c.Round[v] = int32(round)
+			c.FirstRound[v] = int32(round)
+			activations++
+		}
+		if activations == 0 {
+			c.Rounds = round - 1
+			c.countInto(cfg.Counters)
+			return c, nil
+		}
+		c.Rounds = round
+	}
+	c.countInto(cfg.Counters)
+	return c, nil
+}

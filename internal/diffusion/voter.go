@@ -3,15 +3,26 @@ package diffusion
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/sgraph"
 	"repro/internal/xrand"
 )
+
+func init() {
+	Register("voter", func() Model { return &voterModel{cfg: VoterConfig{Rounds: DefaultVoterRounds}} })
+}
+
+// DefaultVoterRounds is the registry default for the "voter" model's round
+// count (matching the cmd/mfcsim flag default).
+const DefaultVoterRounds = 30
 
 // VoterConfig parameterizes the signed voter model.
 type VoterConfig struct {
 	// Rounds is the number of synchronous update rounds; must be
 	// positive.
 	Rounds int
+	// Counters, when non-nil, accumulates the run's diffusion counters.
+	Counters *obs.CounterSet
 }
 
 // Voter runs the signed voter model of Li et al. (WSDM 2013) — the
@@ -26,8 +37,38 @@ type VoterConfig struct {
 //
 // The returned cascade records the states after the final round;
 // ActivatedBy/FirstActivatedBy track the neighbor whose opinion was last/
-// first adopted.
+// first adopted. Thin wrapper over the registry's "voter" model; output is
+// bit-identical for a fixed seed.
 func Voter(g *sgraph.Graph, initiators []int, states []sgraph.State, cfg VoterConfig, rng *xrand.Rand) (*Cascade, error) {
+	return (&voterModel{cfg: cfg}).Run(g, initiators, states, rng)
+}
+
+// voterModel adapts Voter onto the Model interface. Params: rounds
+// (integer >= 1, default 30).
+type voterModel struct {
+	cfg VoterConfig
+}
+
+func (m *voterModel) Name() string { return "voter" }
+
+func (m *voterModel) Validate(params Params) error {
+	d := newParamDecoder("voter", params)
+	cfg := m.cfg
+	cfg.Rounds = d.Int("rounds", cfg.Rounds)
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if cfg.Rounds < 1 {
+		return fmt.Errorf("%w: Voter Rounds must be positive, got %d", ErrBadCoefficient, cfg.Rounds)
+	}
+	m.cfg = cfg
+	return nil
+}
+
+func (m *voterModel) SetCounters(cs *obs.CounterSet) { m.cfg.Counters = cs }
+
+func (m *voterModel) Run(g *sgraph.Graph, initiators []int, states []sgraph.State, rng *xrand.Rand) (*Cascade, error) {
+	cfg := m.cfg
 	if cfg.Rounds < 1 {
 		return nil, fmt.Errorf("%w: Voter Rounds must be positive, got %d", ErrBadCoefficient, cfg.Rounds)
 	}
@@ -84,5 +125,6 @@ func Voter(g *sgraph.Graph, initiators []int, states []sgraph.State, cfg VoterCo
 		c.Rounds = round
 	}
 	copy(c.States, cur)
+	c.countInto(cfg.Counters)
 	return c, nil
 }

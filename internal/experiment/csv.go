@@ -69,6 +69,16 @@ func WriteCSV(w io.Writer, result any) error {
 				return err
 			}
 		}
+	case *ModelComparisonResult:
+		if err := cw.Write([]string{"model", "infected", "pos_share", "flips", "exchanges", "rounds"}); err != nil {
+			return err
+		}
+		for _, row := range r.Rows {
+			if err := cw.Write([]string{row.Model, f(row.Infected.Mean), f(row.PositiveShare.Mean),
+				f(row.Flips.Mean), f(row.Exchanges.Mean), f(row.Rounds.Mean)}); err != nil {
+				return err
+			}
+		}
 	default:
 		return fmt.Errorf("experiment: WriteCSV: unsupported result type %T", result)
 	}

@@ -134,6 +134,12 @@ func writeMarkdownSection(w io.Writer, result any) error {
 				p.Scale, p.Nodes, p.Edges, p.Infected,
 				p.SimulateDuration.Round(time.Millisecond), p.DetectDuration.Round(time.Millisecond), p.F1)
 		}
+	case *ModelComparisonResult:
+		fmt.Fprintf(w, "| model | infected | positive share | flips | exchanges | rounds |\n|---|---|---|---|---|---|\n")
+		for _, row := range r.Rows {
+			fmt.Fprintf(w, "| %s | %.1f | %.3f | %.1f | %.1f | %.1f |\n",
+				row.Model, row.Infected.Mean, row.PositiveShare.Mean, row.Flips.Mean, row.Exchanges.Mean, row.Rounds.Mean)
+		}
 	default:
 		return fmt.Errorf("experiment: WriteMarkdown: unsupported result type %T", result)
 	}

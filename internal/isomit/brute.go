@@ -115,7 +115,7 @@ func PartitionScoreStates(t *cascade.Tree, initiators []int, flipped []bool) flo
 
 // BruteForceBudgetStates enumerates every k-subset of real nodes AND every
 // imputed/flipped state assignment, returning the best partition score —
-// the ground truth for SolveBudgetStates.
+// the ground truth for Solve in ModeBudgetStates.
 func BruteForceBudgetStates(t *cascade.Tree, k int) (*Result, error) {
 	real := realNodes(t)
 	if len(real) > 16 {

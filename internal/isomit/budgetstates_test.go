@@ -16,7 +16,7 @@ func TestSolveBudgetStatesMatchesBruteForce(t *testing.T) {
 		n := 3 + rng.Intn(7)
 		tr := testTree(t, seed, n).Binarize()
 		k := 1 + rng.Intn(min(tr.NumReal(), 5))
-		dp, err := SolveBudgetStates(tr, k)
+		dp, err := Solve(tr, Options{Mode: ModeBudgetStates, K: k})
 		if err != nil {
 			return false
 		}
@@ -39,11 +39,11 @@ func TestSolveBudgetStatesNeverBelowPlainBudget(t *testing.T) {
 		n := 3 + rng.Intn(9)
 		tr := testTree(t, seed, n).Binarize()
 		k := 1 + rng.Intn(min(tr.NumReal(), 4))
-		plain, err := SolveBudget(tr, k)
+		plain, err := Solve(tr, Options{Mode: ModeBudget, K: k})
 		if err != nil {
 			return false
 		}
-		branched, err := SolveBudgetStates(tr, k)
+		branched, err := Solve(tr, Options{Mode: ModeBudgetStates, K: k})
 		if err != nil {
 			return false
 		}
@@ -86,11 +86,11 @@ func TestSolveBudgetStatesFlipBranchWins(t *testing.T) {
 	if tr.State[local1] != sgraph.StatePositive {
 		t.Skipf("imputation picked %v; scenario needs +1", tr.State[local1])
 	}
-	plain, err := SolveBudget(tr, 2)
+	plain, err := Solve(tr, Options{Mode: ModeBudget, K: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	branched, err := SolveBudgetStates(tr, 2)
+	branched, err := Solve(tr, Options{Mode: ModeBudgetStates, K: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,10 +111,10 @@ func TestSolveBudgetStatesFlipBranchWins(t *testing.T) {
 
 func TestSolveBudgetStatesValidation(t *testing.T) {
 	tr := pathTree(t, 0.5, 0.5)
-	if _, err := SolveBudgetStates(tr, 0); err == nil {
+	if _, err := Solve(tr, Options{Mode: ModeBudgetStates, K: 0}); err == nil {
 		t.Error("k=0 should error")
 	}
-	if _, err := SolveBudgetStates(tr, 10); err == nil {
+	if _, err := Solve(tr, Options{Mode: ModeBudgetStates, K: 10}); err == nil {
 		t.Error("k>n should error")
 	}
 }

@@ -246,7 +246,7 @@ func pathTree(t *testing.T, s1, s2 float64) *cascade.Tree {
 
 func TestSolvePenalizedPath(t *testing.T) {
 	tr := pathTree(t, 0.1, 0.9)
-	r, err := SolvePenalized(tr, PenaltyConfig{Beta: 0.5})
+	r, err := Solve(tr, Options{Mode: ModePenalized, Beta: 0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,7 +261,7 @@ func TestSolvePenalizedPath(t *testing.T) {
 	// single initiator is node 1 (score 0 + 1 + 0.9 = 1.9, beating the
 	// root's 1 + 0.1 + 0.09): the formulation permits leaving shallow
 	// nodes unexplained when β outweighs them.
-	r, err = SolvePenalized(tr, PenaltyConfig{Beta: 1.8})
+	r, err = Solve(tr, Options{Mode: ModePenalized, Beta: 1.8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,7 +276,7 @@ func TestSolvePenalizedMatchesBruteForce(t *testing.T) {
 		n := 3 + rng.Intn(10)
 		beta := rng.Range(0, 1.2)
 		tr := testTree(t, seed, n)
-		dp, err := SolvePenalized(tr, PenaltyConfig{Beta: beta})
+		dp, err := Solve(tr, Options{Mode: ModePenalized, Beta: beta})
 		if err != nil {
 			return false
 		}
@@ -297,7 +297,7 @@ func TestSolveBudgetMatchesBruteForce(t *testing.T) {
 		n := 3 + rng.Intn(9)
 		tr := testTree(t, seed, n).Binarize()
 		k := 1 + rng.Intn(tr.NumReal())
-		dp, err := SolveBudget(tr, k)
+		dp, err := Solve(tr, Options{Mode: ModeBudget, K: k})
 		if err != nil {
 			return false
 		}
@@ -320,13 +320,13 @@ func TestPenalizedEqualsBudgetEnvelope(t *testing.T) {
 		beta := rng.Range(0.01, 1)
 		tr := testTree(t, seed, n)
 		bin := tr.Binarize()
-		pen, err := SolvePenalized(tr, PenaltyConfig{Beta: beta})
+		pen, err := Solve(tr, Options{Mode: ModePenalized, Beta: beta})
 		if err != nil {
 			return false
 		}
 		best := math.Inf(1)
 		for k := 1; k <= bin.NumReal(); k++ {
-			r, err := SolveBudget(bin, k)
+			r, err := Solve(bin, Options{Mode: ModeBudget, K: k})
 			if err != nil {
 				return false
 			}
@@ -347,11 +347,11 @@ func TestBinarizeInvariance(t *testing.T) {
 		n := 4 + rng.Intn(20)
 		beta := rng.Range(0, 1)
 		tr := testTree(t, seed, n)
-		a, err := SolvePenalized(tr, PenaltyConfig{Beta: beta})
+		a, err := Solve(tr, Options{Mode: ModePenalized, Beta: beta})
 		if err != nil {
 			return false
 		}
-		b, err := SolvePenalized(tr.Binarize(), PenaltyConfig{Beta: beta})
+		b, err := Solve(tr.Binarize(), Options{Mode: ModePenalized, Beta: beta})
 		if err != nil {
 			return false
 		}
@@ -380,7 +380,7 @@ func TestBinarizeInvariance(t *testing.T) {
 
 func TestSolveAuto(t *testing.T) {
 	tr := pathTree(t, 0.1, 0.9).Binarize()
-	r, err := SolveAuto(tr, 0.5)
+	r, err := Solve(tr, Options{Mode: ModeAuto, Beta: 0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -390,8 +390,8 @@ func TestSolveAuto(t *testing.T) {
 	if math.Abs(r.Objective-(-2.4)) > 1e-12 {
 		t.Errorf("auto objective = %g, want -2.4", r.Objective)
 	}
-	// SolveAuto can never beat the exact penalized optimum.
-	pen, err := SolvePenalized(tr, PenaltyConfig{Beta: 0.5})
+	// ModeAuto can never beat the exact penalized optimum.
+	pen, err := Solve(tr, Options{Mode: ModePenalized, Beta: 0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -405,7 +405,7 @@ func TestSolvePenalizedBetaMonotonicity(t *testing.T) {
 	tr := testTree(t, 77, 40)
 	prevK := math.MaxInt32
 	for _, beta := range []float64{0, 0.1, 0.3, 0.5, 0.8, 1.0} {
-		r, err := SolvePenalized(tr, PenaltyConfig{Beta: beta})
+		r, err := Solve(tr, Options{Mode: ModePenalized, Beta: beta})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -418,25 +418,25 @@ func TestSolvePenalizedBetaMonotonicity(t *testing.T) {
 
 func TestSolvePenalizedValidation(t *testing.T) {
 	tr := pathTree(t, 0.5, 0.5)
-	if _, err := SolvePenalized(tr, PenaltyConfig{Beta: -1}); err == nil {
+	if _, err := Solve(tr, Options{Mode: ModePenalized, Beta: -1}); err == nil {
 		t.Error("negative beta should error")
 	}
-	if _, err := SolvePenalized(tr, PenaltyConfig{Beta: 0, QMin: 2}); err == nil {
+	if _, err := Solve(tr, Options{Mode: ModePenalized, Beta: 0, QMin: 2}); err == nil {
 		t.Error("QMin >= 1 should error")
 	}
 }
 
 func TestSolveBudgetValidation(t *testing.T) {
 	tr := pathTree(t, 0.5, 0.5)
-	if _, err := SolveBudget(tr, 0); err == nil {
+	if _, err := Solve(tr, Options{Mode: ModeBudget, K: 0}); err == nil {
 		t.Error("k=0 should error")
 	}
-	if _, err := SolveBudget(tr, 99); err == nil {
+	if _, err := Solve(tr, Options{Mode: ModeBudget, K: 99}); err == nil {
 		t.Error("k>n should error")
 	}
 	wide := testTree(t, 5, 20)
 	if wide.MaxFanout() > 2 {
-		if _, err := SolveBudget(wide, 1); err == nil {
+		if _, err := Solve(wide, Options{Mode: ModeBudget, K: 1}); err == nil {
 			t.Error("non-binary tree should error")
 		}
 	}
@@ -473,11 +473,11 @@ func TestSolvePenalizedDeepPathTruncation(t *testing.T) {
 		t.Fatal(err)
 	}
 	tr := forest.Trees[0]
-	wide, err := SolvePenalized(tr, PenaltyConfig{Beta: 0.2, MaxAncestors: 64})
+	wide, err := Solve(tr, Options{Mode: ModePenalized, Beta: 0.2, MaxAncestors: 64})
 	if err != nil {
 		t.Fatal(err)
 	}
-	tight, err := SolvePenalized(tr, PenaltyConfig{Beta: 0.2, MaxAncestors: 4})
+	tight, err := Solve(tr, Options{Mode: ModePenalized, Beta: 0.2, MaxAncestors: 4})
 	if err != nil {
 		t.Fatal(err)
 	}

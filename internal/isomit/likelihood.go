@@ -5,11 +5,11 @@
 //   - G is the per-link factor g(s(x), s(x,y), s(y), w) of Section III-B.
 //   - NodeProbability / NetworkLogLikelihood evaluate P(u,s(u)|I,S) and
 //     P(G_I|I,S) by path enumeration (small graphs; tests and examples).
-//   - SolvePenalized optimizes the paper's final per-tree objective
+//   - Solve in ModePenalized optimizes the paper's final per-tree objective
 //     min −OPT(u,I,S,k) + (k−1)·β exactly, in linear-ish time, using the
 //     partition semantics the paper states ("the detected cascade tree can
 //     actually be partitioned into several isolated sub-trees").
-//   - SolveBudget is the k-ISOMIT-BT dynamic program of Section III-D for
+//   - Solve in ModeBudget is the k-ISOMIT-BT dynamic program of Section III-D for
 //     a fixed number of initiators on (binarized) trees.
 //   - BruteForce enumerates all initiator sets on tiny trees and verifies
 //     both DPs in the tests.
@@ -17,7 +17,7 @@
 // Every solver in this package is reentrant: all DP tables, memo maps and
 // recursion state are allocated per call, and the only package-level
 // variable (DefaultLambda) is read-only configuration. The detection
-// pipeline relies on this to run SolvePenalized/SolveBudget concurrently
+// pipeline relies on this to run the penalized/budget solvers concurrently
 // across trees (core.RIDConfig.Parallelism).
 package isomit
 

@@ -12,7 +12,7 @@ func TestSolveLocalPath(t *testing.T) {
 	tr := pathTree(t, 0.1, 0.9)
 	// Λ default: cut node iff in-edge score < e^(−βΛ). β=0: everything
 	// below 1 is cut.
-	r, err := SolveLocal(tr, 0, 0)
+	r, err := Solve(tr, Options{Mode: ModeLocal, Beta: 0, Lambda: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -20,7 +20,7 @@ func TestSolveLocalPath(t *testing.T) {
 		t.Errorf("β=0: K = %d, want 3 (shattered)", r.K)
 	}
 	// β=1: threshold e^(-Λ) ≈ 1e-12; nothing cut.
-	r, err = SolveLocal(tr, 1, 0)
+	r, err = Solve(tr, Options{Mode: ModeLocal, Beta: 1, Lambda: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,7 +29,7 @@ func TestSolveLocalPath(t *testing.T) {
 	}
 	// Intermediate: cut only the weak 0.1 edge.
 	beta := -math.Log(0.3) / DefaultLambda
-	r, err = SolveLocal(tr, beta, 0)
+	r, err = Solve(tr, Options{Mode: ModeLocal, Beta: beta, Lambda: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +46,7 @@ func TestSolveLocalMatchesBruteForce(t *testing.T) {
 		n := 3 + rng.Intn(8)
 		beta := rng.Range(0, 1)
 		tr := testTree(t, seed, n)
-		got, err := SolveLocal(tr, beta, 0)
+		got, err := Solve(tr, Options{Mode: ModeLocal, Beta: beta, Lambda: 0})
 		if err != nil {
 			return false
 		}
@@ -74,7 +74,7 @@ func TestSolveLocalMonotoneInBeta(t *testing.T) {
 	tr := testTree(t, 123, 60)
 	prevK := math.MaxInt32
 	for _, beta := range []float64{0, 0.1, 0.25, 0.5, 0.75, 1} {
-		r, err := SolveLocal(tr, beta, 0)
+		r, err := Solve(tr, Options{Mode: ModeLocal, Beta: beta, Lambda: 0})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -87,7 +87,7 @@ func TestSolveLocalMonotoneInBeta(t *testing.T) {
 
 func TestSolveLocalDummiesNeverInitiators(t *testing.T) {
 	tr := testTree(t, 9, 25).Binarize()
-	r, err := SolveLocal(tr, 0, 0)
+	r, err := Solve(tr, Options{Mode: ModeLocal, Beta: 0, Lambda: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,10 +111,10 @@ func TestSolveLocalDummiesNeverInitiators(t *testing.T) {
 
 func TestSolveLocalValidation(t *testing.T) {
 	tr := pathTree(t, 0.5, 0.5)
-	if _, err := SolveLocal(tr, -0.1, 0); err == nil {
+	if _, err := Solve(tr, Options{Mode: ModeLocal, Beta: -0.1, Lambda: 0}); err == nil {
 		t.Error("negative beta should error")
 	}
-	if _, err := SolveLocal(tr, 0.5, -3); err == nil {
+	if _, err := Solve(tr, Options{Mode: ModeLocal, Beta: 0.5, Lambda: -3}); err == nil {
 		t.Error("negative lambda should error")
 	}
 }

@@ -72,11 +72,9 @@ type Options struct {
 	MaxAncestors int
 }
 
-// Solve runs the selected per-tree initiator solver on t. It is the
-// single entry point consolidating the former SolveLocal / SolvePenalized
-// / SolveBudget / SolveBudgetStates / SolveAuto / SolveAutoStates
-// functions, which remain as thin deprecated wrappers. An out-of-range
-// Mode is an error, not a panic, since mode often arrives from config.
+// Solve runs the selected per-tree initiator solver on t — the single
+// entry point to the per-mode solvers. An out-of-range Mode is an error,
+// not a panic, since mode often arrives from config.
 func Solve(t *cascade.Tree, opts Options) (*Result, error) {
 	switch opts.Mode {
 	case ModeLocal:
@@ -94,50 +92,4 @@ func Solve(t *cascade.Tree, opts Options) (*Result, error) {
 	default:
 		return nil, fmt.Errorf("isomit: unknown mode %s", opts.Mode)
 	}
-}
-
-// SolveLocal solves the Markov log-likelihood objective; see solveLocal.
-//
-// Deprecated: use Solve with Options{Mode: ModeLocal, Beta: beta,
-// Lambda: lambda}.
-func SolveLocal(t *cascade.Tree, beta, lambda float64) (*Result, error) {
-	return Solve(t, Options{Mode: ModeLocal, Beta: beta, Lambda: lambda})
-}
-
-// SolvePenalized solves the penalized partition objective over all k;
-// see solvePenalized.
-//
-// Deprecated: use Solve with Options{Mode: ModePenalized, Beta: cfg.Beta,
-// QMin: cfg.QMin, MaxAncestors: cfg.MaxAncestors}.
-func SolvePenalized(t *cascade.Tree, cfg PenaltyConfig) (*Result, error) {
-	return Solve(t, Options{Mode: ModePenalized, Beta: cfg.Beta, QMin: cfg.QMin, MaxAncestors: cfg.MaxAncestors})
-}
-
-// SolveBudget solves the k-ISOMIT-BT budgeted DP; see solveBudget.
-//
-// Deprecated: use Solve with Options{Mode: ModeBudget, K: k}.
-func SolveBudget(t *cascade.Tree, k int) (*Result, error) {
-	return Solve(t, Options{Mode: ModeBudget, K: k})
-}
-
-// SolveBudgetStates solves the budgeted DP with explicit ±1 initiator
-// states; see solveBudgetStates.
-//
-// Deprecated: use Solve with Options{Mode: ModeBudgetStates, K: k}.
-func SolveBudgetStates(t *cascade.Tree, k int) (*Result, error) {
-	return Solve(t, Options{Mode: ModeBudgetStates, K: k})
-}
-
-// SolveAuto runs the incremental k-selection loop over the budgeted DP.
-//
-// Deprecated: use Solve with Options{Mode: ModeAuto, Beta: beta}.
-func SolveAuto(t *cascade.Tree, beta float64) (*Result, error) {
-	return Solve(t, Options{Mode: ModeAuto, Beta: beta})
-}
-
-// SolveAutoStates runs the k-selection loop over the ±1-state DP.
-//
-// Deprecated: use Solve with Options{Mode: ModeAutoStates, Beta: beta}.
-func SolveAutoStates(t *cascade.Tree, beta float64) (*Result, error) {
-	return Solve(t, Options{Mode: ModeAutoStates, Beta: beta})
 }

@@ -17,17 +17,17 @@ func TestSolveDispatch(t *testing.T) {
 			old  func() (*Result, error)
 		}{
 			{"local", func() (*Result, error) { return Solve(tr, Options{Mode: ModeLocal, Beta: 0.4}) },
-				func() (*Result, error) { return SolveLocal(tr, 0.4, 0) }},
+				func() (*Result, error) { return Solve(tr, Options{Mode: ModeLocal, Beta: 0.4, Lambda: 0}) }},
 			{"penalized", func() (*Result, error) { return Solve(tr, Options{Mode: ModePenalized, Beta: 0.4}) },
-				func() (*Result, error) { return SolvePenalized(tr, PenaltyConfig{Beta: 0.4}) }},
+				func() (*Result, error) { return Solve(tr, Options{Mode: ModePenalized, Beta: 0.4}) }},
 			{"budget", func() (*Result, error) { return Solve(bin, Options{Mode: ModeBudget, K: 2}) },
-				func() (*Result, error) { return SolveBudget(bin, 2) }},
+				func() (*Result, error) { return Solve(bin, Options{Mode: ModeBudget, K: 2}) }},
 			{"budget-states", func() (*Result, error) { return Solve(bin, Options{Mode: ModeBudgetStates, K: 2}) },
-				func() (*Result, error) { return SolveBudgetStates(bin, 2) }},
+				func() (*Result, error) { return Solve(bin, Options{Mode: ModeBudgetStates, K: 2}) }},
 			{"auto", func() (*Result, error) { return Solve(bin, Options{Mode: ModeAuto, Beta: 0.4}) },
-				func() (*Result, error) { return SolveAuto(bin, 0.4) }},
+				func() (*Result, error) { return Solve(bin, Options{Mode: ModeAuto, Beta: 0.4}) }},
 			{"auto-states", func() (*Result, error) { return Solve(bin, Options{Mode: ModeAutoStates, Beta: 0.4}) },
-				func() (*Result, error) { return SolveAutoStates(bin, 0.4) }},
+				func() (*Result, error) { return Solve(bin, Options{Mode: ModeAutoStates, Beta: 0.4}) }},
 		}
 		for _, c := range cases {
 			got, errN := c.via()

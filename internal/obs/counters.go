@@ -174,10 +174,11 @@ type DiffusionCounters struct {
 	Rounds int64 `json:"rounds,omitempty"`
 	// Attempts counts activation attempts, Activations nodes ever
 	// activated beyond the initiators, Flips successful sign flips of
-	// already-active nodes.
+	// already-active nodes, Exchanges gossip contacts (pushpull only).
 	Attempts    int64 `json:"attempts,omitempty"`
 	Activations int64 `json:"activations,omitempty"`
 	Flips       int64 `json:"flips,omitempty"`
+	Exchanges   int64 `json:"exchanges,omitempty"`
 }
 
 // CounterSet is the typed algorithm-depth counter batch threaded through
@@ -230,6 +231,7 @@ func (c *CounterSet) Merge(o *CounterSet) {
 	c.Diffusion.Attempts += o.Diffusion.Attempts
 	c.Diffusion.Activations += o.Diffusion.Activations
 	c.Diffusion.Flips += o.Diffusion.Flips
+	c.Diffusion.Exchanges += o.Diffusion.Exchanges
 }
 
 // Zero reports whether nothing has been counted (a nil set is zero).
@@ -284,4 +286,5 @@ func (c *CounterSet) Each(fn func(name string, v int64)) {
 	emit("diffusion_attempts", c.Diffusion.Attempts)
 	emit("diffusion_activations", c.Diffusion.Activations)
 	emit("diffusion_flips", c.Diffusion.Flips)
+	emit("diffusion_exchanges", c.Diffusion.Exchanges)
 }

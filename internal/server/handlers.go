@@ -84,8 +84,8 @@ type DetectResponse struct {
 	Truth *TruthReport `json:"truth,omitempty"`
 }
 
-// SimulateRequest is the POST /v1/simulate payload: an MFC cascade over a
-// submitted network or a previously cached one.
+// SimulateRequest is the POST /v1/simulate payload: one diffusion cascade
+// over a submitted network or a previously cached one.
 type SimulateRequest struct {
 	// Trace supplies the network (its snapshot and ground truth are
 	// ignored). Mutually exclusive with GraphHash.
@@ -97,9 +97,20 @@ type SimulateRequest struct {
 	// (+1, -1), defaulting to all +1 when omitted.
 	Initiators []int  `json:"initiators"`
 	States     []int8 `json:"states,omitempty"`
-	// Alpha is the MFC boosting coefficient; zero defaults to 3.
+	// Model selects the registered diffusion model ("mfc", "ic", "lt",
+	// "ltff", "pushpull", "sir", "voter"); empty defaults to "mfc". An
+	// unknown name is a 400 listing the registered models.
+	Model string `json:"model,omitempty"`
+	// Params carries the model-specific parameters, decoded and validated
+	// by the model itself (unknown keys, wrong types and out-of-range
+	// values are 400s with the model's pinned message).
+	Params map[string]any `json:"params,omitempty"`
+	// Alpha is the legacy MFC boosting coefficient (pre-registry schema);
+	// zero defaults to 3. Only valid when the effective model is "mfc",
+	// and must not conflict with a params["alpha"] entry.
 	Alpha float64 `json:"alpha,omitempty"`
-	// DisableFlip degrades MFC to a signed independent cascade.
+	// DisableFlip is the legacy flag degrading MFC to a signed independent
+	// cascade. Same restrictions as Alpha.
 	DisableFlip bool `json:"disable_flip,omitempty"`
 	// Seed makes the run reproducible; zero defaults to 1.
 	Seed uint64 `json:"seed,omitempty"`
@@ -109,6 +120,8 @@ type SimulateRequest struct {
 
 // SimulateResponse is the POST /v1/simulate result.
 type SimulateResponse struct {
+	// Model is the registry name of the model that ran.
+	Model       string  `json:"model"`
 	Infected    int     `json:"infected"`
 	Positive    int     `json:"positive"`
 	Negative    int     `json:"negative"`
@@ -363,7 +376,8 @@ func rankInitiators(det *core.Detection, k int) []RankedInitiator {
 	return out
 }
 
-// handleSimulate runs one MFC cascade inside the worker pool.
+// handleSimulate runs one diffusion cascade inside the worker pool,
+// dispatching to whichever registered model the request names.
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	var req SimulateRequest
 	if err := decodeBody(w, r, &req, s.cfg.MaxBodyBytes); err != nil {
@@ -395,11 +409,16 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) simulate(ctx context.Context, req *SimulateRequest) (resp *SimulateResponse, err error) {
 	start := time.Now()
+	name := req.Model
+	if name == "" {
+		name = "mfc"
+	}
 	var cs obs.CounterSet
 	defer func() {
 		fr := obs.FlightRecord{
 			TraceID:   obs.TraceID(ctx),
 			Route:     "/v1/simulate",
+			Detail:    "model=" + name,
 			Start:     start,
 			ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
 			Status:    statusOf(err),
@@ -444,16 +463,45 @@ func (s *Server) simulate(ctx context.Context, req *SimulateRequest) (resp *Simu
 			}
 		}
 	}
-	alpha := req.Alpha
-	if alpha == 0 {
-		alpha = 3
+	model, err := diffusion.Lookup(name)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	params := make(diffusion.Params, len(req.Params)+2)
+	for k, v := range req.Params {
+		params[k] = v
+	}
+	// Legacy pre-registry schema: top-level alpha / disable_flip map onto
+	// the mfc model's params of the same name.
+	if req.Alpha != 0 {
+		if name != "mfc" {
+			return nil, badRequest("legacy field %q requires model %q (got %q)", "alpha", "mfc", name)
+		}
+		if _, dup := params["alpha"]; dup {
+			return nil, badRequest("legacy field %q conflicts with params key %q", "alpha", "alpha")
+		}
+		params["alpha"] = req.Alpha
+	}
+	if req.DisableFlip {
+		if name != "mfc" {
+			return nil, badRequest("legacy field %q requires model %q (got %q)", "disable_flip", "mfc", name)
+		}
+		if _, dup := params["disable_flip"]; dup {
+			return nil, badRequest("legacy field %q conflicts with params key %q", "disable_flip", "disable_flip")
+		}
+		params["disable_flip"] = true
+	}
+	if err := model.Validate(params); err != nil {
+		return nil, badRequest("%v", err)
+	}
+	if cr, ok := model.(diffusion.CounterRecorder); ok {
+		cr.SetCounters(&cs)
 	}
 	seed := req.Seed
 	if seed == 0 {
 		seed = 1
 	}
-	cfg := diffusion.MFCConfig{Alpha: alpha, DisableFlip: req.DisableFlip, Counters: &cs}
-	c, err := diffusion.MFC(g, req.Initiators, states, cfg, xrand.New(seed))
+	c, err := model.Run(g, req.Initiators, states, xrand.New(seed))
 	if err != nil {
 		return nil, badRequest("%v", err)
 	}
@@ -466,6 +514,7 @@ func (s *Server) simulate(ctx context.Context, req *SimulateRequest) (resp *Simu
 		t.SetRecorder(expRec)
 	}
 	resp = &SimulateResponse{
+		Model:       name,
 		Infected:    c.NumInfected(),
 		Flips:       c.Flips,
 		Rounds:      c.Rounds,
@@ -489,7 +538,7 @@ func (s *Server) simulate(ctx context.Context, req *SimulateRequest) (resp *Simu
 			resp.Negative++
 		}
 	}
-	s.reg.Observe("simulate", time.Since(start))
+	s.reg.Observe("simulate."+name, time.Since(start))
 	return resp, nil
 }
 

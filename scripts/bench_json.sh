@@ -1,6 +1,6 @@
 #!/bin/sh
 # bench_json.sh — run the headline benchmarks at -cpu 1 and 4 and write
-# BENCH_pr8.json with ns/op, B/op and allocs/op per width plus the measured
+# BENCH_pr9.json with ns/op, B/op and allocs/op per width plus the measured
 # parallel speedup (ns at cpu1 / ns at cpu4). On single-core hosts -cpu 4
 # only adds scheduler overhead, so the ratio reads below 1 even for fully
 # serial code — BenchmarkMFCSimulation (no pipeline parallelism) is the
@@ -13,11 +13,13 @@
 # one /v1/detect/batch vs 32 individual /v1/detect round trips.
 # GraphWarmup/{rebuild,snapshot} is wire-trace rebuild vs zero-copy CSR
 # snapshot load; SnapshotLoad is the sgraph-level load microbench.
+# SimulateModels/<name> runs one cascade per registered diffusion model on
+# a shared mid-size network — the cross-model spread-cost comparison.
 set -eu
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_pr8.json}
-BENCHES='BenchmarkRIDEndToEnd$|BenchmarkForestExtraction$|BenchmarkMFCSimulation$|BenchmarkArborKernels/|BenchmarkIncrementalDetect/|BenchmarkGraphWarmup/|BenchmarkDetectBatch$|BenchmarkDetectSequential$|BenchmarkSnapshotLoad$'
+OUT=${1:-BENCH_pr9.json}
+BENCHES='BenchmarkRIDEndToEnd$|BenchmarkForestExtraction$|BenchmarkMFCSimulation$|BenchmarkSimulateModels/|BenchmarkArborKernels/|BenchmarkIncrementalDetect/|BenchmarkGraphWarmup/|BenchmarkDetectBatch$|BenchmarkDetectSequential$|BenchmarkSnapshotLoad$'
 
 # Time-based benchtime so every bench gets a comparable measurement
 # window: the sub-millisecond kernels run thousands of iterations (at a
