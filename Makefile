@@ -11,7 +11,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/obs/ ./internal/diffusion/ ./internal/core/ ./internal/cascade/ ./internal/arbor/ ./internal/isomit/ ./internal/sgraph/ ./internal/par/ ./internal/influence/ ./internal/experiment/ ./internal/ingest/ ./internal/trace/ ./internal/server/ .
+	$(GO) test -race ./internal/obs/ ./internal/diffusion/ ./internal/core/ ./internal/cascade/ ./internal/arbor/ ./internal/isomit/ ./internal/sgraph/ ./internal/par/ ./internal/influence/ ./internal/experiment/ ./internal/ingest/ ./internal/trace/ ./internal/server/ ./internal/profiling/ .
 
 # fuzz-smoke runs the arbor kernel-equivalence fuzzer briefly; CI does the
 # same. Longer local runs: go test -fuzz FuzzKernelEquivalence ./internal/arbor/
@@ -22,10 +22,10 @@ bench:
 	$(GO) test -bench=. -benchmem -benchtime 1x .
 
 # bench-json runs the headline benchmarks at -cpu 1 and 4 and writes
-# BENCH_pr9.json with ns/op, B/op, allocs/op per width plus the measured
+# BENCH_pr10.json with ns/op, B/op, allocs/op per width plus the measured
 # parallel speedup, the arbor kernel comparison, the incremental-vs-full
-# detect comparison, the batch-vs-sequential serving comparison and the
-# snapshot warm-load benchmarks.
+# detect comparison, the batch-vs-sequential serving comparison, the
+# snapshot warm-load benchmarks and the profiler on/off overhead pair.
 bench-json:
 	./scripts/bench_json.sh
 
@@ -33,8 +33,8 @@ bench-json:
 # benchmark slowed past BENCH_DIFF_THRESHOLD percent (default 10), or if a
 # baseline benchmark is missing from the
 # current run, so a renamed or silently dropped benchmark also fails. Override
-# the files: make bench-diff BENCH_OLD=BENCH_pr8.json BENCH_NEW=BENCH_pr9.json
-BENCH_OLD ?= BENCH_pr9.json
+# the files: make bench-diff BENCH_OLD=BENCH_pr9.json BENCH_NEW=BENCH_pr10.json
+BENCH_OLD ?= BENCH_pr10.json
 BENCH_NEW ?= BENCH_new.json
 bench-diff:
 	./scripts/bench_diff.sh $(BENCH_OLD) $(BENCH_NEW)

@@ -13,6 +13,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"repro/internal/arbor"
 	"repro/internal/cascade"
@@ -24,6 +25,7 @@ import (
 	"repro/internal/ingest"
 	"repro/internal/isomit"
 	"repro/internal/metrics"
+	"repro/internal/profiling"
 	"repro/internal/sgraph"
 	"repro/internal/trace"
 	"repro/internal/xrand"
@@ -676,5 +678,41 @@ func BenchmarkIncrementalDetect(b *testing.B) {
 		}
 		b.ReportMetric(float64(stats.Dirty), "dirty-components")
 		b.ReportMetric(float64(stats.Reused), "reused-components")
+	})
+}
+
+// BenchmarkDetectProfilerOverhead guards the continuous profiler's cost on
+// the detect hot path: "off" runs labeled detections with no profiler,
+// "on" runs the identical loop while the profiler captures CPU windows on
+// its default duty cycle (window = interval/50). Compare ns/op between the
+// two sub-benches — the on/off overhead budget is 2%. Both run under
+// profiling.Do so the pprof-label bookkeeping itself is charged to both
+// sides, isolating the capture+decode cost.
+func BenchmarkDetectProfilerOverhead(b *testing.B) {
+	in, err := benchWorkload("Epinions").RunSharded(8, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rid, err := core.NewRID(core.RIDConfig{Alpha: 3, Beta: 0.3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	detect := func(b *testing.B) {
+		b.Helper()
+		ctx := context.Background()
+		for i := 0; i < b.N; i++ {
+			profiling.Do(ctx, func(ctx context.Context) {
+				if _, err := rid.DetectContext(ctx, in.Snap); err != nil {
+					b.Fatal(err)
+				}
+			}, profiling.LabelRoute, "detect")
+		}
+	}
+	b.Run("off", detect)
+	b.Run("on", func(b *testing.B) {
+		p := profiling.NewProfiler(profiling.Config{Interval: time.Second})
+		p.Start()
+		defer p.Stop()
+		detect(b)
 	})
 }

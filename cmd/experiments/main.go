@@ -7,7 +7,14 @@
 //	experiments [-exp all|table2|fig4|fig5|fig6|diffusion|models] [-dataset Epinions|Slashdot|both]
 //	            [-scale 0.02] [-trials 3] [-seed-frac 0.05] [-theta 0.5] [-alpha 3]
 //	            [-model name] [-mask 0] [-seed 20170605] [-parallelism 0] [-csv dir]
-//	            [-log-level info] [-log-format text] [-cpuprofile f] [-memprofile f]
+//	            [-profile 0] [-log-level info] [-log-format text]
+//	            [-cpuprofile f] [-memprofile f]
+//
+// -profile runs the continuous profiler during the experiments (capturing
+// one CPU window per interval, at a dense 50% duty cycle since an offline
+// run wants coverage over low overhead) and prints CPU seconds attributed
+// to each diffusion model and pipeline stage at exit — the self-contained
+// alternative to -cpuprofile when comparing models (-exp models).
 //
 // -parallelism bounds the goroutines each RID detection fans out across
 // (0 = GOMAXPROCS); results are bit-identical at every setting.
@@ -18,14 +25,18 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/cli"
 	"repro/internal/diffusion"
 	"repro/internal/experiment"
+	"repro/internal/profiling"
 )
 
 func main() {
@@ -43,6 +54,7 @@ func main() {
 		parallel = flag.Int("parallelism", 0, "per-detection pipeline parallelism (0 = GOMAXPROCS)")
 		csvDir   = flag.String("csv", "", "directory for CSV output (optional)")
 		mdFile   = flag.String("md", "", "write all results as one markdown report (optional)")
+		profile  = flag.Duration("profile", 0, "continuous-profiler duty cycle: capture CPU windows every interval and print per-model/per-stage CPU attribution at exit (0 = off)")
 		logCfg   = cli.LogFlags()
 		profCfg  = cli.ProfileFlags()
 	)
@@ -54,12 +66,15 @@ func main() {
 	if *parallel < 0 {
 		cli.Fatal("experiments", cli.Usagef("-parallelism must be non-negative, got %d", *parallel))
 	}
-	if err := run(*exp, *ds, *scale, *trials, *seedFrac, *theta, *alpha, *model, *mask, *seed, *parallel, *csvDir, *mdFile, profCfg); err != nil {
+	if *profile < 0 {
+		cli.Fatal("experiments", cli.Usagef("-profile must be non-negative, got %v", *profile))
+	}
+	if err := run(*exp, *ds, *scale, *trials, *seedFrac, *theta, *alpha, *model, *mask, *seed, *parallel, *csvDir, *mdFile, *profile, profCfg); err != nil {
 		cli.Fatal("experiments", err)
 	}
 }
 
-func run(exp, ds string, scale float64, trials int, seedFrac, theta, alpha float64, model string, mask float64, seed uint64, parallel int, csvDir, mdFile string, profCfg *cli.ProfileConfig) error {
+func run(exp, ds string, scale float64, trials int, seedFrac, theta, alpha float64, model string, mask float64, seed uint64, parallel int, csvDir, mdFile string, profile time.Duration, profCfg *cli.ProfileConfig) error {
 	stopProfile, err := profCfg.Start()
 	if err != nil {
 		return err
@@ -69,6 +84,19 @@ func run(exp, ds string, scale float64, trials int, seedFrac, theta, alpha float
 			slog.Error("experiments: profile write failed", "err", err)
 		}
 	}()
+	// The continuous profiler attributes CPU to the pprof labels the
+	// experiment drivers set (model name, diffusion stage) — unlike
+	// -cpuprofile it needs no external pprof tooling to read.
+	if profile > 0 {
+		// Offline measurement wants coverage, not the server's low
+		// steady-state duty cycle: capture half of every interval.
+		prof := profiling.NewProfiler(profiling.Config{Interval: profile, Window: profile / 2})
+		prof.Start()
+		defer func() {
+			prof.Stop()
+			renderProfile(os.Stdout, prof)
+		}()
+	}
 
 	effectiveSeed := seed
 	if effectiveSeed == 0 {
@@ -288,4 +316,35 @@ func run(exp, ds string, scale float64, trials int, seedFrac, theta, alpha float
 		fmt.Printf("wrote markdown report to %s\n", mdFile)
 	}
 	return nil
+}
+
+// renderProfile prints the continuous profiler's lifetime attribution:
+// CPU seconds per pprof-label value for each dimension the experiment
+// drivers label (model and stage).
+func renderProfile(w io.Writer, p *profiling.Profiler) {
+	tot := p.Totals()
+	fmt.Fprintf(w, "\nContinuous profile — %.2f CPU-s over %d windows, %.0f%% attributed (%d skipped, %d decode errors)\n",
+		tot.CPUSeconds, tot.Windows, 100*tot.Attributed, tot.Skipped, tot.DecodeErrors)
+	dims := []struct {
+		name  string
+		nanos map[string]int64
+	}{{"model", tot.ByModel}, {"stage", tot.ByStage}}
+	for _, d := range dims {
+		if len(d.nanos) == 0 {
+			continue
+		}
+		keys := make([]string, 0, len(d.nanos))
+		for k := range d.nanos {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			secs := float64(d.nanos[k]) / 1e9
+			share := 0.0
+			if tot.CPUSeconds > 0 {
+				share = 100 * secs / tot.CPUSeconds
+			}
+			fmt.Fprintf(w, "  %-6s %-12s %8.2f CPU-s %5.1f%%\n", d.name, k, secs, share)
+		}
+	}
 }

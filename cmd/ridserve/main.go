@@ -50,9 +50,17 @@
 // retains the last -flight completed compute requests (slow or failed ones
 // pinned past eviction; -slow sets the threshold) and serves them on
 // /debug/requests as an HTML table with per-request drill-down, or JSON
-// with ?format=json. -debug-addr starts a second listener with
-// net/http/pprof, expvar and the same /debug views — keep it off public
-// interfaces.
+// with ?format=json; the list filters with ?route=, ?model= and ?min_ms=.
+// -profile-interval turns on the continuous profiler: a short CPU profile
+// window is captured every interval (-profile-window sets its length,
+// default interval/50 capped at 10s), decoded in-process, and folded into
+// per-label aggregates — every request runs under pprof labels
+// (route/model/stage/batch), so /debug/hotspots shows CPU time per label
+// tuple with the top functions and deltas between windows, /metrics
+// carries lifetime CPU-seconds by label, and ?format=openmetrics serves
+// the OpenMetrics exposition with trace-id exemplars on latency buckets.
+// -debug-addr starts a second listener with net/http/pprof, expvar and
+// the same /debug views — keep it off public interfaces.
 //
 // Usage:
 //
@@ -62,6 +70,7 @@
 //	         [-snapshot-dir dir]
 //	         [-otlp-endpoint url] [-otlp-file path] [-otlp-sample 1]
 //	         [-slo-target 0.99] [-slo-latency-ms 500]
+//	         [-profile-interval 0] [-profile-window 0]
 //	         [-log-level info] [-log-format text] [-debug-addr addr]
 //
 // -workers bounds how many requests compute at once; -parallelism bounds
@@ -90,6 +99,7 @@ import (
 
 	"repro/internal/cli"
 	"repro/internal/obs"
+	"repro/internal/profiling"
 	"repro/internal/server"
 )
 
@@ -115,6 +125,8 @@ type options struct {
 	sloTarget    float64
 	sloLatencyMS int
 	snapshotDir  string
+	profInterval time.Duration
+	profWindow   time.Duration
 }
 
 func main() {
@@ -138,6 +150,8 @@ func main() {
 	flag.StringVar(&o.snapshotDir, "snapshot-dir", "", "directory persisting built networks as CSR snapshot files for warm restarts (empty = disabled)")
 	flag.Float64Var(&o.sloTarget, "slo-target", 0.99, "per-route availability objective in (0,1)")
 	flag.IntVar(&o.sloLatencyMS, "slo-latency-ms", 500, "per-route latency objective in milliseconds")
+	flag.DurationVar(&o.profInterval, "profile-interval", 0, "continuous-profiler duty cycle: capture one CPU window every interval (0 = profiler off)")
+	flag.DurationVar(&o.profWindow, "profile-window", 0, "CPU capture window length (0 = interval/50, at most 10s)")
 	logCfg := cli.LogFlags()
 	flag.Parse()
 	cli.NoPositionalArgs("ridserve")
@@ -180,6 +194,12 @@ func validate(o *options) error {
 		return cli.Usagef("-slo-target must be in (0,1), got %g", o.sloTarget)
 	case o.sloLatencyMS < 1:
 		return cli.Usagef("-slo-latency-ms must be positive, got %d", o.sloLatencyMS)
+	case o.profInterval < 0:
+		return cli.Usagef("-profile-interval must be non-negative, got %v", o.profInterval)
+	case o.profWindow < 0:
+		return cli.Usagef("-profile-window must be non-negative, got %v", o.profWindow)
+	case o.profWindow > 0 && o.profInterval == 0:
+		return cli.Usagef("-profile-window requires -profile-interval")
 	}
 	return nil
 }
@@ -216,6 +236,7 @@ func run(o *options) error {
 		SLOTarget:      o.sloTarget,
 		SLOLatency:     time.Duration(o.sloLatencyMS) * time.Millisecond,
 		Snapshots:      snapshots,
+		Profiler:       profiling.NewProfiler(profiling.Config{Interval: o.profInterval, Window: o.profWindow}),
 	})
 	errc := make(chan error, 1)
 	go func() { errc <- s.ListenAndServe() }()

@@ -17,6 +17,7 @@ import (
 	"repro/internal/arbor"
 	"repro/internal/obs"
 	"repro/internal/par"
+	"repro/internal/profiling"
 	"repro/internal/sgraph"
 )
 
@@ -298,13 +299,18 @@ func ExtractContext(ctx context.Context, snap *Snapshot, cfg Config) (*Forest, e
 		return nil, err
 	}
 	rec := obs.RecorderFrom(ctx)
+	// Stage pprof labels track the stage spans so CPU samples attribute to
+	// the same stage vocabulary the span timings use.
+	profiling.SetStage(ctx, obs.StageComponents)
 	span := rec.Start(obs.StageComponents)
 	infected := snap.Infected()
 	if len(infected) == 0 {
+		profiling.ClearStage(ctx)
 		return nil, ErrNoInfected
 	}
 	comps := maskComponents(snap.G, infected, cfg.PositiveOnly)
 	span.End()
+	profiling.ClearStage(ctx)
 	rec.Add(obs.CounterInfectedNodes, int64(len(infected)))
 	rec.Add(obs.CounterComponents, int64(len(comps)))
 	if rec != nil {
@@ -323,7 +329,7 @@ func ExtractContext(ctx context.Context, snap *Snapshot, cfg Config) (*Forest, e
 			s = getExtractScratch(rec, snap.G.NumNodes())
 			scratches[w] = s
 		}
-		trees, err := extractComponent(snap, comps[ci], ci, cfg, s)
+		trees, err := extractComponent(ctx, snap, comps[ci], ci, cfg, s)
 		treesByComp[ci] = trees
 		return err
 	})
@@ -435,7 +441,12 @@ func (s *extractScratch) release() {
 // local IDs sgraph.Induce would assign, and the CSR out-lists are sorted by
 // target, so the filtered scan emits candidate edges in exactly the order
 // the induced graph's Out iteration did — same arbor input, same forest.
-func extractComponent(snap *Snapshot, comp []int32, compIdx int, cfg Config, s *extractScratch) ([]*Tree, error) {
+func extractComponent(ctx context.Context, snap *Snapshot, comp []int32, compIdx int, cfg Config, s *extractScratch) ([]*Tree, error) {
+	// Stage labels switch with the stage spans: arborescence for the scan
+	// + solve, tree_build for BFS tree construction. Per-component (not
+	// per-tree) granularity keeps the label-set copies off the hot loop.
+	profiling.SetStage(ctx, obs.StageArborescence)
+	defer profiling.ClearStage(ctx)
 	span := s.acc.Start(obs.StageArborescence)
 	// Dense re-indexing of the component's nodes on parent IDs.
 	pos := s.pos
@@ -488,6 +499,7 @@ func extractComponent(snap *Snapshot, comp []int32, compIdx int, cfg Config, s *
 		return nil, fmt.Errorf("cascade: component %d: %w", compIdx, err)
 	}
 
+	profiling.SetStage(ctx, obs.StageTreeBuild)
 	span = s.acc.Start(obs.StageTreeBuild)
 	// Children lists on component indices, then one BFS per root.
 	if cap(s.childIdx) < len(comp) {

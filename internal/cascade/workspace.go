@@ -86,7 +86,7 @@ func (w *Workspace) ExtractComponent(ctx context.Context, snap *Snapshot, nodes 
 	}
 	w.comp = comp
 	s := getExtractScratch(rec, snap.G.NumNodes())
-	trees, err := extractComponent(snap, comp, compIdx, cfg, s)
+	trees, err := extractComponent(ctx, snap, comp, compIdx, cfg, s)
 	s.acc.Flush()
 	s.release()
 	if err != nil {

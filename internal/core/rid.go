@@ -11,6 +11,7 @@ import (
 	"repro/internal/isomit"
 	"repro/internal/obs"
 	"repro/internal/par"
+	"repro/internal/profiling"
 	"repro/internal/sgraph"
 )
 
@@ -176,6 +177,12 @@ func (r *RID) DetectForestContext(ctx context.Context, forest *cascade.Forest) (
 	workers := par.Workers(r.cfg.Parallelism)
 	outs := make([]treeOut, len(forest.Trees))
 	accs := make([]*obs.Accum, workers)
+	// One region-level stage label covers the whole per-tree solve fan-out
+	// (binarize included — it is a sliver of the DP): the par workers
+	// inherit it at spawn, and per-tree label switching would put a
+	// label-set copy on the hot loop.
+	profiling.SetStage(ctx, obs.StageTreeDP)
+	defer profiling.ClearStage(ctx)
 	err := par.ForEach(ctx, workers, len(forest.Trees), func(w, i int) error {
 		acc := accs[w]
 		if acc == nil {

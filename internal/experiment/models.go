@@ -1,12 +1,14 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"repro/internal/dataset"
 	"repro/internal/diffusion"
 	"repro/internal/metrics"
+	"repro/internal/profiling"
 	"repro/internal/viz"
 	"repro/internal/xrand"
 )
@@ -86,7 +88,13 @@ func modelRow(w Workload, name string, params diffusion.Params) (ModelRow, error
 		if err := m.Validate(params); err != nil {
 			return ModelRow{}, err
 		}
-		c, err := m.Run(dif, seeds, states, rng)
+		// The model name rides as a pprof label so a profiled run (the
+		// experiments CLI under -profile, or this code path embedded in a
+		// server) attributes each model's CPU separately.
+		var c *diffusion.Cascade
+		profiling.Do(context.Background(), func(context.Context) {
+			c, err = m.Run(dif, seeds, states, rng)
+		}, profiling.LabelModel, name, profiling.LabelStage, "diffusion")
 		if err != nil {
 			return ModelRow{}, err
 		}

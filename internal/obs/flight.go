@@ -29,6 +29,11 @@ type FlightRecord struct {
 	Error  string `json:"error,omitempty"`
 	// Pinned marks records held past normal eviction (slow or failed).
 	Pinned bool `json:"pinned"`
+	// ProfileWindow is the sequence number of the continuous-profiler CPU
+	// window overlapping this request, when one exists — it keys into
+	// /debug/hotspots so a slow request links to the CPU breakdown captured
+	// while it ran. Zero when profiling is off or no window covered it.
+	ProfileWindow uint64 `json:"profile_window,omitempty"`
 	// Stages is the span tree (disjoint stage aggregates) of the request;
 	// Counters the pipeline's named counters; Algo the typed
 	// algorithm-depth counters (nil when nothing was counted).

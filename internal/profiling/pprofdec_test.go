@@ -1,0 +1,309 @@
+package profiling
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"testing"
+	"time"
+)
+
+func startCPU(buf *bytes.Buffer) error { return pprof.StartCPUProfile(buf) }
+func stopCPU()                         { pprof.StopCPUProfile() }
+
+// busyLoop burns CPU long enough for the profiler (100Hz) to take a few
+// samples.
+func busyLoop() {
+	deadline := time.Now().Add(150 * time.Millisecond)
+	x := 1.0
+	for time.Now().Before(deadline) {
+		for i := 0; i < 1000; i++ {
+			x = x*1.000001 + 0.5
+		}
+	}
+	sink = x
+}
+
+var sink float64
+
+var updateGolden = flag.Bool("update", false, "rewrite golden fixtures")
+
+// --- minimal protobuf encoder (test-side only) ---
+//
+// Mirrors the subset the decoder reads so the golden fixture is built
+// from first principles rather than by capturing a live profile (which
+// would not be byte-stable across Go versions).
+
+type pbWriter struct{ buf bytes.Buffer }
+
+func (w *pbWriter) varint(v uint64) {
+	for v >= 0x80 {
+		w.buf.WriteByte(byte(v) | 0x80)
+		v >>= 7
+	}
+	w.buf.WriteByte(byte(v))
+}
+
+func (w *pbWriter) tag(field, wire int) { w.varint(uint64(field)<<3 | uint64(wire)) }
+
+func (w *pbWriter) varintField(field int, v uint64) {
+	w.tag(field, 0)
+	w.varint(v)
+}
+
+func (w *pbWriter) bytesField(field int, b []byte) {
+	w.tag(field, 2)
+	w.varint(uint64(len(b)))
+	w.buf.Write(b)
+}
+
+func (w *pbWriter) stringField(field int, s string) { w.bytesField(field, []byte(s)) }
+
+// packedField writes a packed repeated varint field (wire type 2).
+func (w *pbWriter) packedField(field int, vs ...uint64) {
+	var inner pbWriter
+	for _, v := range vs {
+		inner.varint(v)
+	}
+	w.bytesField(field, inner.buf.Bytes())
+}
+
+func (w *pbWriter) message(field int, fn func(*pbWriter)) {
+	var inner pbWriter
+	fn(&inner)
+	w.bytesField(field, inner.buf.Bytes())
+}
+
+// buildFixtureProfile constructs a synthetic CPU profile exercising every
+// decoder path: packed and unpacked repeated ints, inline lines (deepest
+// first), string and numeric labels, unknown fields to skip, and a sample
+// with no labels.
+func buildFixtureProfile() []byte {
+	// string table; index 0 must be "".
+	strs := []string{
+		"",             // 0
+		"samples",      // 1
+		"count",        // 2
+		"cpu",          // 3
+		"nanoseconds",  // 4
+		"main.work",    // 5
+		"main.caller",  // 6
+		"runtime.gc",   // 7
+		"route",        // 8
+		"detect",       // 9
+		"stage",        // 10
+		"tree_dp",      // 11
+		"bytes",        // 12
+		"main.inlined", // 13
+	}
+	var w pbWriter
+	// sample_type: {samples, count}, {cpu, nanoseconds}
+	w.message(1, func(m *pbWriter) {
+		m.varintField(1, 1)
+		m.varintField(2, 2)
+	})
+	w.message(1, func(m *pbWriter) {
+		m.varintField(1, 3)
+		m.varintField(2, 4)
+	})
+	// sample 1: stack [loc1, loc2] packed, values packed, labels
+	// route=detect stage=tree_dp plus a numeric label to skip.
+	w.message(2, func(m *pbWriter) {
+		m.packedField(1, 1, 2)
+		m.packedField(2, 4, 40_000_000)
+		m.message(3, func(l *pbWriter) {
+			l.varintField(1, 8) // key "route"
+			l.varintField(2, 9) // str "detect"
+		})
+		m.message(3, func(l *pbWriter) {
+			l.varintField(1, 10) // key "stage"
+			l.varintField(2, 11) // str "tree_dp"
+		})
+		m.message(3, func(l *pbWriter) { // numeric label: skipped by decoder
+			l.varintField(1, 12) // key "bytes"
+			l.varintField(3, 4096)
+			l.varintField(4, 12)
+		})
+	})
+	// sample 2: unpacked repeated encoding, no labels, unknown field 99.
+	w.message(2, func(m *pbWriter) {
+		m.varintField(1, 3)
+		m.varintField(2, 2)
+		m.varintField(2, 20_000_000)
+		m.varintField(99, 7) // unknown field: decoder must skip
+	})
+	// locations: loc1 has two lines (inlined deepest-first), loc2 and
+	// loc3 one each.
+	w.message(4, func(m *pbWriter) {
+		m.varintField(1, 1)
+		m.message(4, func(l *pbWriter) { l.varintField(1, 4); l.varintField(2, 12) }) // main.inlined
+		m.message(4, func(l *pbWriter) { l.varintField(1, 1); l.varintField(2, 30) }) // main.work
+	})
+	w.message(4, func(m *pbWriter) {
+		m.varintField(1, 2)
+		m.message(4, func(l *pbWriter) { l.varintField(1, 2); l.varintField(2, 10) })
+	})
+	w.message(4, func(m *pbWriter) {
+		m.varintField(1, 3)
+		m.message(4, func(l *pbWriter) { l.varintField(1, 3); l.varintField(2, 99) })
+	})
+	// functions
+	w.message(5, func(m *pbWriter) { m.varintField(1, 1); m.varintField(2, 5) })  // main.work
+	w.message(5, func(m *pbWriter) { m.varintField(1, 2); m.varintField(2, 6) })  // main.caller
+	w.message(5, func(m *pbWriter) { m.varintField(1, 3); m.varintField(2, 7) })  // runtime.gc
+	w.message(5, func(m *pbWriter) { m.varintField(1, 4); m.varintField(2, 13) }) // main.inlined
+	// string table
+	for _, s := range strs {
+		w.stringField(6, s)
+	}
+	// time/duration/period
+	w.varintField(9, 1_700_000_000_000_000_000)
+	w.varintField(10, 10_000_000_000)
+	w.message(11, func(m *pbWriter) { m.varintField(1, 3); m.varintField(2, 4) })
+	w.varintField(12, 10_000_000)
+
+	// gzip.NewWriter leaves Header.ModTime zero, which encodes as 0 on
+	// the wire — the fixture bytes are stable across runs.
+	var gz bytes.Buffer
+	zw := gzip.NewWriter(&gz)
+	if _, err := zw.Write(w.buf.Bytes()); err != nil {
+		panic(err)
+	}
+	if err := zw.Close(); err != nil {
+		panic(err)
+	}
+	return gz.Bytes()
+}
+
+func TestDecodeProfileGolden(t *testing.T) {
+	raw := buildFixtureProfile()
+	pbPath := filepath.Join("testdata", "profile_fixture.pb.gz")
+	jsonPath := filepath.Join("testdata", "profile_fixture.json")
+
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(pbPath, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		prof, err := DecodeProfile(raw)
+		if err != nil {
+			t.Fatalf("decode during -update: %v", err)
+		}
+		j, err := json.MarshalIndent(prof, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(jsonPath, append(j, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The committed binary fixture must decode to exactly the committed
+	// JSON — byte-exact label/sample extraction.
+	fixture, err := os.ReadFile(pbPath)
+	if err != nil {
+		t.Fatalf("read fixture (run with -update to regenerate): %v", err)
+	}
+	prof, err := DecodeProfile(fixture)
+	if err != nil {
+		t.Fatalf("DecodeProfile: %v", err)
+	}
+	got, err := json.MarshalIndent(prof, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	want, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("decoded profile differs from golden\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	// Semantic spot checks, independent of the golden bytes.
+	if ci := prof.CPUValueIndex(); ci != 1 {
+		t.Errorf("CPUValueIndex = %d, want 1", ci)
+	}
+	if len(prof.Samples) != 2 {
+		t.Fatalf("samples = %d, want 2", len(prof.Samples))
+	}
+	s0 := prof.Samples[0]
+	if s0.Labels["route"] != "detect" || s0.Labels["stage"] != "tree_dp" {
+		t.Errorf("sample 0 labels = %v", s0.Labels)
+	}
+	if _, ok := s0.Labels["bytes"]; ok {
+		t.Errorf("numeric label leaked into string labels: %v", s0.Labels)
+	}
+	// loc1's deepest inline frame is main.inlined.
+	if len(s0.Stack) != 2 || s0.Stack[0] != "main.inlined" || s0.Stack[1] != "main.caller" {
+		t.Errorf("sample 0 stack = %v", s0.Stack)
+	}
+	if s0.Values[1] != 40_000_000 {
+		t.Errorf("sample 0 cpu nanos = %d", s0.Values[1])
+	}
+	s1 := prof.Samples[1]
+	if s1.Labels != nil {
+		t.Errorf("sample 1 labels = %v, want nil", s1.Labels)
+	}
+	if len(s1.Stack) != 1 || s1.Stack[0] != "runtime.gc" {
+		t.Errorf("sample 1 stack = %v", s1.Stack)
+	}
+	if prof.Period != 10_000_000 || prof.PeriodType.Type != "cpu" {
+		t.Errorf("period = %d %+v", prof.Period, prof.PeriodType)
+	}
+}
+
+func TestDecodeProfileErrors(t *testing.T) {
+	if _, err := DecodeProfile([]byte("not gzip")); err == nil {
+		t.Error("want error for non-gzip input")
+	}
+	// Valid gzip, truncated protobuf: a tag promising bytes that aren't there.
+	var gz bytes.Buffer
+	zw := gzip.NewWriter(&gz)
+	zw.Write([]byte{0x0a, 0x7f}) // field 1 wire 2, length 127, no payload
+	zw.Close()
+	if _, err := DecodeProfile(gz.Bytes()); err == nil {
+		t.Error("want error for truncated message")
+	}
+	// Out-of-range string table index.
+	var w pbWriter
+	w.message(1, func(m *pbWriter) { m.varintField(1, 50); m.varintField(2, 51) })
+	w.stringField(6, "")
+	var gz2 bytes.Buffer
+	zw2 := gzip.NewWriter(&gz2)
+	zw2.Write(w.buf.Bytes())
+	zw2.Close()
+	if _, err := DecodeProfile(gz2.Bytes()); err == nil {
+		t.Error("want error for out-of-range string index")
+	}
+}
+
+// TestDecodeRealProfile captures a real (tiny) CPU profile from the
+// runtime and checks the decoder handles production output, not just the
+// synthetic fixture. Skipped when profiling is unavailable (e.g. another
+// profiler active).
+func TestDecodeRealProfile(t *testing.T) {
+	var buf bytes.Buffer
+	if err := startCPU(&buf); err != nil {
+		t.Skipf("cannot start CPU profile: %v", err)
+	}
+	busyLoop()
+	stopCPU()
+	prof, err := DecodeProfile(buf.Bytes())
+	if err != nil {
+		t.Fatalf("DecodeProfile(real): %v", err)
+	}
+	if prof.CPUValueIndex() < 0 {
+		t.Errorf("real profile has no cpu/nanoseconds sample type: %+v", prof.SampleTypes)
+	}
+	if prof.Period <= 0 {
+		t.Errorf("real profile period = %d", prof.Period)
+	}
+}

@@ -1,0 +1,410 @@
+package profiling
+
+import (
+	"bytes"
+	"runtime/pprof"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Config sets the continuous profiler's duty cycle. The profiler captures
+// a CPU profile for Window, folds it into the aggregate ring, then sleeps
+// until the next Interval boundary. Window must be < Interval; NewProfiler
+// clamps it to Interval/2 otherwise, so `-profile-interval 1s` alone is
+// valid.
+type Config struct {
+	// Interval is the duty-cycle period (time between window starts).
+	Interval time.Duration
+	// Window is how long each CPU capture runs. Defaults to Interval/50
+	// capped at 10s (a 2% duty cycle — SIGPROF delivery during a live
+	// capture is what costs, so duty cycle is the overhead knob), and is
+	// clamped to Interval/2 when it would not fit.
+	Window time.Duration
+	// Rings is how many recent windows to retain (default 16).
+	Rings int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Rings <= 0 {
+		c.Rings = 16
+	}
+	if c.Window <= 0 {
+		// A 2% duty cycle: SIGPROF delivery while a capture is live can cost
+		// tens of percent on slow or virtualized hosts, so the duty cycle —
+		// not the decode — is what the steady-state overhead budget buys.
+		c.Window = c.Interval / 50
+		if c.Window > 10*time.Second {
+			c.Window = 10 * time.Second
+		}
+	}
+	if c.Window >= c.Interval {
+		c.Window = c.Interval / 2
+	}
+	if c.Window <= 0 {
+		c.Window = time.Millisecond
+	}
+	return c
+}
+
+// GroupKey is the label tuple CPU time is attributed to. Empty fields mean
+// the samples carried no such label (unattributed work: GC, runtime,
+// listener accept loops).
+type GroupKey struct {
+	Route string `json:"route,omitempty"`
+	Model string `json:"model,omitempty"`
+	Stage string `json:"stage,omitempty"`
+	Batch string `json:"batch,omitempty"`
+}
+
+func (k GroupKey) zero() bool { return k == GroupKey{} }
+
+// Group aggregates CPU time for one label tuple within a window.
+type Group struct {
+	Key GroupKey `json:"key"`
+	// Nanos is total CPU time attributed to this label tuple.
+	Nanos int64 `json:"cpu_nanos"`
+	// Samples is the number of profile samples folded in.
+	Samples int64 `json:"samples"`
+	// Funcs maps leaf function name → CPU nanos. The leaf frame is where
+	// the CPU was actually burning, which is what a hotspot view wants.
+	Funcs map[string]int64 `json:"-"`
+}
+
+// Window is one captured, decoded, folded profile window.
+type Window struct {
+	// Seq increments monotonically from 1 across the profiler's life.
+	Seq uint64 `json:"seq"`
+	// Start/End bound the capture in wall-clock time.
+	Start time.Time `json:"start"`
+	End   time.Time `json:"end"`
+	// TotalNanos is total CPU across all samples in the window.
+	TotalNanos int64 `json:"total_cpu_nanos"`
+	// TotalSamples counts all profile samples in the window.
+	TotalSamples int64 `json:"total_samples"`
+	// AttributedNanos is CPU in samples carrying at least one non-empty
+	// profiling label.
+	AttributedNanos int64 `json:"attributed_cpu_nanos"`
+	// Groups holds per-label-tuple aggregates.
+	Groups map[GroupKey]*Group `json:"-"`
+}
+
+// FuncCost is one (function, nanos) pair in a hotspot listing.
+type FuncCost struct {
+	Func  string `json:"func"`
+	Nanos int64  `json:"cpu_nanos"`
+	// DeltaNanos is Nanos minus the same function's cost in the previous
+	// window for the same group (0 for the first window or new groups).
+	DeltaNanos int64 `json:"delta_cpu_nanos"`
+}
+
+// TopFuncs returns the k costliest leaf functions in the group,
+// ties broken by name for deterministic output. prev may be nil.
+func (g *Group) TopFuncs(k int, prev *Group) []FuncCost {
+	out := make([]FuncCost, 0, len(g.Funcs))
+	for fn, n := range g.Funcs {
+		fc := FuncCost{Func: fn, Nanos: n, DeltaNanos: n}
+		if prev != nil {
+			fc.DeltaNanos = n - prev.Funcs[fn]
+		}
+		out = append(out, fc)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Nanos != out[j].Nanos {
+			return out[i].Nanos > out[j].Nanos
+		}
+		return out[i].Func < out[j].Func
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// Profiler runs the continuous capture loop and owns the window ring.
+// A nil *Profiler is valid and inert: Enabled reports false, the
+// accessors return zero values, and Start/Stop are no-ops — so callers
+// thread it unconditionally.
+type Profiler struct {
+	cfg Config
+
+	mu      sync.Mutex
+	ring    []*Window // ring[len-1] is most recent
+	seq     uint64
+	current *Window // in-flight capture (Start set, End zero) or nil
+
+	// lifetime cumulative totals, survive ring eviction
+	windows      uint64
+	skipped      uint64
+	decodeErrs   uint64
+	cpuNanos     int64
+	attribNanos  int64
+	totalSamples int64
+	byRoute      map[string]int64
+	byModel      map[string]int64
+	byStage      map[string]int64
+
+	stop chan struct{}
+	done chan struct{}
+
+	// capture hooks, swapped in tests
+	startProfile func(w *bytes.Buffer) error
+	stopProfile  func()
+	sleep        func(d time.Duration, cancel <-chan struct{}) bool
+}
+
+// NewProfiler builds a profiler with the given duty cycle. It does not
+// start capturing until Start. Interval <= 0 returns nil (disabled).
+func NewProfiler(cfg Config) *Profiler {
+	if cfg.Interval <= 0 {
+		return nil
+	}
+	cfg = cfg.withDefaults()
+	return &Profiler{
+		cfg:     cfg,
+		byRoute: make(map[string]int64),
+		byModel: make(map[string]int64),
+		byStage: make(map[string]int64),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+		startProfile: func(w *bytes.Buffer) error {
+			return pprof.StartCPUProfile(w)
+		},
+		stopProfile: pprof.StopCPUProfile,
+		sleep: func(d time.Duration, cancel <-chan struct{}) bool {
+			if d <= 0 {
+				return true
+			}
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-t.C:
+				return true
+			case <-cancel:
+				return false
+			}
+		},
+	}
+}
+
+// Enabled reports whether the profiler exists and will capture windows.
+func (p *Profiler) Enabled() bool { return p != nil }
+
+// Config returns the effective (defaulted, clamped) configuration.
+func (p *Profiler) Config() Config {
+	if p == nil {
+		return Config{}
+	}
+	return p.cfg
+}
+
+// Start launches the capture loop. Safe on nil.
+func (p *Profiler) Start() {
+	if p == nil {
+		return
+	}
+	go p.loop()
+}
+
+// Stop halts the loop and waits for an in-flight capture to finish
+// folding. Safe on nil and idempotent-safe under a single caller.
+func (p *Profiler) Stop() {
+	if p == nil {
+		return
+	}
+	select {
+	case <-p.stop:
+		return
+	default:
+	}
+	close(p.stop)
+	<-p.done
+}
+
+func (p *Profiler) loop() {
+	defer close(p.done)
+	for {
+		p.captureWindow()
+		if !p.sleep(p.cfg.Interval-p.cfg.Window, p.stop) {
+			return
+		}
+	}
+}
+
+// captureWindow runs one duty cycle: start profile, run for Window (or
+// until Stop), decode, fold into the ring.
+func (p *Profiler) captureWindow() {
+	var buf bytes.Buffer
+	start := time.Now()
+	if err := p.startProfile(&buf); err != nil {
+		// Another profiler holds the CPU profile (e.g. `go tool pprof`
+		// against -debug-addr). Skip this window rather than fight it.
+		p.mu.Lock()
+		p.skipped++
+		p.mu.Unlock()
+		return
+	}
+	p.mu.Lock()
+	p.current = &Window{Seq: p.seq + 1, Start: start}
+	p.mu.Unlock()
+
+	p.sleep(p.cfg.Window, p.stop) // on Stop: still stop+fold the partial window
+	p.stopProfile()
+	end := time.Now()
+
+	prof, err := DecodeProfile(buf.Bytes())
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.current = nil
+	if err != nil {
+		p.decodeErrs++
+		return
+	}
+	w := p.fold(prof, start, end)
+	p.seq++
+	w.Seq = p.seq
+	p.windows++
+	p.ring = append(p.ring, w)
+	if len(p.ring) > p.cfg.Rings {
+		p.ring = p.ring[len(p.ring)-p.cfg.Rings:]
+	}
+}
+
+// fold aggregates a decoded profile into a Window and updates lifetime
+// totals. Caller holds p.mu.
+func (p *Profiler) fold(prof *Profile, start, end time.Time) *Window {
+	w := &Window{
+		Start:  start,
+		End:    end,
+		Groups: make(map[GroupKey]*Group),
+	}
+	ci := prof.CPUValueIndex()
+	if ci < 0 {
+		return w
+	}
+	for _, s := range prof.Samples {
+		if ci >= len(s.Values) {
+			continue
+		}
+		nanos := s.Values[ci]
+		if nanos <= 0 {
+			continue
+		}
+		key := GroupKey{
+			Route: s.Labels[LabelRoute],
+			Model: s.Labels[LabelModel],
+			Stage: s.Labels[LabelStage],
+			Batch: s.Labels[LabelBatch],
+		}
+		g := w.Groups[key]
+		if g == nil {
+			g = &Group{Key: key, Funcs: make(map[string]int64)}
+			w.Groups[key] = g
+		}
+		g.Nanos += nanos
+		g.Samples++
+		leaf := "<unknown>"
+		if len(s.Stack) > 0 {
+			leaf = s.Stack[0]
+		}
+		g.Funcs[leaf] += nanos
+
+		w.TotalNanos += nanos
+		w.TotalSamples++
+		if !key.zero() {
+			w.AttributedNanos += nanos
+		}
+		if key.Route != "" {
+			p.byRoute[key.Route] += nanos
+		}
+		if key.Model != "" {
+			p.byModel[key.Model] += nanos
+		}
+		if key.Stage != "" {
+			p.byStage[key.Stage] += nanos
+		}
+	}
+	p.cpuNanos += w.TotalNanos
+	p.attribNanos += w.AttributedNanos
+	p.totalSamples += w.TotalSamples
+	return w
+}
+
+// Windows returns the retained windows, oldest first. Safe on nil.
+func (p *Profiler) Windows() []*Window {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*Window, len(p.ring))
+	copy(out, p.ring)
+	return out
+}
+
+// WindowFor returns the sequence number of the retained (or in-flight)
+// window whose capture span overlaps [start, end], and true, or 0 and
+// false. Used to annotate flight-recorder entries with the profile window
+// that covered them. Safe on nil.
+func (p *Profiler) WindowFor(start, end time.Time) (uint64, bool) {
+	if p == nil {
+		return 0, false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := len(p.ring) - 1; i >= 0; i-- {
+		w := p.ring[i]
+		if w.Start.Before(end) && start.Before(w.End) {
+			return w.Seq, true
+		}
+	}
+	if c := p.current; c != nil && c.Start.Before(end) {
+		return c.Seq, true
+	}
+	return 0, false
+}
+
+// Totals is the lifetime aggregate view exported to /metrics.
+type Totals struct {
+	Windows      uint64           `json:"windows_captured"`
+	Skipped      uint64           `json:"windows_skipped"`
+	DecodeErrors uint64           `json:"decode_errors"`
+	CPUSeconds   float64          `json:"cpu_seconds_total"`
+	Attributed   float64          `json:"attributed_ratio"`
+	Samples      int64            `json:"samples_total"`
+	ByRoute      map[string]int64 `json:"-"`
+	ByModel      map[string]int64 `json:"-"`
+	ByStage      map[string]int64 `json:"-"`
+}
+
+// Totals returns lifetime counters and per-dimension CPU nanos (copies).
+// Safe on nil: returns the zero value.
+func (p *Profiler) Totals() Totals {
+	if p == nil {
+		return Totals{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	t := Totals{
+		Windows:      p.windows,
+		Skipped:      p.skipped,
+		DecodeErrors: p.decodeErrs,
+		CPUSeconds:   float64(p.cpuNanos) / 1e9,
+		Samples:      p.totalSamples,
+		ByRoute:      copyMap(p.byRoute),
+		ByModel:      copyMap(p.byModel),
+		ByStage:      copyMap(p.byStage),
+	}
+	if p.cpuNanos > 0 {
+		t.Attributed = float64(p.attribNanos) / float64(p.cpuNanos)
+	}
+	return t
+}
+
+func copyMap(m map[string]int64) map[string]int64 {
+	out := make(map[string]int64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

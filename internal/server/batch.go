@@ -16,6 +16,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/par"
+	"repro/internal/profiling"
 	"repro/internal/sgraph"
 	"repro/internal/trace"
 )
@@ -109,12 +110,20 @@ func (s *Server) handleDetectBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	// Reject unknown detector names before burning a worker slot.
-	if _, err := buildDetector(req.Detector, req.Alpha, req.Beta, 1); err != nil {
+	probe, err := buildDetector(req.Detector, req.Alpha, req.Beta, 1)
+	if err != nil {
 		writeError(w, err)
 		return
 	}
 	s.runPooled(w, r, req.TimeoutMS, func(ctx context.Context) (any, error) {
-		return s.detectBatch(ctx, &req)
+		// batch=true distinguishes fan-out CPU from single-detect CPU for
+		// the same detector; the par workers inherit both labels.
+		var resp any
+		var derr error
+		profiling.Do(ctx, func(ctx context.Context) {
+			resp, derr = s.detectBatch(ctx, &req)
+		}, profiling.LabelModel, probe.Name(), profiling.LabelBatch, "true")
+		return resp, derr
 	})
 }
 
@@ -160,10 +169,11 @@ func (s *Server) detectBatch(ctx context.Context, req *DetectBatchRequest) (resp
 		if err != nil {
 			fr.Error = err.Error()
 		}
-		s.flight.Record(fr)
+		s.recordFlight(fr)
 	}()
 
 	// One graph resolution serves every item.
+	profiling.SetStage(ctx, obs.StageGraphBuild)
 	span := rec.Start(obs.StageGraphBuild)
 	var (
 		g          *sgraph.Graph
@@ -177,6 +187,7 @@ func (s *Server) detectBatch(ctx context.Context, req *DetectBatchRequest) (resp
 		g, cacheState, err = s.lookupGraph(req.GraphHash)
 	}
 	span.End()
+	profiling.ClearStage(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -245,9 +256,11 @@ func (s *Server) detectItem(ctx context.Context, item *trace.Observation, detect
 	if err := item.Validate(g.NumNodes()); err != nil {
 		return err
 	}
+	profiling.SetStage(ctx, obs.StageSnapshot)
 	span := rec.Start(obs.StageSnapshot)
 	snap, err := item.SnapshotOn(g)
 	span.End()
+	profiling.ClearStage(ctx)
 	if err != nil {
 		return err
 	}

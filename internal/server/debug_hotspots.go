@@ -1,0 +1,287 @@
+package server
+
+import (
+	"html/template"
+	"net/http"
+	"sort"
+	"time"
+
+	"repro/internal/profiling"
+)
+
+// This file serves the continuous profiler's aggregates at
+// GET /debug/hotspots: per captured window, CPU time grouped by
+// route/model/stage/batch pprof labels with the top-K leaf functions per
+// group and deltas against the previous window containing the same group.
+// ?format=json serves the same data machine-readable; /metrics carries the
+// lifetime aggregates.
+
+// hotspotTopK is how many leaf functions each group lists.
+const hotspotTopK = 10
+
+// hotspotFuncJSON is one leaf function's cost within a group.
+type hotspotFuncJSON struct {
+	Func    string  `json:"func"`
+	CPUMS   float64 `json:"cpu_ms"`
+	DeltaMS float64 `json:"delta_ms"`
+}
+
+// hotspotGroupJSON is one label tuple's aggregate within a window.
+type hotspotGroupJSON struct {
+	Route   string            `json:"route,omitempty"`
+	Model   string            `json:"model,omitempty"`
+	Stage   string            `json:"stage,omitempty"`
+	Batch   string            `json:"batch,omitempty"`
+	CPUMS   float64           `json:"cpu_ms"`
+	Samples int64             `json:"samples"`
+	Top     []hotspotFuncJSON `json:"top_funcs,omitempty"`
+}
+
+// hotspotWindowJSON is one captured profile window.
+type hotspotWindowJSON struct {
+	Seq             uint64             `json:"seq"`
+	Start           time.Time          `json:"start"`
+	End             time.Time          `json:"end"`
+	TotalCPUMS      float64            `json:"total_cpu_ms"`
+	AttributedRatio float64            `json:"attributed_ratio"`
+	Groups          []hotspotGroupJSON `json:"groups"`
+}
+
+// hotspotsJSON is the GET /debug/hotspots?format=json document.
+type hotspotsJSON struct {
+	Enabled    bool    `json:"enabled"`
+	IntervalMS float64 `json:"interval_ms,omitempty"`
+	WindowMS   float64 `json:"window_ms,omitempty"`
+	// Lifetime counters (all captured windows, retained or evicted).
+	WindowsCaptured uint64  `json:"windows_captured"`
+	WindowsSkipped  uint64  `json:"windows_skipped"`
+	DecodeErrors    uint64  `json:"decode_errors"`
+	CPUSecondsTotal float64 `json:"cpu_seconds_total"`
+	// AttributedRatio is the fraction of lifetime CPU carrying any label;
+	// the per-dimension ratios gate the detect-path attribution criterion.
+	AttributedRatio      float64 `json:"attributed_ratio"`
+	RouteAttributedRatio float64 `json:"route_attributed_ratio"`
+	StageAttributedRatio float64 `json:"stage_attributed_ratio"`
+	// Windows holds the retained ring, newest first.
+	Windows []hotspotWindowJSON `json:"windows"`
+}
+
+func ms(nanos int64) float64 { return float64(nanos) / 1e6 }
+
+// buildHotspots assembles the JSON view from the profiler ring. Deltas
+// compare each group's functions against the previous retained window's
+// same-labeled group.
+func buildHotspots(p *profiling.Profiler) hotspotsJSON {
+	out := hotspotsJSON{Enabled: p.Enabled()}
+	if !p.Enabled() {
+		return out
+	}
+	cfg := p.Config()
+	out.IntervalMS = float64(cfg.Interval) / float64(time.Millisecond)
+	out.WindowMS = float64(cfg.Window) / float64(time.Millisecond)
+	tot := p.Totals()
+	out.WindowsCaptured = tot.Windows
+	out.WindowsSkipped = tot.Skipped
+	out.DecodeErrors = tot.DecodeErrors
+	out.CPUSecondsTotal = tot.CPUSeconds
+	out.AttributedRatio = tot.Attributed
+	if tot.CPUSeconds > 0 {
+		var routeNanos, stageNanos int64
+		for _, n := range tot.ByRoute {
+			routeNanos += n
+		}
+		for _, n := range tot.ByStage {
+			stageNanos += n
+		}
+		out.RouteAttributedRatio = float64(routeNanos) / 1e9 / tot.CPUSeconds
+		out.StageAttributedRatio = float64(stageNanos) / 1e9 / tot.CPUSeconds
+	}
+	ring := p.Windows() // oldest first
+	for i := len(ring) - 1; i >= 0; i-- {
+		w := ring[i]
+		wj := hotspotWindowJSON{
+			Seq:        w.Seq,
+			Start:      w.Start,
+			End:        w.End,
+			TotalCPUMS: ms(w.TotalNanos),
+		}
+		if w.TotalNanos > 0 {
+			wj.AttributedRatio = float64(w.AttributedNanos) / float64(w.TotalNanos)
+		}
+		for key, g := range w.Groups {
+			var prev *profiling.Group
+			if i > 0 {
+				prev = ring[i-1].Groups[key]
+			}
+			gj := hotspotGroupJSON{
+				Route:   key.Route,
+				Model:   key.Model,
+				Stage:   key.Stage,
+				Batch:   key.Batch,
+				CPUMS:   ms(g.Nanos),
+				Samples: g.Samples,
+			}
+			for _, fc := range g.TopFuncs(hotspotTopK, prev) {
+				gj.Top = append(gj.Top, hotspotFuncJSON{
+					Func: fc.Func, CPUMS: ms(fc.Nanos), DeltaMS: ms(fc.DeltaNanos),
+				})
+			}
+			wj.Groups = append(wj.Groups, gj)
+		}
+		// Costliest group first; ties (and empty windows) by label tuple
+		// for deterministic output.
+		sort.Slice(wj.Groups, func(a, b int) bool {
+			ga, gb := wj.Groups[a], wj.Groups[b]
+			if ga.CPUMS != gb.CPUMS {
+				return ga.CPUMS > gb.CPUMS
+			}
+			ka := ga.Route + "\x00" + ga.Model + "\x00" + ga.Stage + "\x00" + ga.Batch
+			kb := gb.Route + "\x00" + gb.Model + "\x00" + gb.Stage + "\x00" + gb.Batch
+			return ka < kb
+		})
+		out.Windows = append(out.Windows, wj)
+	}
+	return out
+}
+
+// profilingSnapshot is the /metrics section derived from the same totals.
+func (s *Server) profilingSnapshot() *ProfilingSnapshot {
+	ps := &ProfilingSnapshot{Enabled: s.profiler.Enabled()}
+	if !ps.Enabled {
+		return ps
+	}
+	cfg := s.profiler.Config()
+	ps.IntervalMS = float64(cfg.Interval) / float64(time.Millisecond)
+	ps.WindowMS = float64(cfg.Window) / float64(time.Millisecond)
+	tot := s.profiler.Totals()
+	ps.WindowsCaptured = tot.Windows
+	ps.WindowsSkipped = tot.Skipped
+	ps.DecodeErrors = tot.DecodeErrors
+	ps.CPUSecondsTotal = tot.CPUSeconds
+	ps.AttributedRatio = tot.Attributed
+	ps.CPUSecondsByRoute = secondsMap(tot.ByRoute)
+	ps.CPUSecondsByModel = secondsMap(tot.ByModel)
+	ps.CPUSecondsByStage = secondsMap(tot.ByStage)
+	return ps
+}
+
+func secondsMap(nanos map[string]int64) map[string]float64 {
+	if len(nanos) == 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(nanos))
+	for k, n := range nanos {
+		out[k] = float64(n) / 1e9
+	}
+	return out
+}
+
+func (s *Server) handleDebugHotspots(w http.ResponseWriter, r *http.Request) {
+	format := r.URL.Query().Get("format")
+	if format != "" && format != "json" && format != "html" {
+		writeError(w, badRequest("unknown format %q (want html or json)", format))
+		return
+	}
+	view := buildHotspots(s.profiler)
+	if format == "json" {
+		writeJSON(w, http.StatusOK, view)
+		return
+	}
+	renderHTML(w, hotspotsTmpl, newHotspotsView(view))
+}
+
+// hotspotsView adapts the JSON document for the HTML template.
+type hotspotsView struct {
+	J hotspotsJSON
+}
+
+type hotspotRowView struct {
+	Labels  string
+	CPUMS   float64
+	Samples int64
+	Funcs   []hotspotFuncJSON
+}
+
+type hotspotWindowView struct {
+	W      hotspotWindowJSON
+	Start  string
+	End    string
+	Groups []hotspotRowView
+}
+
+func newHotspotsView(j hotspotsJSON) struct {
+	J       hotspotsJSON
+	Windows []hotspotWindowView
+} {
+	v := struct {
+		J       hotspotsJSON
+		Windows []hotspotWindowView
+	}{J: j}
+	for _, w := range j.Windows {
+		wv := hotspotWindowView{
+			W:     w,
+			Start: w.Start.Format("15:04:05.000"),
+			End:   w.End.Format("15:04:05.000"),
+		}
+		for _, g := range w.Groups {
+			labels := ""
+			add := func(k, val string) {
+				if val == "" {
+					return
+				}
+				if labels != "" {
+					labels += " "
+				}
+				labels += k + "=" + val
+			}
+			add("route", g.Route)
+			add("model", g.Model)
+			add("stage", g.Stage)
+			add("batch", g.Batch)
+			if labels == "" {
+				labels = "(unattributed)"
+			}
+			wv.Groups = append(wv.Groups, hotspotRowView{
+				Labels: labels, CPUMS: g.CPUMS, Samples: g.Samples, Funcs: g.Top,
+			})
+		}
+		v.Windows = append(v.Windows, wv)
+	}
+	return v
+}
+
+var hotspotsTmpl = template.Must(template.New("hotspots").Funcs(template.FuncMap{
+	"mulf": func(a, b float64) float64 { return a * b },
+}).Parse(`<!DOCTYPE html>
+<html><head><title>ridserve hotspots</title>` + flightStyle + `</head><body>
+<h1>ridserve hotspots</h1>
+{{if not .J.Enabled}}<p>continuous profiler disabled — start ridserve with
+<code>-profile-interval</code> to capture CPU windows.
+<a href="?format=json">json</a></p>
+{{else}}
+<p>{{.J.WindowsCaptured}} windows captured
+({{printf "%.0f" .J.WindowMS}} ms every {{printf "%.0f" .J.IntervalMS}} ms,
+{{.J.WindowsSkipped}} skipped, {{.J.DecodeErrors}} decode errors) &middot;
+{{printf "%.2f" .J.CPUSecondsTotal}} CPU-s total,
+{{printf "%.0f%%" (mulf .J.AttributedRatio 100)}} attributed
+(route {{printf "%.0f%%" (mulf .J.RouteAttributedRatio 100)}},
+stage {{printf "%.0f%%" (mulf .J.StageAttributedRatio 100)}}) &middot;
+<a href="?format=json">json</a></p>
+{{range .Windows}}
+<h2>window {{.W.Seq}} &middot; {{.Start}} &ndash; {{.End}} &middot;
+{{printf "%.1f" .W.TotalCPUMS}} CPU-ms,
+{{printf "%.0f%%" (mulf .W.AttributedRatio 100)}} attributed</h2>
+<table>
+<tr><th>labels</th><th>cpu ms</th><th>samples</th><th>top functions (ms, &Delta; vs prev window)</th></tr>
+{{range .Groups}}<tr>
+<td>{{.Labels}}</td>
+<td class="num">{{printf "%.1f" .CPUMS}}</td>
+<td class="num">{{.Samples}}</td>
+<td>{{range $i, $f := .Funcs}}{{if $i}}<br>{{end}}{{$f.Func}}
+<span class="num">{{printf "%.1f" $f.CPUMS}} ({{printf "%+.1f" $f.DeltaMS}})</span>{{end}}</td>
+</tr>
+{{end}}</table>
+{{end}}
+{{end}}
+</body></html>
+`))

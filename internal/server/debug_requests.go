@@ -4,7 +4,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"html/template"
+	"math"
 	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/obs"
@@ -19,9 +23,65 @@ import (
 
 // flightJSON is the JSON document served on /debug/requests?format=json.
 type flightJSON struct {
-	SlowThresholdMS float64            `json:"slow_threshold_ms"`
-	Count           int                `json:"count"`
-	Records         []obs.FlightRecord `json:"records"`
+	SlowThresholdMS float64 `json:"slow_threshold_ms"`
+	// Retained is how many records the recorder holds; Count how many
+	// survived the query filters (equal when no filter is set).
+	Retained int                `json:"retained"`
+	Count    int                `json:"count"`
+	Filter   *flightFilterJSON  `json:"filter,omitempty"`
+	Records  []obs.FlightRecord `json:"records"`
+}
+
+// flightFilterJSON echoes the active list filters back in the JSON view.
+type flightFilterJSON struct {
+	Route string  `json:"route,omitempty"`
+	Model string  `json:"model,omitempty"`
+	MinMS float64 `json:"min_ms,omitempty"`
+}
+
+// flightFilter narrows the /debug/requests list: exact route match,
+// model/detector token match against the free-form detail, and a latency
+// floor in milliseconds. Zero values pass everything.
+type flightFilter struct {
+	route string
+	model string
+	minMS float64
+}
+
+func parseFlightFilter(q url.Values) (flightFilter, error) {
+	f := flightFilter{route: q.Get("route"), model: q.Get("model")}
+	if v := q.Get("min_ms"); v != "" {
+		ms, err := strconv.ParseFloat(v, 64)
+		if err != nil || math.IsNaN(ms) || ms < 0 {
+			return f, badRequest("invalid min_ms %q (want a non-negative number)", v)
+		}
+		f.minMS = ms
+	}
+	return f, nil
+}
+
+func (f flightFilter) active() bool { return f.route != "" || f.model != "" || f.minMS > 0 }
+
+func (f flightFilter) match(fr obs.FlightRecord) bool {
+	if f.route != "" && fr.Route != f.route {
+		return false
+	}
+	if f.model != "" && !detailHasModel(fr.Detail, f.model) {
+		return false
+	}
+	return fr.ElapsedMS >= f.minMS
+}
+
+// detailHasModel reports whether the record's detail names the model as a
+// whole token — the detect route writes "detector=<name>", simulate and
+// batch write "model=<name>", so both keys count.
+func detailHasModel(detail, model string) bool {
+	for _, tok := range strings.Fields(detail) {
+		if tok == "model="+model || tok == "detector="+model {
+			return true
+		}
+	}
+	return false
 }
 
 func (s *Server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
@@ -33,6 +93,11 @@ func (s *Server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
 	format := q.Get("format")
 	if format != "" && format != "json" && format != "html" {
 		writeError(w, badRequest("unknown format %q (want html or json)", format))
+		return
+	}
+	filter, ferr := parseFlightFilter(q)
+	if ferr != nil {
+		writeError(w, ferr)
 		return
 	}
 	if traceID := q.Get("trace"); traceID != "" {
@@ -50,16 +115,50 @@ func (s *Server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	records := s.flight.Snapshot()
+	retained := len(records)
+	if filter.active() {
+		kept := records[:0]
+		for _, fr := range records {
+			if filter.match(fr) {
+				kept = append(kept, fr)
+			}
+		}
+		records = kept
+	}
 	slowMS := float64(s.flight.SlowThreshold()) / float64(time.Millisecond)
 	if format == "json" {
-		writeJSON(w, http.StatusOK, flightJSON{
+		doc := flightJSON{
 			SlowThresholdMS: slowMS,
+			Retained:        retained,
 			Count:           len(records),
 			Records:         records,
-		})
+		}
+		if filter.active() {
+			doc.Filter = &flightFilterJSON{Route: filter.route, Model: filter.model, MinMS: filter.minMS}
+		}
+		writeJSON(w, http.StatusOK, doc)
 		return
 	}
-	renderHTML(w, flightListTmpl, newFlightListView(records, slowMS))
+	view := newFlightListView(records, slowMS)
+	view.Retained = retained
+	view.FilterDesc = filter.describe()
+	renderHTML(w, flightListTmpl, view)
+}
+
+// describe renders the active filters for the HTML header line; empty when
+// nothing is filtered.
+func (f flightFilter) describe() string {
+	var parts []string
+	if f.route != "" {
+		parts = append(parts, "route="+f.route)
+	}
+	if f.model != "" {
+		parts = append(parts, "model="+f.model)
+	}
+	if f.minMS > 0 {
+		parts = append(parts, fmt.Sprintf("min_ms=%g", f.minMS))
+	}
+	return strings.Join(parts, " ")
 }
 
 func renderHTML(w http.ResponseWriter, tmpl *template.Template, v any) {
@@ -85,8 +184,10 @@ type flightRowView struct {
 }
 
 type flightListView struct {
-	SlowMS  float64
-	Records []flightRowView
+	SlowMS     float64
+	Retained   int
+	FilterDesc string
+	Records    []flightRowView
 }
 
 func newFlightListView(records []obs.FlightRecord, slowMS float64) flightListView {
@@ -172,8 +273,12 @@ pre { background: #f6f6f6; padding: 8px; font-size: 12px; }
 var flightListTmpl = template.Must(template.New("flight-list").Parse(`<!DOCTYPE html>
 <html><head><title>ridserve flight recorder</title>` + flightStyle + `</head><body>
 <h1>ridserve flight recorder</h1>
-<p>{{len .Records}} retained requests, newest first; requests slower than
-{{printf "%.0f" .SlowMS}} ms or failed are <b>pinned</b> past eviction.
+<p>{{if .FilterDesc}}{{len .Records}} of {{.Retained}} retained requests
+match <code>{{.FilterDesc}}</code> ({{len .Records}} shown, newest first);
+{{else}}{{len .Records}} retained requests, newest first;{{end}}
+requests slower than {{printf "%.0f" .SlowMS}} ms or failed are
+<b>pinned</b> past eviction. Filter with <code>?route=</code>,
+<code>?model=</code>, <code>?min_ms=</code>.
 <a href="?format=json">json</a></p>
 <table>
 <tr><th>seq</th><th>trace</th><th>route</th><th>detail</th><th>start</th><th>elapsed ms</th><th>status</th><th>error</th></tr>
@@ -192,7 +297,8 @@ var flightDetailTmpl = template.Must(template.New("flight-detail").Parse(`<!DOCT
 <html><head><title>request {{.R.TraceID}}</title>` + flightStyle + `</head><body>
 <h1>request {{.R.TraceID}}</h1>
 <p><a href="/debug/requests">&laquo; all requests</a> &middot;
-<a href="?trace={{.R.TraceID}}&amp;format=json">json</a></p>
+<a href="?trace={{.R.TraceID}}&amp;format=json">json</a>{{if .R.ProfileWindow}} &middot;
+<a href="/debug/hotspots">profile window {{.R.ProfileWindow}}</a>{{end}}</p>
 <table>
 <tr><th>seq</th><th>route</th><th>detail</th><th>start</th><th>elapsed ms</th><th>status</th><th>pinned</th><th>error</th></tr>
 <tr class="{{.Row.Class}}">

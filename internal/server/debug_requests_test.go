@@ -5,6 +5,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"strings"
 	"testing"
 	"time"
@@ -221,6 +222,90 @@ func TestDebugRequestsEndToEnd(t *testing.T) {
 	}
 	if resp, _ := getBody(t, ts, "/debug/requests?format=xml"); resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("unknown format status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestDebugRequestsFilters drives mixed traffic and checks the list view's
+// ?route=, ?model= and ?min_ms= filters in JSON and HTML.
+func TestDebugRequestsFilters(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	tr := sampleTrace(t, 48, 200, 1200, 4)
+	if resp, body := postJSON(t, ts, "/v1/detect", DetectRequest{Trace: tr, Beta: 0.3}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("detect status = %d, body %s", resp.StatusCode, body)
+	}
+	if resp, body := postJSON(t, ts, "/v1/simulate", SimulateRequest{GraphHash: tr.NetworkHash(), Initiators: []int{0}}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("simulate status = %d, body %s", resp.StatusCode, body)
+	}
+
+	fetch := func(query string) flightJSON {
+		t.Helper()
+		resp, body := getBody(t, ts, "/debug/requests?format=json"+query)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("debug requests%s status = %d, body %s", query, resp.StatusCode, body)
+		}
+		var doc flightJSON
+		if err := json.Unmarshal(body, &doc); err != nil {
+			t.Fatal(err)
+		}
+		return doc
+	}
+
+	all := fetch("")
+	if all.Retained != 2 || all.Count != 2 || all.Filter != nil {
+		t.Fatalf("unfiltered view = retained %d count %d filter %+v", all.Retained, all.Count, all.Filter)
+	}
+
+	byRoute := fetch("&route=/v1/detect")
+	if byRoute.Count != 1 || byRoute.Records[0].Route != "/v1/detect" {
+		t.Errorf("route filter kept %d records: %+v", byRoute.Count, byRoute.Records)
+	}
+	if byRoute.Retained != 2 || byRoute.Filter == nil || byRoute.Filter.Route != "/v1/detect" {
+		t.Errorf("route filter echo = retained %d filter %+v", byRoute.Retained, byRoute.Filter)
+	}
+
+	// model= matches both "model=" (simulate) and "detector=" (detect) keys.
+	byModel := fetch("&model=mfc")
+	if byModel.Count != 1 || byModel.Records[0].Route != "/v1/simulate" {
+		t.Errorf("model filter kept %+v", byModel.Records)
+	}
+	byDetector := fetch("&model=" + url.QueryEscape("RID(0.3)"))
+	if byDetector.Count != 1 || byDetector.Records[0].Route != "/v1/detect" {
+		t.Errorf("detector-as-model filter kept %+v", byDetector.Records)
+	}
+	if none := fetch("&model=nope"); none.Count != 0 {
+		t.Errorf("unknown model kept %d records", none.Count)
+	}
+
+	// min_ms=0 passes everything; an absurdly high floor drops everything.
+	if slow := fetch("&min_ms=1e12"); slow.Count != 0 || slow.Retained != 2 {
+		t.Errorf("min_ms=1e12 kept %d of %d", slow.Count, slow.Retained)
+	}
+	if all2 := fetch("&min_ms=0"); all2.Count != 2 {
+		t.Errorf("min_ms=0 kept %d records", all2.Count)
+	}
+	combined := fetch("&route=/v1/detect&model=" + url.QueryEscape("RID(0.3)") + "&min_ms=0.000001")
+	if combined.Count != 1 {
+		t.Errorf("combined filter kept %d records", combined.Count)
+	}
+
+	if resp, _ := getBody(t, ts, "/debug/requests?min_ms=abc"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad min_ms status = %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := getBody(t, ts, "/debug/requests?min_ms=-1"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("negative min_ms status = %d, want 400", resp.StatusCode)
+	}
+
+	// HTML view reflects the active filter.
+	resp, body := getBody(t, ts, "/debug/requests?route=/v1/simulate")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("html filter status = %d", resp.StatusCode)
+	}
+	html := string(body)
+	if !strings.Contains(html, "route=/v1/simulate") {
+		t.Error("html does not echo the filter")
+	}
+	if !strings.Contains(html, "of 2 retained") {
+		t.Error("html does not show the retained total")
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"repro/internal/diffusion"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/profiling"
 	"repro/internal/sgraph"
 	"repro/internal/trace"
 	"repro/internal/xrand"
@@ -278,7 +279,14 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.runPooled(w, r, req.TimeoutMS, func(ctx context.Context) (any, error) {
-		return s.detect(ctx, &req, detector)
+		// The detector name rides as the model pprof label so per-detector
+		// CPU shows up in /debug/hotspots alongside per-model simulation.
+		var resp any
+		var derr error
+		profiling.Do(ctx, func(ctx context.Context) {
+			resp, derr = s.detect(ctx, &req, detector)
+		}, profiling.LabelModel, detector.Name())
+		return resp, derr
 	})
 }
 
@@ -308,17 +316,21 @@ func (s *Server) detect(ctx context.Context, req *DetectRequest, detector core.D
 		if err != nil {
 			fr.Error = err.Error()
 		}
-		s.flight.Record(fr)
+		s.recordFlight(fr)
 	}()
+	profiling.SetStage(ctx, obs.StageGraphBuild)
 	span := rec.Start(obs.StageGraphBuild)
 	g, hash, cacheState, err := s.resolveGraph(req.Trace)
 	span.End()
 	if err != nil {
+		profiling.ClearStage(ctx)
 		return nil, err
 	}
+	profiling.SetStage(ctx, obs.StageSnapshot)
 	span = rec.Start(obs.StageSnapshot)
 	snap, err := req.Trace.SnapshotOn(g)
 	span.End()
+	profiling.ClearStage(ctx)
 	if err != nil {
 		return nil, badRequest("%v", err)
 	}
@@ -430,7 +442,7 @@ func (s *Server) simulate(ctx context.Context, req *SimulateRequest) (resp *Simu
 		if err != nil {
 			fr.Error = err.Error()
 		}
-		s.flight.Record(fr)
+		s.recordFlight(fr)
 	}()
 	var (
 		g          *sgraph.Graph
@@ -501,7 +513,10 @@ func (s *Server) simulate(ctx context.Context, req *SimulateRequest) (resp *Simu
 	if seed == 0 {
 		seed = 1
 	}
-	c, err := model.Run(g, req.Initiators, states, xrand.New(seed))
+	var c *diffusion.Cascade
+	profiling.Do(ctx, func(context.Context) {
+		c, err = model.Run(g, req.Initiators, states, xrand.New(seed))
+	}, profiling.LabelModel, name, profiling.LabelStage, "diffusion")
 	if err != nil {
 		return nil, badRequest("%v", err)
 	}
@@ -550,7 +565,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 // handleMetrics serves the registry snapshot plus live gauges: JSON by
 // default (wire-compatible with PR 1), Prometheus text format with
-// ?format=prometheus.
+// ?format=prometheus, OpenMetrics 1.0 (trace-id exemplars on latency
+// buckets, # EOF terminator) with ?format=openmetrics.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap := s.reg.Snapshot(QueueSnapshot{
 		Depth:    s.pool.Depth(),
@@ -565,6 +581,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		export := s.exporter.Stats()
 		snap.Export = &export
 	}
+	snap.Profiling = s.profilingSnapshot()
 	switch format := r.URL.Query().Get("format"); format {
 	case "", "json":
 		writeJSON(w, http.StatusOK, snap)
@@ -572,8 +589,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		w.WriteHeader(http.StatusOK)
 		_ = RenderPrometheus(w, snap)
+	case "openmetrics":
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		_ = RenderOpenMetrics(w, snap)
 	default:
-		writeError(w, badRequest("unknown format %q (want json or prometheus)", format))
+		writeError(w, badRequest("unknown format %q (want json, prometheus or openmetrics)", format))
 	}
 }
 

@@ -15,6 +15,17 @@ import (
 // implicit +Inf bucket.
 var latencyBucketsMS = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
 
+// Exemplar pins a bucket's most recent traced observation to the trace
+// that produced it, OpenMetrics-style: a burn rate seen in a histogram
+// clicks through to an exported span.
+type Exemplar struct {
+	TraceID string  `json:"trace_id"`
+	ValueMS float64 `json:"value_ms"`
+	// TS is the observation time in unix seconds (OpenMetrics exemplar
+	// timestamps are float seconds).
+	TS float64 `json:"timestamp"`
+}
+
 // Histogram is a fixed-bucket latency histogram. Not safe for concurrent
 // use on its own; the Registry serializes access.
 type Histogram struct {
@@ -22,6 +33,10 @@ type Histogram struct {
 	SumMS   float64 `json:"sum_ms"`
 	MaxMS   float64 `json:"max_ms"`
 	Buckets []int64 `json:"buckets"` // cumulative counts per latencyBucketsMS bound, +Inf last
+	// exemplars holds per-bucket latest exemplars (non-cumulative: index i
+	// is the bucket whose upper bound is latencyBucketsMS[i], +Inf last).
+	// Nil until the first exemplar-bearing observation.
+	exemplars []Exemplar
 }
 
 func newHistogram() *Histogram {
@@ -39,6 +54,21 @@ func (h *Histogram) observe(d time.Duration) {
 	for ; i < len(h.Buckets); i++ {
 		h.Buckets[i]++
 	}
+}
+
+// observeExemplar is observe plus an exemplar on the one (non-cumulative)
+// bucket the value falls in, replacing that bucket's previous exemplar.
+func (h *Histogram) observeExemplar(d time.Duration, traceID string, now time.Time) {
+	h.observe(d)
+	if traceID == "" {
+		return
+	}
+	if h.exemplars == nil {
+		h.exemplars = make([]Exemplar, len(latencyBucketsMS)+1)
+	}
+	ms := float64(d) / float64(time.Millisecond)
+	i := sort.SearchFloat64s(latencyBucketsMS, ms)
+	h.exemplars[i] = Exemplar{TraceID: traceID, ValueMS: ms, TS: float64(now.UnixNano()) / 1e9}
 }
 
 // MeanMS returns the mean observed latency in milliseconds.
@@ -76,6 +106,8 @@ func NewRegistry() *Registry {
 			GoVersion:  runtime.Version(),
 			GOMAXPROCS: runtime.GOMAXPROCS(0),
 			NumCPU:     runtime.NumCPU(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
 		},
 		requests: make(map[string]map[int]int64),
 		latency:  make(map[string]*Histogram),
@@ -105,6 +137,21 @@ func (r *Registry) Observe(label string, d time.Duration) {
 		r.latency[label] = h
 	}
 	h.observe(d)
+}
+
+// ObserveExemplar is Observe plus a trace-id exemplar on the bucket the
+// observation lands in, surfaced by the OpenMetrics exposition. An empty
+// traceID degrades to a plain observation.
+func (r *Registry) ObserveExemplar(label string, d time.Duration, traceID string) {
+	now := time.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.latency[label]
+	if h == nil {
+		h = newHistogram()
+		r.latency[label] = h
+	}
+	h.observeExemplar(d, traceID, now)
 }
 
 // CountRejected records one request shed by queue backpressure.
@@ -170,6 +217,10 @@ type HistogramSnapshot struct {
 	SumMS    float64   `json:"sum_ms"`
 	Buckets  []int64   `json:"buckets"`
 	BoundsMS []float64 `json:"bounds_ms"`
+	// Exemplars align with Buckets (non-cumulative); entries with an empty
+	// TraceID mean that bucket has seen no traced observation. Omitted for
+	// histograms that never recorded an exemplar.
+	Exemplars []Exemplar `json:"exemplars,omitempty"`
 }
 
 // QueueSnapshot reports worker-pool state.
@@ -190,10 +241,15 @@ type CacheSnapshot struct {
 }
 
 // BuildInfo identifies the serving binary's runtime environment.
+// GOMAXPROCS and NumCPU make the effective parallelism of the replica
+// visible in every scrape (the single-core-container caveat in the
+// committed bench numbers), GOOS/GOARCH place it in the fleet.
 type BuildInfo struct {
 	GoVersion  string `json:"go_version"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
 	NumCPU     int    `json:"num_cpu"`
+	GOOS       string `json:"go_os"`
+	GOARCH     string `json:"go_arch"`
 }
 
 // Snapshot is the JSON document served on /metrics. UptimeS predates
@@ -230,6 +286,30 @@ type Snapshot struct {
 	// Export reports OTLP span-exporter counters. Populated by the
 	// /metrics handler when an exporter is configured.
 	Export *obs.ExporterStats `json:"export,omitempty"`
+	// Profiling reports the continuous profiler's lifetime aggregates:
+	// window counters and CPU seconds attributed per route/model/stage
+	// pprof label. Populated by the /metrics handler; Enabled is false
+	// when the profiler is off.
+	Profiling *ProfilingSnapshot `json:"profiling,omitempty"`
+}
+
+// ProfilingSnapshot is the /metrics view of the continuous profiler.
+type ProfilingSnapshot struct {
+	Enabled         bool    `json:"enabled"`
+	IntervalMS      float64 `json:"interval_ms,omitempty"`
+	WindowMS        float64 `json:"window_ms,omitempty"`
+	WindowsCaptured uint64  `json:"windows_captured"`
+	WindowsSkipped  uint64  `json:"windows_skipped"`
+	DecodeErrors    uint64  `json:"decode_errors"`
+	// CPUSecondsTotal is CPU time observed across all captured windows;
+	// AttributedRatio is the fraction of it carrying at least one
+	// non-empty route/model/stage/batch label.
+	CPUSecondsTotal float64 `json:"cpu_seconds_total"`
+	AttributedRatio float64 `json:"attributed_ratio"`
+	// Per-dimension CPU seconds, from lifetime label aggregates.
+	CPUSecondsByRoute map[string]float64 `json:"cpu_seconds_by_route,omitempty"`
+	CPUSecondsByModel map[string]float64 `json:"cpu_seconds_by_model,omitempty"`
+	CPUSecondsByStage map[string]float64 `json:"cpu_seconds_by_stage,omitempty"`
 }
 
 // Snapshot captures the registry contents plus the supplied live gauges
@@ -265,7 +345,7 @@ func (r *Registry) Snapshot(queue QueueSnapshot, cacheSize, cacheCap int) *Snaps
 		s.Requests[route] = m
 	}
 	for label, h := range r.latency {
-		s.LatencyMS[label] = &HistogramSnapshot{
+		hs := &HistogramSnapshot{
 			Count:    h.Count,
 			MeanMS:   h.MeanMS(),
 			MaxMS:    h.MaxMS,
@@ -273,6 +353,10 @@ func (r *Registry) Snapshot(queue QueueSnapshot, cacheSize, cacheCap int) *Snaps
 			Buckets:  append([]int64(nil), h.Buckets...),
 			BoundsMS: latencyBucketsMS,
 		}
+		if h.exemplars != nil {
+			hs.Exemplars = append([]Exemplar(nil), h.exemplars...)
+		}
+		s.LatencyMS[label] = hs
 	}
 	queue.Rejected = r.rejected
 	s.Queue = queue

@@ -1,0 +1,291 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// This file checks the /metrics?format=openmetrics exposition against the
+// OpenMetrics 1.0 text format: the mandatory # EOF terminator, metadata
+// (TYPE/UNIT/HELP) grouped per family and preceding its samples, counter
+// metadata under the _total-stripped family name while samples keep the
+// suffix, UNIT values that suffix the family name, and exemplar syntax on
+// histogram bucket lines with valid trace ids.
+
+var omTraceIDRE = regexp.MustCompile(`^[0-9a-f]{32}$`)
+
+func TestOpenMetricsConformance(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	tr := sampleTrace(t, 53, 200, 1200, 4)
+	if resp, body := postJSON(t, ts, "/v1/detect", DetectRequest{Trace: tr, Beta: 0.3}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("detect status = %d, body %s", resp.StatusCode, body)
+	}
+	if resp, body := postJSON(t, ts, "/v1/simulate", SimulateRequest{GraphHash: tr.NetworkHash(), Initiators: []int{0}}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("simulate status = %d, body %s", resp.StatusCode, body)
+	}
+
+	resp, body := getBody(t, ts, "/metrics?format=openmetrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/openmetrics-text; version=1.0.0; charset=utf-8" {
+		t.Errorf("content type = %q", ct)
+	}
+	text := string(body)
+	exemplars := checkOpenMetricsConformance(t, text)
+	// Request traffic always runs under a minted trace context, so the
+	// latency histograms must carry at least one exemplar by now.
+	if exemplars == 0 {
+		t.Error("no exemplars in exposition after traffic")
+	}
+	for _, want := range []string{
+		`ridserve_latency_seconds_bucket{op="route.detect",le="+Inf"}`,
+		"# TYPE ridserve_latency_seconds histogram",
+		"# UNIT ridserve_latency_seconds seconds",
+		"# TYPE ridserve_requests counter",
+		"ridserve_requests_total{route=\"detect\",status=\"200\"}",
+		`go_os=`,
+		`go_arch=`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestOpenMetricsProfilingFamilies renders a snapshot with profiler totals
+// attached and checks the ridserve_profile_* families appear and conform.
+func TestOpenMetricsProfilingFamilies(t *testing.T) {
+	snap := &Snapshot{
+		Build: BuildInfo{GoVersion: "go0.0", GOMAXPROCS: 1, NumCPU: 1, GOOS: "linux", GOARCH: "amd64"},
+		Profiling: &ProfilingSnapshot{
+			Enabled:           true,
+			IntervalMS:        1000,
+			WindowMS:          200,
+			WindowsCaptured:   3,
+			CPUSecondsTotal:   0.5,
+			AttributedRatio:   0.9,
+			CPUSecondsByRoute: map[string]float64{"detect": 0.4},
+			CPUSecondsByModel: map[string]float64{"mfc": 0.1},
+			CPUSecondsByStage: map[string]float64{"tree_dp": 0.3},
+		},
+	}
+	var b strings.Builder
+	if err := RenderOpenMetrics(&b, snap); err != nil {
+		t.Fatalf("render: %v", err)
+	}
+	text := b.String()
+	checkOpenMetricsConformance(t, text)
+	for _, want := range []string{
+		"# TYPE ridserve_profile_windows counter",
+		"ridserve_profile_windows_total 3",
+		`ridserve_profile_cpu_seconds_total{dim="all",key="all"} 0.5`,
+		`ridserve_profile_cpu_seconds_total{dim="route",key="detect"} 0.4`,
+		`ridserve_profile_cpu_seconds_total{dim="stage",key="tree_dp"} 0.3`,
+		"# UNIT ridserve_profile_attributed_ratio ratio",
+		"ridserve_profile_attributed_ratio 0.9",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// checkOpenMetricsConformance parses an OpenMetrics exposition strictly and
+// returns how many exemplars it carried.
+func checkOpenMetricsConformance(t *testing.T, text string) int {
+	t.Helper()
+	if !strings.HasSuffix(text, "# EOF\n") {
+		t.Fatal("exposition does not end with '# EOF\\n'")
+	}
+	if strings.Count(text, "# EOF") != 1 {
+		t.Error("more than one # EOF line")
+	}
+	body := strings.TrimSuffix(text, "# EOF\n")
+
+	typeSeen := map[string]string{}    // family -> type
+	metaSeen := map[string]bool{}      // "TYPE family" / "UNIT family" / "HELP family"
+	sampleStarted := map[string]bool{} // family has emitted samples
+	familyDone := map[string]bool{}
+	lastFamily := ""
+	exemplars := 0
+	var series []promSeries
+
+	for lineNo, line := range strings.Split(strings.TrimSuffix(body, "\n"), "\n") {
+		where := func(format string, args ...any) {
+			t.Errorf("line %d: %s (%q)", lineNo+1, fmt.Sprintf(format, args...), line)
+		}
+		if line == "" {
+			where("empty line")
+			continue
+		}
+		if strings.HasPrefix(line, "# ") {
+			fields := strings.SplitN(line[2:], " ", 3)
+			if len(fields) < 2 {
+				where("malformed metadata")
+				continue
+			}
+			kind, family := fields[0], fields[1]
+			switch kind {
+			case "TYPE", "UNIT", "HELP":
+			default:
+				where("unknown metadata %q", kind)
+				continue
+			}
+			if !promMetricNameRE.MatchString(family) {
+				where("bad family name %q", family)
+				continue
+			}
+			if metaSeen[kind+" "+family] {
+				where("duplicate %s for %s", kind, family)
+			}
+			metaSeen[kind+" "+family] = true
+			if sampleStarted[family] {
+				where("%s for %s after its samples", kind, family)
+			}
+			switch kind {
+			case "TYPE":
+				if len(fields) != 3 {
+					where("TYPE without a type")
+					continue
+				}
+				switch fields[2] {
+				case "counter", "gauge", "histogram", "summary", "info", "stateset", "unknown", "gaugehistogram":
+				default:
+					where("unknown type %q", fields[2])
+				}
+				typeSeen[family] = fields[2]
+			case "UNIT":
+				if len(fields) != 3 {
+					where("UNIT without a unit")
+					continue
+				}
+				if !strings.HasSuffix(family, "_"+fields[2]) {
+					where("unit %q is not a suffix of family %s", fields[2], family)
+				}
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			where("comment lines are not legal OpenMetrics")
+			continue
+		}
+
+		sampleLine, exemplar, hasExemplar := strings.Cut(line, " # ")
+		sr, err := parsePromSample(sampleLine)
+		if err != nil {
+			where("%v", err)
+			continue
+		}
+		series = append(series, sr)
+		family := omFamilyOf(sr.name, typeSeen)
+		if family == "" {
+			where("sample %s has no TYPE metadata", sr.name)
+			continue
+		}
+		sampleStarted[family] = true
+		if family != lastFamily {
+			if familyDone[family] {
+				where("family %s is not contiguous", family)
+			}
+			if lastFamily != "" {
+				familyDone[lastFamily] = true
+			}
+			lastFamily = family
+		}
+		if hasExemplar {
+			if !strings.HasSuffix(sr.name, "_bucket") {
+				where("exemplar on a non-bucket sample")
+			}
+			exemplars++
+			checkOMExemplar(t, lineNo+1, exemplar)
+		}
+	}
+
+	checkPromHistograms(t, series, typeSeen)
+	return exemplars
+}
+
+// omFamilyOf resolves a sample name to its metadata family under
+// OpenMetrics suffix rules: counters sample as family_total, histograms as
+// family_bucket/_sum/_count, everything else under the family name itself.
+func omFamilyOf(name string, typeSeen map[string]string) string {
+	if typ, ok := typeSeen[name]; ok {
+		// A bare match is only legal for non-counter types: counter samples
+		// must carry a suffix.
+		if typ != "counter" {
+			return name
+		}
+		return ""
+	}
+	if base := strings.TrimSuffix(name, "_total"); base != name && typeSeen[base] == "counter" {
+		return base
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base == name {
+			continue
+		}
+		if typ := typeSeen[base]; typ == "histogram" || typ == "summary" {
+			return base
+		}
+	}
+	return ""
+}
+
+// checkOMExemplar validates the text after " # " on a bucket line:
+// {label="value",...} value [timestamp], with the trace_id label holding a
+// 32-hex-digit id and the full labelset within the 128-rune budget.
+func checkOMExemplar(t *testing.T, lineNo int, s string) {
+	t.Helper()
+	fail := func(format string, args ...any) {
+		t.Errorf("line %d exemplar: %s (%q)", lineNo, fmt.Sprintf(format, args...), s)
+	}
+	if !strings.HasPrefix(s, "{") {
+		fail("missing labelset")
+		return
+	}
+	end := strings.Index(s, "}")
+	if end < 0 {
+		fail("unterminated labelset")
+		return
+	}
+	labelset := s[1:end]
+	var runeBudget int
+	for _, pair := range strings.Split(labelset, ",") {
+		name, quoted, ok := strings.Cut(pair, "=")
+		if !ok || !promLabelNameRE.MatchString(name) {
+			fail("bad label pair %q", pair)
+			return
+		}
+		val, rest, err := parsePromQuoted(quoted)
+		if err != nil || rest != "" {
+			fail("bad label value in %q: %v", pair, err)
+			return
+		}
+		runeBudget += len([]rune(name)) + len([]rune(val))
+		if name == "trace_id" && !omTraceIDRE.MatchString(val) {
+			fail("invalid trace id %q", val)
+		}
+	}
+	if runeBudget > 128 {
+		fail("labelset exceeds 128 runes (%d)", runeBudget)
+	}
+	fields := strings.Fields(s[end+1:])
+	if len(fields) < 1 || len(fields) > 2 {
+		fail("want value and optional timestamp, got %d fields", len(fields))
+		return
+	}
+	if _, err := parsePromValue(fields[0]); err != nil {
+		fail("bad value: %v", err)
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseFloat(fields[1], 64); err != nil {
+			fail("bad timestamp: %v", err)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/profiling"
+)
+
+// TestServerProfilerAttribution boots the server with the continuous
+// profiler on a tight duty cycle, drives detect traffic through it, and
+// checks /debug/hotspots reports labeled CPU aggregates: sampled CPU time
+// attributed to the detect route and to pipeline stages. CPU sampling is
+// statistical, so the test skips (rather than fails) when the short run
+// collected no samples — the profiling package holds the deterministic
+// attribution tests.
+func TestServerProfilerAttribution(t *testing.T) {
+	prof := profiling.NewProfiler(profiling.Config{
+		Interval: 150 * time.Millisecond,
+		Window:   75 * time.Millisecond,
+	})
+	_, ts := newTestServer(t, Config{Profiler: prof})
+	tr := sampleTrace(t, 54, 500, 3200, 5)
+
+	deadline := time.Now().Add(1200 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		if resp, body := postJSON(t, ts, "/v1/detect", DetectRequest{Trace: tr, Beta: 0.3}); resp.StatusCode != http.StatusOK {
+			t.Fatalf("detect status = %d, body %s", resp.StatusCode, body)
+		}
+	}
+
+	resp, body := getBody(t, ts, "/debug/hotspots?format=json")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("hotspots status = %d, body %s", resp.StatusCode, body)
+	}
+	var doc hotspotsJSON
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if !doc.Enabled {
+		t.Fatal("hotspots report profiler disabled")
+	}
+	if doc.WindowsCaptured == 0 {
+		t.Skip("no profile windows captured (profiler busy elsewhere?)")
+	}
+	if doc.CPUSecondsTotal == 0 {
+		t.Skip("windows captured but zero CPU samples landed")
+	}
+	if doc.RouteAttributedRatio <= 0 {
+		t.Errorf("route attributed ratio = %g, want > 0 (total %.3f CPU-s over %d windows)",
+			doc.RouteAttributedRatio, doc.CPUSecondsTotal, doc.WindowsCaptured)
+	}
+	// The /metrics profiling section must agree with the hotspots view.
+	resp, body = getBody(t, ts, "/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status = %d", resp.StatusCode)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Profiling == nil || !snap.Profiling.Enabled {
+		t.Fatalf("metrics profiling section = %+v, want enabled", snap.Profiling)
+	}
+	if snap.Profiling.WindowsCaptured < doc.WindowsCaptured {
+		t.Errorf("metrics windows %d < hotspots windows %d",
+			snap.Profiling.WindowsCaptured, doc.WindowsCaptured)
+	}
+	if len(snap.Profiling.CPUSecondsByRoute) == 0 {
+		t.Error("metrics carry no per-route CPU seconds")
+	}
+}
+
+// TestHotspotsDisabled asserts the endpoint stays useful (not an error)
+// with no profiler configured, in both formats.
+func TestHotspotsDisabled(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := getBody(t, ts, "/debug/hotspots?format=json")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("hotspots status = %d, body %s", resp.StatusCode, body)
+	}
+	var doc hotspotsJSON
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Enabled || doc.WindowsCaptured != 0 {
+		t.Errorf("disabled view = %+v", doc)
+	}
+	resp, body = getBody(t, ts, "/debug/hotspots")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("hotspots html status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/html; charset=utf-8" {
+		t.Errorf("content type = %q", ct)
+	}
+	if len(body) == 0 {
+		t.Error("empty html body")
+	}
+	if resp, body := getBody(t, ts, "/debug/hotspots?format=xml"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown format status = %d, body %s", resp.StatusCode, body)
+	}
+}

@@ -18,12 +18,31 @@ import (
 // while the rest stay under ridserve_latency_seconds{op="..."}.
 func RenderPrometheus(w io.Writer, s *Snapshot) error {
 	p := obs.NewPromWriter(w)
+	renderMetricFamilies(p, s)
+	return p.Err()
+}
 
+// RenderOpenMetrics writes the same snapshot in the OpenMetrics 1.0 text
+// format: identical family sequence, but with OpenMetrics metadata
+// ordering, trace-id exemplars on latency histogram buckets, and the
+// mandatory # EOF terminator.
+func RenderOpenMetrics(w io.Writer, s *Snapshot) error {
+	p := obs.NewOpenMetricsWriter(w)
+	renderMetricFamilies(p, s)
+	p.EOF()
+	return p.Err()
+}
+
+// renderMetricFamilies emits every family; the writer's mode decides the
+// concrete syntax (Prometheus 0.0.4 vs OpenMetrics 1.0).
+func renderMetricFamilies(p *obs.PromWriter, s *Snapshot) {
 	p.Header("ridserve_uptime_seconds", "Seconds since the server started.", "gauge")
 	p.Sample("ridserve_uptime_seconds", nil, s.UptimeSeconds)
 
 	p.Header("ridserve_build_info", "Build metadata; the value is always 1.", "gauge")
 	p.Sample("ridserve_build_info", []obs.PromLabel{
+		{Name: "go_arch", Value: s.Build.GOARCH},
+		{Name: "go_os", Value: s.Build.GOOS},
 		{Name: "go_version", Value: s.Build.GoVersion},
 		{Name: "gomaxprocs", Value: strconv.Itoa(s.Build.GOMAXPROCS)},
 		{Name: "num_cpu", Value: strconv.Itoa(s.Build.NumCPU)},
@@ -185,7 +204,33 @@ func RenderPrometheus(w io.Writer, s *Snapshot) error {
 			"Time goroutines spend runnable before running, as quantiles (quantile 1 is the max).", rt.SchedLatency)
 	}
 
-	return p.Err()
+	if pr := s.Profiling; pr != nil && pr.Enabled {
+		p.Header("ridserve_profile_windows_total", "CPU profile windows captured by the continuous profiler.", "counter")
+		p.IntSample("ridserve_profile_windows_total", nil, int64(pr.WindowsCaptured))
+		p.Header("ridserve_profile_windows_skipped_total", "Profile windows skipped because capture could not start.", "counter")
+		p.IntSample("ridserve_profile_windows_skipped_total", nil, int64(pr.WindowsSkipped))
+		p.Header("ridserve_profile_decode_errors_total", "Profile windows dropped by pprof decode failures.", "counter")
+		p.IntSample("ridserve_profile_decode_errors_total", nil, int64(pr.DecodeErrors))
+		p.Header("ridserve_profile_cpu_seconds_total",
+			"Sampled CPU time across all profile windows; the dim/key series split the total by pprof label value.",
+			"counter")
+		p.Sample("ridserve_profile_cpu_seconds_total",
+			[]obs.PromLabel{{Name: "dim", Value: "all"}, {Name: "key", Value: "all"}}, pr.CPUSecondsTotal)
+		writeProfileDim(p, "route", pr.CPUSecondsByRoute)
+		writeProfileDim(p, "model", pr.CPUSecondsByModel)
+		writeProfileDim(p, "stage", pr.CPUSecondsByStage)
+		p.Header("ridserve_profile_attributed_ratio",
+			"Fraction of sampled CPU time carrying any pprof label.", "gauge")
+		p.Sample("ridserve_profile_attributed_ratio", nil, pr.AttributedRatio)
+	}
+}
+
+// writeProfileDim emits one label dimension's CPU split.
+func writeProfileDim(p *obs.PromWriter, dim string, seconds map[string]float64) {
+	for _, key := range obs.SortedKeys(seconds) {
+		p.Sample("ridserve_profile_cpu_seconds_total",
+			[]obs.PromLabel{{Name: "dim", Value: dim}, {Name: "key", Value: key}}, seconds[key])
+	}
 }
 
 // writeWorkHist renders one obs.WorkHist as a Prometheus histogram family.
@@ -234,8 +279,22 @@ func writeLatencyFamily(p *obs.PromWriter, name, help, labelName string, labels 
 		for i, ms := range h.BoundsMS {
 			bounds[i] = ms / 1000
 		}
-		p.Histogram(name,
+		var exemplars []obs.PromExemplar
+		for i, e := range h.Exemplars {
+			if e.TraceID == "" {
+				continue
+			}
+			if exemplars == nil {
+				exemplars = make([]obs.PromExemplar, len(h.Exemplars))
+			}
+			exemplars[i] = obs.PromExemplar{
+				Labels: []obs.PromLabel{{Name: "trace_id", Value: e.TraceID}},
+				Value:  e.ValueMS / 1000,
+				TS:     e.TS,
+			}
+		}
+		p.HistogramEx(name,
 			[]obs.PromLabel{{Name: labelName, Value: strings.TrimPrefix(label, prefix)}},
-			bounds, h.Buckets, h.SumMS/1000, h.Count)
+			bounds, h.Buckets, h.SumMS/1000, h.Count, exemplars)
 	}
 }

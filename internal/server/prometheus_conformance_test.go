@@ -199,7 +199,9 @@ func checkPromConformance(t *testing.T, text string) {
 		seenSeries[key] = true
 	}
 
-	checkPromHistograms(t, series, typeSeen)
+	if checkPromHistograms(t, series, typeSeen) == 0 {
+		t.Error("no histogram families in exposition")
+	}
 }
 
 // parsePromSample parses "name{label="value",...} value" with strict
@@ -336,7 +338,9 @@ func promFamilyOf(name string, typeSeen map[string]string) string {
 
 // checkPromHistograms verifies every histogram family: le ascending,
 // cumulative buckets, +Inf present and equal to _count, and _sum present.
-func checkPromHistograms(t *testing.T, series []promSeries, typeSeen map[string]string) {
+// Returns how many histogram series groups it saw so callers that expect
+// traffic can assert the exposition wasn't empty.
+func checkPromHistograms(t *testing.T, series []promSeries, typeSeen map[string]string) int {
 	t.Helper()
 	type hist struct {
 		lastLE    float64
@@ -404,9 +408,6 @@ func checkPromHistograms(t *testing.T, series []promSeries, typeSeen map[string]
 			h.count, h.hasCount = sr.value, true
 		}
 	}
-	if len(hists) == 0 {
-		t.Error("no histogram families in exposition")
-	}
 	for k, h := range hists {
 		if h.buckets == 0 {
 			t.Errorf("histogram %s has no buckets", k)
@@ -422,6 +423,7 @@ func checkPromHistograms(t *testing.T, series []promSeries, typeSeen map[string]
 			t.Errorf("histogram %s: +Inf bucket %g != count %g", k, h.inf, h.count)
 		}
 	}
+	return len(hists)
 }
 
 func sortedLabelNames(labels map[string]string) []string {

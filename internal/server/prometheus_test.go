@@ -20,7 +20,7 @@ func TestRenderPrometheusGolden(t *testing.T) {
 	snap := &Snapshot{
 		UptimeS:       12.5,
 		UptimeSeconds: 12.5,
-		Build:         BuildInfo{GoVersion: "go1.22.0", GOMAXPROCS: 8, NumCPU: 16},
+		Build:         BuildInfo{GoVersion: "go1.22.0", GOMAXPROCS: 8, NumCPU: 16, GOOS: "linux", GOARCH: "amd64"},
 		Requests: map[string]map[string]int64{
 			"detect": {"200": 3, "400": 1},
 		},
@@ -41,7 +41,7 @@ func TestRenderPrometheusGolden(t *testing.T) {
 ridserve_uptime_seconds 12.5
 # HELP ridserve_build_info Build metadata; the value is always 1.
 # TYPE ridserve_build_info gauge
-ridserve_build_info{go_version="go1.22.0",gomaxprocs="8",num_cpu="16"} 1
+ridserve_build_info{go_arch="amd64",go_os="linux",go_version="go1.22.0",gomaxprocs="8",num_cpu="16"} 1
 # HELP ridserve_requests_total Requests served, by route and status.
 # TYPE ridserve_requests_total counter
 ridserve_requests_total{route="detect",status="200"} 3
@@ -116,7 +116,7 @@ func TestMetricsPrometheusEndpoint(t *testing.T) {
 		`ridserve_stage_duration_seconds_bucket{stage="tree_dp",le="+Inf"}`,
 		`ridserve_requests_total{route="detect",status="200"} 1`,
 		`ridserve_pipeline_events_total{event="trees"}`,
-		"ridserve_build_info{go_version=",
+		"ridserve_build_info{go_arch=",
 		"ridserve_uptime_seconds ",
 	} {
 		if !strings.Contains(text, want) {
@@ -197,8 +197,12 @@ func TestMetricsPrometheusEndpoint(t *testing.T) {
 	if snap.UptimeSeconds <= 0 || snap.UptimeSeconds != snap.UptimeS {
 		t.Errorf("uptime_seconds = %g, uptime_s = %g", snap.UptimeSeconds, snap.UptimeS)
 	}
-	if snap.Build.GoVersion == "" || snap.Build.GOMAXPROCS < 1 {
+	if snap.Build.GoVersion == "" || snap.Build.GOMAXPROCS < 1 || snap.Build.NumCPU < 1 ||
+		snap.Build.GOOS == "" || snap.Build.GOARCH == "" {
 		t.Errorf("build info not populated: %+v", snap.Build)
+	}
+	if snap.Profiling == nil || snap.Profiling.Enabled {
+		t.Errorf("profiling snapshot = %+v, want present and disabled", snap.Profiling)
 	}
 	if snap.Pipeline["trees"] < 1 {
 		t.Errorf("pipeline counters not merged: %v", snap.Pipeline)

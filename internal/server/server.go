@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/ingest"
 	"repro/internal/obs"
+	"repro/internal/profiling"
 )
 
 // Config parameterizes the server. The zero value serves on :8080 with
@@ -86,6 +87,12 @@ type Config struct {
 	// Constructed by the caller (NewSnapshotStore) so directory errors
 	// surface at startup. Nil disables persistence.
 	Snapshots *SnapshotStore
+	// Profiler, when non-nil, is the continuous CPU profiler
+	// (profiling.NewProfiler). The server takes ownership: New starts the
+	// capture loop, Shutdown stops it, and its aggregates surface on
+	// /debug/hotspots and /metrics. Nil disables continuous profiling; the
+	// pprof label attribution is always on.
+	Profiler *profiling.Profiler
 }
 
 func (c Config) withDefaults() Config {
@@ -131,6 +138,7 @@ type Server struct {
 	sessions  *ingest.Manager
 	slo       *obs.SLOTracker
 	exporter  *obs.Exporter
+	profiler  *profiling.Profiler
 	mux       *http.ServeMux
 	http      *http.Server
 }
@@ -147,11 +155,13 @@ func New(cfg Config) *Server {
 		sessions:  ingest.NewManager(ingest.ManagerConfig{MaxSessions: cfg.MaxSessions, TTL: cfg.SessionTTL}),
 		slo:       obs.NewSLOTracker(obs.SLOConfig{Target: cfg.SLOTarget, Latency: cfg.SLOLatency}),
 		exporter:  cfg.Exporter,
+		profiler:  cfg.Profiler,
 		mux:       http.NewServeMux(),
 	}
 	if cfg.FlightSize > 0 {
 		s.flight = obs.NewFlightRecorder(cfg.FlightSize, cfg.SlowThreshold)
 	}
+	s.profiler.Start()
 	s.mux.HandleFunc("POST /v1/detect", s.instrument("detect", s.handleDetect))
 	s.mux.HandleFunc("POST /v1/detect/batch", s.instrument("detect_batch", s.handleDetectBatch))
 	s.mux.HandleFunc("POST /v1/simulate", s.instrument("simulate", s.handleSimulate))
@@ -163,6 +173,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	s.mux.HandleFunc("GET /debug/requests", s.instrument("debug_requests", s.handleDebugRequests))
 	s.mux.HandleFunc("GET /debug/slo", s.instrument("debug_slo", s.handleDebugSLO))
+	s.mux.HandleFunc("GET /debug/hotspots", s.instrument("debug_hotspots", s.handleDebugHotspots))
 	s.http = &http.Server{
 		Addr:              cfg.Addr,
 		Handler:           s.mux,
@@ -190,6 +201,7 @@ func (s *Server) DebugHandler() http.Handler {
 	mux.Handle("/", DebugHandler())
 	mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
 	mux.HandleFunc("GET /debug/slo", s.handleDebugSLO)
+	mux.HandleFunc("GET /debug/hotspots", s.handleDebugHotspots)
 	return mux
 }
 
@@ -210,6 +222,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	err := s.http.Shutdown(ctx)
 	s.pool.Close()
 	s.exporter.Close()
+	s.profiler.Stop()
 	return err
 }
 
@@ -245,10 +258,15 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 		w.Header().Set("traceparent", tc.Traceparent())
 		w.Header().Set("X-Trace-Id", tc.TraceID)
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
-		h(rec, r.WithContext(ctx))
+		// The whole handler — JSON decode and encode included, not just the
+		// pooled compute — runs under the route pprof label, so nearly every
+		// CPU sample a request costs is attributable to its route.
+		profiling.Do(ctx, func(ctx context.Context) {
+			h(rec, r.WithContext(ctx))
+		}, profiling.LabelRoute, route)
 		elapsed := time.Since(start)
 		s.reg.CountRequest(route, rec.status)
-		s.reg.Observe("route."+route, elapsed)
+		s.reg.ObserveExemplar("route."+route, elapsed, tc.TraceID)
 		s.slo.Record(route, rec.status, elapsed)
 		if s.exporter != nil {
 			pipeRec, links, detail := slot.Snapshot()
@@ -271,6 +289,18 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 			slog.Int("status", rec.status),
 			slog.Duration("elapsed", elapsed))
 	}
+}
+
+// recordFlight publishes a flight record, first stamping it with the
+// continuous-profiler window (if any) that overlapped the request, so a
+// slow entry in /debug/requests links straight to the CPU breakdown in
+// /debug/hotspots captured while it ran.
+func (s *Server) recordFlight(fr obs.FlightRecord) {
+	end := fr.Start.Add(time.Duration(fr.ElapsedMS * float64(time.Millisecond)))
+	if seq, ok := s.profiler.WindowFor(fr.Start, end); ok {
+		fr.ProfileWindow = seq
+	}
+	s.flight.Record(fr)
 }
 
 // inboundTrace resolves the request's trace context, preferring a W3C
@@ -359,7 +389,14 @@ func (s *Server) runPooled(w http.ResponseWriter, r *http.Request, timeoutMS int
 		// The client may be gone by the time this job is dequeued; the
 		// cancelled context makes fn return immediately in that case.
 		started.Store(true)
-		v, err := fn(ctx)
+		// Pool goroutines are long-lived, so the handler goroutine's pprof
+		// labels don't reach them by inheritance; re-apply the request's
+		// label set (carried in ctx) for the job's duration.
+		var v any
+		var err error
+		profiling.Do(ctx, func(ctx context.Context) {
+			v, err = fn(ctx)
+		})
 		done <- poolResult{value: v, err: err}
 	})
 	if !accepted {

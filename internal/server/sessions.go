@@ -209,7 +209,7 @@ func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
 		fr.Status = status
 		fr.Error = applyErr.Error()
 	}
-	s.flight.Record(fr)
+	s.recordFlight(fr)
 	writeJSON(w, status, resp)
 }
 
@@ -259,7 +259,7 @@ func (s *Server) sessionDetect(ctx context.Context, sess *ingest.Session, k int)
 		if err != nil {
 			fr.Error = err.Error()
 		}
-		s.flight.Record(fr)
+		s.recordFlight(fr)
 	}()
 	det, stats, err := sess.Detect(ctx)
 	if errors.Is(err, cascade.ErrNoInfected) {

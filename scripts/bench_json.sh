@@ -15,11 +15,14 @@
 # snapshot load; SnapshotLoad is the sgraph-level load microbench.
 # SimulateModels/<name> runs one cascade per registered diffusion model on
 # a shared mid-size network — the cross-model spread-cost comparison.
+# DetectProfilerOverhead/{off,on} is the same labeled detect loop with the
+# continuous profiler absent vs capturing on its default 2% duty cycle —
+# the on/off ns/op ratio is the profiler's steady-state overhead.
 set -eu
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_pr9.json}
-BENCHES='BenchmarkRIDEndToEnd$|BenchmarkForestExtraction$|BenchmarkMFCSimulation$|BenchmarkSimulateModels/|BenchmarkArborKernels/|BenchmarkIncrementalDetect/|BenchmarkGraphWarmup/|BenchmarkDetectBatch$|BenchmarkDetectSequential$|BenchmarkSnapshotLoad$'
+OUT=${1:-BENCH_pr10.json}
+BENCHES='BenchmarkRIDEndToEnd$|BenchmarkForestExtraction$|BenchmarkMFCSimulation$|BenchmarkSimulateModels/|BenchmarkArborKernels/|BenchmarkIncrementalDetect/|BenchmarkGraphWarmup/|BenchmarkDetectBatch$|BenchmarkDetectSequential$|BenchmarkSnapshotLoad$|BenchmarkDetectProfilerOverhead/'
 
 # Time-based benchtime so every bench gets a comparable measurement
 # window: the sub-millisecond kernels run thousands of iterations (at a
